@@ -1,0 +1,23 @@
+"""Shared helpers for the pytest-benchmark suite (see conftest.py)."""
+
+from __future__ import annotations
+
+import itertools
+
+from repro import Deployment
+from repro.core.description import TrustedLibraryRegistry
+
+
+def deployment_with_case(case, *, app_name="bench-app", runtime_config=None,
+                         seed=b"bench"):
+    """Fresh deployment + one application linking the case's library."""
+    libs = TrustedLibraryRegistry()
+    case.register_into(libs)
+    deployment = Deployment(seed=seed + app_name.encode())
+    app = deployment.create_application(app_name, libs, runtime_config)
+    return deployment, app
+
+
+def unique_inputs(make_input):
+    """Endless stream of distinct inputs (for miss-path benchmarks)."""
+    return (make_input(i) for i in itertools.count())

@@ -1,0 +1,51 @@
+"""Ablation A5 — adaptive deduplication strategy (paper §VII).
+
+Benchmarks the per-call cost of an unprofitable workload (cheap
+function, all-unique inputs) with the adaptive policy on and off: the
+policy learns to skip the store round trip, so the adaptive variant
+should approach plain-compute cost.
+"""
+
+import itertools
+
+import pytest
+
+from repro import RuntimeConfig
+from repro.core.adaptive import AdaptiveDedupPolicy
+from repro.apps.registry import compress_case_study
+from repro.workloads import synthetic_text
+
+from _helpers import deployment_with_case
+
+
+def unique_texts():
+    for i in itertools.count():
+        yield synthetic_text(256, seed=900 + i)
+
+
+@pytest.mark.parametrize(
+    "adaptive", [False, True], ids=["always-on", "adaptive"]
+)
+def test_unprofitable_workload(benchmark, adaptive):
+    case = compress_case_study()
+    policy = (
+        AdaptiveDedupPolicy(min_observations=6, probe_interval=50)
+        if adaptive else None
+    )
+    _, app = deployment_with_case(
+        case,
+        runtime_config=RuntimeConfig(app_id="a5", adaptive=policy),
+        seed=b"a5-%d" % adaptive,
+    )
+    dedup = case.deduplicable(app)
+    stream = unique_texts()
+    # Warm the profile past min_observations so the decision is made.
+    for _ in range(10):
+        dedup(next(stream))
+        app.runtime.flush_puts()
+
+    def one_call():
+        dedup(next(stream))
+
+    benchmark(one_call)
+    app.runtime.flush_puts()

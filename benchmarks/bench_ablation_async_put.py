@@ -1,0 +1,29 @@
+"""Ablation A2 — synchronous vs asynchronous PUT on the init path."""
+
+import pytest
+
+from repro import RuntimeConfig
+from repro.apps.registry import compress_case_study
+from repro.workloads import synthetic_text
+
+from _helpers import deployment_with_case
+
+TEXT = synthetic_text(8 * 1024, seed=3)
+
+
+@pytest.mark.parametrize("async_put", [False, True], ids=["sync-put", "async-put"])
+def test_initial_call_latency(benchmark, async_put):
+    case = compress_case_study()
+    _, app = deployment_with_case(
+        case,
+        runtime_config=RuntimeConfig(app_id="a2", async_put=async_put),
+        seed=b"a2-%d" % async_put,
+    )
+    dedup = case.deduplicable(app)
+    counter = iter(range(10**9))
+
+    def initial_call():
+        dedup(TEXT + str(next(counter)).encode())
+
+    benchmark(initial_call)
+    app.runtime.flush_puts()

@@ -1,0 +1,47 @@
+"""Ablation A4 — PUT admission cost with and without the DoS quota."""
+
+import itertools
+
+import pytest
+
+from repro import Deployment
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.hashes import sha256
+from repro.net.messages import PutRequest
+from repro.store.quota import QuotaPolicy
+from repro.store.resultstore import StoreConfig
+
+
+def build(quota: QuotaPolicy | None, label: bytes):
+    d = Deployment(seed=b"a4-bench" + label,
+                   store_config=StoreConfig(quota=quota))
+    enclave = d.platform.create_enclave("a4-client", b"a4-client-code")
+    client = d.store.connect("a4-client-addr", app_enclave=enclave)
+    drbg = HmacDrbg(b"a4" + label)
+    return client, drbg
+
+
+def put_stream(drbg, label: bytes):
+    for i in itertools.count():
+        yield PutRequest(
+            tag=sha256(label + i.to_bytes(8, "big")),
+            challenge=drbg.generate(32),
+            wrapped_key=drbg.generate(16),
+            sealed_result=drbg.generate(256),
+            app_id="bench",
+        )
+
+
+@pytest.mark.parametrize(
+    "quota", [None, QuotaPolicy(max_bytes_per_app=1 << 30)],
+    ids=["no-quota", "with-quota"],
+)
+def test_put_admission(benchmark, quota):
+    label = b"q" if quota else b"n"
+    client, drbg = build(quota, label)
+    puts = put_stream(drbg, label)
+
+    def one_put():
+        assert client.call(next(puts)).accepted
+
+    benchmark(one_put)

@@ -1,0 +1,42 @@
+"""Ablation A1 — result-protection schemes: cross-app vs single-key vs
+plaintext (UNIC regime).
+
+Benchmarks the pure protect/recover operations so the cost of the extra
+locking hash in the cross-application design is directly visible.
+"""
+
+import pytest
+
+from repro.core.scheme import CrossAppScheme, PlaintextScheme, SingleKeyScheme
+from repro.core.tag import derive_tag
+from repro.crypto.drbg import HmacDrbg
+
+SIZE = 32 * 1024
+
+_drbg = HmacDrbg(b"ablation-schemes")
+FUNC = _drbg.generate(32)
+INPUT = (_drbg.generate(1024) * (SIZE // 1024 + 1))[:SIZE]
+RESULT = (_drbg.generate(1024) * (SIZE // 1024 + 1))[:SIZE]
+TAG = derive_tag(FUNC, INPUT)
+
+SCHEMES = {
+    "cross-app": CrossAppScheme(),
+    "single-key": SingleKeyScheme(b"system-wide-key!"),
+    "plaintext-unic": PlaintextScheme(),
+}
+
+
+@pytest.mark.parametrize("name", list(SCHEMES))
+def test_protect(benchmark, name):
+    scheme = SCHEMES[name]
+    rand = HmacDrbg(b"r" + name.encode()).generate
+    benchmark(scheme.protect, FUNC, INPUT, TAG, RESULT, rand)
+
+
+@pytest.mark.parametrize("name", list(SCHEMES))
+def test_recover(benchmark, name):
+    scheme = SCHEMES[name]
+    rand = HmacDrbg(b"r" + name.encode()).generate
+    protected = scheme.protect(FUNC, INPUT, TAG, RESULT, rand)
+    out = benchmark(scheme.recover, FUNC, INPUT, TAG, protected)
+    assert out == RESULT

@@ -1,0 +1,53 @@
+"""Fig. 5(a) — SIFT feature extraction: baseline vs init vs subsequent.
+
+Wall-clock microbenchmarks of the three regimes the figure compares.
+The paper-shaped relative-time table comes from
+``python -m repro.bench fig5a``.
+"""
+
+import pytest
+
+from repro.apps.registry import sift_case_study
+from repro.baselines.presets import no_dedup_runtime_config
+from repro.workloads import image_stream, synthetic_image
+
+from _helpers import deployment_with_case
+
+SIZE = 64
+IMAGE = synthetic_image(SIZE, seed=7)
+
+
+def test_baseline_without_speed(benchmark):
+    """The red 100% line: plain sift() on every call."""
+    case = sift_case_study()
+    _, app = deployment_with_case(
+        case, runtime_config=no_dedup_runtime_config("bench"), seed=b"5a-base"
+    )
+    dedup = case.deduplicable(app)
+    benchmark(dedup, IMAGE)
+
+
+def test_initial_computation(benchmark):
+    """Init. Comp.: compute + protect + PUT, unique image per round."""
+    case = sift_case_study()
+    _, app = deployment_with_case(case, seed=b"5a-init")
+    dedup = case.deduplicable(app)
+    stream = iter(image_stream(4096, SIZE, duplicate_fraction=0.0, seed=11))
+
+    def initial_call():
+        dedup(next(stream))
+
+    benchmark(initial_call)
+    assert app.runtime.stats.hits == 0
+
+
+def test_subsequent_computation(benchmark):
+    """Subsq. Comp.: the secure cache hit."""
+    case = sift_case_study()
+    _, app = deployment_with_case(case, seed=b"5a-subsq")
+    dedup = case.deduplicable(app)
+    dedup(IMAGE)
+    app.runtime.flush_puts()
+    result = benchmark(dedup, IMAGE)
+    assert len(result) > 0
+    assert app.runtime.stats.hits >= 1

@@ -1,0 +1,41 @@
+"""Fig. 5(b) — data compression: baseline vs init vs subsequent."""
+
+from repro.apps.registry import compress_case_study
+from repro.baselines.presets import no_dedup_runtime_config
+from repro.workloads import synthetic_text
+
+from _helpers import deployment_with_case
+
+TEXT = synthetic_text(16 * 1024, seed=7)
+
+
+def test_baseline_without_speed(benchmark):
+    case = compress_case_study()
+    _, app = deployment_with_case(
+        case, runtime_config=no_dedup_runtime_config("bench"), seed=b"5b-base"
+    )
+    dedup = case.deduplicable(app)
+    benchmark(dedup, TEXT)
+
+
+def test_initial_computation(benchmark):
+    case = compress_case_study()
+    _, app = deployment_with_case(case, seed=b"5b-init")
+    dedup = case.deduplicable(app)
+    counter = iter(range(10**9))
+
+    def initial_call():
+        dedup(TEXT + str(next(counter)).encode())
+
+    benchmark(initial_call)
+    assert app.runtime.stats.hits == 0
+
+
+def test_subsequent_computation(benchmark):
+    case = compress_case_study()
+    _, app = deployment_with_case(case, seed=b"5b-subsq")
+    dedup = case.deduplicable(app)
+    expected = dedup(TEXT)
+    app.runtime.flush_puts()
+    result = benchmark(dedup, TEXT)
+    assert result == expected

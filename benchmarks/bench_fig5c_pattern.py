@@ -1,0 +1,52 @@
+"""Fig. 5(c) — packet scanning against a Snort-like ruleset."""
+
+import pytest
+
+from repro.apps.registry import pattern_case_study
+from repro.baselines.presets import no_dedup_runtime_config
+from repro.workloads import packet_trace
+
+from _helpers import deployment_with_case
+
+PACKET = packet_trace(1, payload_size=512, duplicate_fraction=0.0, seed=7)[0]
+
+
+@pytest.fixture(scope="module")
+def case(small_rules_module):
+    return pattern_case_study(small_rules_module)
+
+
+@pytest.fixture(scope="module")
+def small_rules_module():
+    from repro.workloads import generate_rules
+
+    return generate_rules(300, seed=1)
+
+
+def test_baseline_without_speed(benchmark, case):
+    _, app = deployment_with_case(
+        case, runtime_config=no_dedup_runtime_config("bench"), seed=b"5c-base"
+    )
+    dedup = case.deduplicable(app)
+    benchmark(dedup, PACKET)
+
+
+def test_initial_computation(benchmark, case):
+    _, app = deployment_with_case(case, seed=b"5c-init")
+    dedup = case.deduplicable(app)
+    counter = iter(range(10**9))
+
+    def initial_call():
+        dedup(PACKET + str(next(counter)).encode())
+
+    benchmark(initial_call)
+    assert app.runtime.stats.hits == 0
+
+
+def test_subsequent_computation(benchmark, case):
+    _, app = deployment_with_case(case, seed=b"5c-subsq")
+    dedup = case.deduplicable(app)
+    expected = dedup(PACKET)
+    app.runtime.flush_puts()
+    result = benchmark(dedup, PACKET)
+    assert result == expected

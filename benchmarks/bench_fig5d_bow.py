@@ -1,0 +1,41 @@
+"""Fig. 5(d) — BoW computation over the MapReduce framework."""
+
+from repro.apps.registry import bow_case_study
+from repro.baselines.presets import no_dedup_runtime_config
+from repro.workloads import synthetic_webpage
+
+from _helpers import deployment_with_case
+
+PAGE = synthetic_webpage(1000, seed=7)
+
+
+def test_baseline_without_speed(benchmark):
+    case = bow_case_study()
+    _, app = deployment_with_case(
+        case, runtime_config=no_dedup_runtime_config("bench"), seed=b"5d-base"
+    )
+    dedup = case.deduplicable(app)
+    benchmark(dedup, PAGE)
+
+
+def test_initial_computation(benchmark):
+    case = bow_case_study()
+    _, app = deployment_with_case(case, seed=b"5d-init")
+    dedup = case.deduplicable(app)
+    counter = iter(range(10**9))
+
+    def initial_call():
+        dedup(PAGE + f"\n<p>round {next(counter)}</p>")
+
+    benchmark(initial_call)
+    assert app.runtime.stats.hits == 0
+
+
+def test_subsequent_computation(benchmark):
+    case = bow_case_study()
+    _, app = deployment_with_case(case, seed=b"5d-subsq")
+    dedup = case.deduplicable(app)
+    expected = dedup(PAGE)
+    app.runtime.flush_puts()
+    result = benchmark(dedup, PAGE)
+    assert result == expected

@@ -1,0 +1,70 @@
+"""Fig. 6 — ResultStore GET/PUT throughput, with and without SGX.
+
+Each benchmark measures one request round trip at the given size; the
+``use_sgx`` parameter toggles the store enclave exactly as the paper's
+comparison does.  The totals-of-100-ops table lives in
+``python -m repro.bench fig6``.
+"""
+
+import itertools
+
+import pytest
+
+from repro import Deployment
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.hashes import sha256
+from repro.net.messages import GetRequest, PutRequest
+from repro.store.resultstore import StoreConfig
+
+SIZES = [1 * 1024, 100 * 1024]
+
+
+def make_client(use_sgx: bool, label: bytes):
+    d = Deployment(seed=b"fig6-bench" + label,
+                   store_config=StoreConfig(use_sgx=use_sgx))
+    enclave = (
+        d.platform.create_enclave("bench-client", b"bench-client-code")
+        if use_sgx else None
+    )
+    client = d.store.connect("bench-client-addr", app_enclave=enclave)
+    return d, client
+
+
+def put_stream(size: int, label: bytes):
+    drbg = HmacDrbg(b"fig6" + label)
+    body_base = drbg.generate(4096)
+    for i in itertools.count():
+        tag = sha256(label + i.to_bytes(8, "big"))
+        body = (body_base * (size // 4096 + 1))[:size - 8] + i.to_bytes(8, "big")
+        yield PutRequest(tag=tag, challenge=drbg.generate(32),
+                         wrapped_key=drbg.generate(16),
+                         sealed_result=body, app_id="bench")
+
+
+@pytest.mark.parametrize("use_sgx", [True, False], ids=["sgx", "no-sgx"])
+@pytest.mark.parametrize("size", SIZES)
+def test_put_request(benchmark, use_sgx, size):
+    label = b"put%d%d" % (size, use_sgx)
+    _, client = make_client(use_sgx, label)
+    puts = put_stream(size, label)
+
+    def one_put():
+        response = client.call(next(puts))
+        assert response.accepted
+
+    benchmark(one_put)
+
+
+@pytest.mark.parametrize("use_sgx", [True, False], ids=["sgx", "no-sgx"])
+@pytest.mark.parametrize("size", SIZES)
+def test_get_request(benchmark, use_sgx, size):
+    label = b"get%d%d" % (size, use_sgx)
+    _, client = make_client(use_sgx, label)
+    put = next(put_stream(size, label))
+    client.call(put)
+
+    def one_get():
+        response = client.call(GetRequest(tag=put.tag, app_id="bench"))
+        assert response.found
+
+    benchmark(one_get)

@@ -1,0 +1,73 @@
+"""Table I — cryptographic operations in DedupRuntime.
+
+Benchmarks the five columns (Tag Gen., Key Gen., Key Rec., Result Enc.,
+Result Dec.) at two representative input sizes.  The full 1 KB-1 MB
+sweep with simulated times calibrated to the paper's platform is printed
+by ``python -m repro.bench table1``.
+"""
+
+import pytest
+
+from repro.core.scheme import CHALLENGE_SIZE, KEY_SIZE
+from repro.core.tag import derive_locking_hash, derive_tag
+from repro.crypto import gcm
+from repro.crypto.drbg import HmacDrbg
+
+SIZES = [10 * 1024, 100 * 1024]
+
+_drbg = HmacDrbg(b"bench-table1")
+FUNC_IDENTITY = _drbg.generate(32)
+CHALLENGE = _drbg.generate(CHALLENGE_SIZE)
+KEY = _drbg.generate(KEY_SIZE)
+IV = _drbg.generate(12)
+
+
+def _data(size: int) -> bytes:
+    return (_drbg.generate(1024) * (size // 1024 + 1))[:size]
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_tag_gen(benchmark, size):
+    data = _data(size)
+    benchmark(derive_tag, FUNC_IDENTITY, data)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_key_gen(benchmark, size):
+    data = _data(size)
+
+    def key_gen():
+        locking = derive_locking_hash(FUNC_IDENTITY, data, CHALLENGE)
+        return bytes(a ^ b for a, b in zip(KEY, locking[:KEY_SIZE]))
+
+    benchmark(key_gen)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_key_rec(benchmark, size):
+    data = _data(size)
+    locking = derive_locking_hash(FUNC_IDENTITY, data, CHALLENGE)
+    wrapped = bytes(a ^ b for a, b in zip(KEY, locking[:KEY_SIZE]))
+
+    def key_rec():
+        locking2 = derive_locking_hash(FUNC_IDENTITY, data, CHALLENGE)
+        return bytes(a ^ b for a, b in zip(wrapped, locking2[:KEY_SIZE]))
+
+    recovered = benchmark(key_rec)
+    assert recovered == KEY
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_result_enc(benchmark, size):
+    data = _data(size)
+    tag = derive_tag(FUNC_IDENTITY, data)
+    benchmark(gcm.seal, KEY, IV, data, tag)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_result_dec(benchmark, size):
+    data = _data(size)
+    tag = derive_tag(FUNC_IDENTITY, data)
+    sealed = gcm.seal(KEY, IV, data, tag)
+    plain = benchmark(gcm.open_, KEY, sealed, tag)
+    assert plain == data

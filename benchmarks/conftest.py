@@ -1,0 +1,19 @@
+"""Fixtures for the pytest-benchmark suite.
+
+These benchmarks measure the *wall-clock* cost of the reproduction's hot
+paths.  The paper-shaped tables and figures (simulated time, calibrated
+to the paper's platform) are produced by the CLI harness instead:
+
+    python -m repro.bench all
+
+Each ``bench_*.py`` file maps to one artifact — see DESIGN.md section 4.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def small_rules():
+    from repro.workloads import generate_rules
+
+    return generate_rules(300, seed=1)

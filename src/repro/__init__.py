@@ -1,0 +1,57 @@
+"""SPEED: Accelerating Enclave Applications via Secure Deduplication.
+
+A faithful Python reproduction of the ICDCS 2019 system by Cui, Duan,
+Qin, Wang, and Zhou, built on a simulated SGX substrate (see DESIGN.md).
+
+Quickstart::
+
+    from repro import Deployment, FunctionDescription, TrustedLibrary, TrustedLibraryRegistry
+
+    libs = TrustedLibraryRegistry()
+    libs.register(TrustedLibrary("zlib", "1.2.11").add("bytes deflate(bytes)", my_deflate))
+
+    deployment = Deployment()
+    app = deployment.create_application("scanner", libs)
+    dedup_deflate = app.deduplicable(FunctionDescription("zlib", "1.2.11", "bytes deflate(bytes)"))
+    compressed = dedup_deflate(data)   # first call computes + stores
+    compressed = dedup_deflate(data)   # second call is a secure cache hit
+"""
+
+from .core import (
+    CrossAppScheme,
+    Deduplicable,
+    DedupRuntime,
+    FunctionDescription,
+    PlaintextScheme,
+    RuntimeConfig,
+    SingleKeyScheme,
+    TrustedLibrary,
+    TrustedLibraryRegistry,
+)
+from .deployment import Application, Deployment
+from .errors import SpeedError
+from .sgx import CostParams, SgxPlatform
+from .store import QuotaPolicy, ResultStore, StoreConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Application",
+    "CostParams",
+    "CrossAppScheme",
+    "Deduplicable",
+    "DedupRuntime",
+    "Deployment",
+    "FunctionDescription",
+    "PlaintextScheme",
+    "QuotaPolicy",
+    "ResultStore",
+    "RuntimeConfig",
+    "SgxPlatform",
+    "SingleKeyScheme",
+    "SpeedError",
+    "StoreConfig",
+    "TrustedLibrary",
+    "TrustedLibraryRegistry",
+    "__version__",
+]

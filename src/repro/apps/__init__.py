@@ -1,0 +1,29 @@
+"""The four case-study applications of the paper's evaluation (§V).
+
+Each subpackage is a from-scratch substitute for the native library the
+paper ported into SGX: :mod:`.sift` (libsiftpp), :mod:`.compress`
+(zlib), :mod:`.pattern` (libpcre + Snort rules), and :mod:`.mapreduce`
+(a MapReduce library + BoW).  :mod:`.registry` assembles them into
+trusted libraries ready to link into application enclaves.
+"""
+
+from . import compress, mapreduce, pattern, sift
+from .registry import (
+    CaseStudy,
+    bow_case_study,
+    compress_case_study,
+    pattern_case_study,
+    sift_case_study,
+)
+
+__all__ = [
+    "CaseStudy",
+    "bow_case_study",
+    "compress",
+    "compress_case_study",
+    "mapreduce",
+    "pattern",
+    "pattern_case_study",
+    "sift",
+    "sift_case_study",
+]

@@ -1,0 +1,55 @@
+"""Bit-level I/O for the DEFLATE-style codec (LSB-first, like RFC 1951)."""
+
+from __future__ import annotations
+
+from ...errors import SpeedError
+
+
+class BitWriter:
+    """Accumulates bits least-significant-first into a byte stream."""
+
+    def __init__(self):
+        self._out = bytearray()
+        self._acc = 0
+        self._nbits = 0
+
+    def write(self, value: int, n_bits: int) -> None:
+        if n_bits < 0 or value >> n_bits:
+            raise SpeedError(f"value {value} does not fit in {n_bits} bits")
+        self._acc |= value << self._nbits
+        self._nbits += n_bits
+        while self._nbits >= 8:
+            self._out.append(self._acc & 0xFF)
+            self._acc >>= 8
+            self._nbits -= 8
+
+    def getvalue(self) -> bytes:
+        out = bytes(self._out)
+        if self._nbits:
+            out += bytes([self._acc & 0xFF])
+        return out
+
+
+class BitReader:
+    """Consumes bits least-significant-first from a byte stream."""
+
+    def __init__(self, data: bytes):
+        self._data = data
+        self._pos = 0
+        self._acc = 0
+        self._nbits = 0
+
+    def read(self, n_bits: int) -> int:
+        while self._nbits < n_bits:
+            if self._pos >= len(self._data):
+                raise SpeedError("bit stream truncated")
+            self._acc |= self._data[self._pos] << self._nbits
+            self._pos += 1
+            self._nbits += 8
+        value = self._acc & ((1 << n_bits) - 1)
+        self._acc >>= n_bits
+        self._nbits -= n_bits
+        return value
+
+    def read_bit(self) -> int:
+        return self.read(1)

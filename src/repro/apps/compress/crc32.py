@@ -1,0 +1,37 @@
+"""CRC-32 (IEEE 802.3, the zlib/gzip checksum), table-driven.
+
+zlib's container formats carry a CRC of the *uncompressed* data so a
+decoder can detect corruption that Huffman decoding alone would miss
+(e.g. a bit flip that still decodes to valid symbols).  Our container
+does the same.  The implementation is the classic reflected algorithm
+with the 0xEDB88320 polynomial; the test suite pins it byte-for-byte to
+CPython's ``binascii.crc32``.
+"""
+
+from __future__ import annotations
+
+_POLY = 0xEDB88320
+
+
+def _build_table() -> list[int]:
+    table = []
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            if crc & 1:
+                crc = (crc >> 1) ^ _POLY
+            else:
+                crc >>= 1
+        table.append(crc)
+    return table
+
+
+_TABLE = _build_table()
+
+
+def crc32(data: bytes, value: int = 0) -> int:
+    """Compute (or continue, via ``value``) a CRC-32 over ``data``."""
+    crc = value ^ 0xFFFFFFFF
+    for byte in data:
+        crc = _TABLE[(crc ^ byte) & 0xFF] ^ (crc >> 8)
+    return crc ^ 0xFFFFFFFF

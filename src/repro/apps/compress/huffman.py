@@ -1,0 +1,115 @@
+"""Canonical Huffman coding.
+
+Codes are built from symbol frequencies with the classic two-queue
+construction, converted to *canonical* form so only the code lengths
+need to travel in the compressed header, exactly as DEFLATE does.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from .bitio import BitReader, BitWriter
+from ...errors import SpeedError
+
+MAX_CODE_LENGTH = 24
+
+
+def code_lengths_from_frequencies(freqs: dict[int, int]) -> dict[int, int]:
+    """Huffman code length per symbol (symbols with zero freq omitted)."""
+    live = [(count, symbol) for symbol, count in freqs.items() if count > 0]
+    if not live:
+        return {}
+    if len(live) == 1:
+        return {live[0][1]: 1}
+    # Heap items: (weight, tiebreak, symbols-in-subtree)
+    heap = [(count, symbol, (symbol,)) for count, symbol in live]
+    heapq.heapify(heap)
+    depths = {symbol: 0 for _, symbol in live}
+    while len(heap) > 1:
+        w1, t1, s1 = heapq.heappop(heap)
+        w2, t2, s2 = heapq.heappop(heap)
+        for symbol in s1 + s2:
+            depths[symbol] += 1
+        heapq.heappush(heap, (w1 + w2, min(t1, t2), s1 + s2))
+    too_deep = max(depths.values())
+    if too_deep > MAX_CODE_LENGTH:
+        raise SpeedError(f"Huffman tree depth {too_deep} exceeds {MAX_CODE_LENGTH}")
+    return depths
+
+
+def canonical_codes(lengths: dict[int, int]) -> dict[int, tuple[int, int]]:
+    """Map symbol -> (code, length), canonical ordering (RFC 1951 §3.2.2).
+
+    Code bits are stored MSB-first in the integer; the bit writer emits
+    them reversed so the decoder can walk bit by bit.
+    """
+    if not lengths:
+        return {}
+    bl_count = [0] * (MAX_CODE_LENGTH + 1)
+    for length in lengths.values():
+        bl_count[length] += 1
+    next_code = [0] * (MAX_CODE_LENGTH + 2)
+    code = 0
+    for bits in range(1, MAX_CODE_LENGTH + 1):
+        code = (code + bl_count[bits - 1]) << 1
+        next_code[bits] = code
+    codes: dict[int, tuple[int, int]] = {}
+    for symbol in sorted(lengths, key=lambda s: (lengths[s], s)):
+        length = lengths[symbol]
+        codes[symbol] = (next_code[length], length)
+        next_code[length] += 1
+    return codes
+
+
+class HuffmanEncoder:
+    """Writes symbols of one canonical code to a BitWriter."""
+
+    def __init__(self, lengths: dict[int, int]):
+        self.lengths = dict(lengths)
+        self._codes = canonical_codes(self.lengths)
+
+    def write_symbol(self, writer: BitWriter, symbol: int) -> None:
+        entry = self._codes.get(symbol)
+        if entry is None:
+            raise SpeedError(f"symbol {symbol} has no Huffman code")
+        code, length = entry
+        # Emit MSB-first so the tree-walking decoder sees bits in order.
+        for shift in range(length - 1, -1, -1):
+            writer.write((code >> shift) & 1, 1)
+
+
+class HuffmanDecoder:
+    """Bit-by-bit canonical decoder (lookup dict keyed by (length, code))."""
+
+    def __init__(self, lengths: dict[int, int]):
+        self.lengths = dict(lengths)
+        self._by_code: dict[tuple[int, int], int] = {
+            (length, code): symbol
+            for symbol, (code, length) in canonical_codes(self.lengths).items()
+        }
+        self._max_length = max(self.lengths.values(), default=0)
+
+    def read_symbol(self, reader: BitReader) -> int:
+        code = 0
+        for length in range(1, self._max_length + 1):
+            code = (code << 1) | reader.read_bit()
+            symbol = self._by_code.get((length, code))
+            if symbol is not None:
+                return symbol
+        raise SpeedError("invalid Huffman code in stream")
+
+
+def write_lengths_header(writer: BitWriter, lengths: dict[int, int], alphabet_size: int) -> None:
+    """Serialize code lengths (5 bits each, 0 = absent symbol)."""
+    for symbol in range(alphabet_size):
+        writer.write(lengths.get(symbol, 0), 5)
+
+
+def read_lengths_header(reader: BitReader, alphabet_size: int) -> dict[int, int]:
+    lengths = {}
+    for symbol in range(alphabet_size):
+        length = reader.read(5)
+        if length:
+            lengths[symbol] = length
+    return lengths

@@ -1,0 +1,76 @@
+"""An in-process MapReduce framework (the paper's Case 4 substrate).
+
+The paper builds bag-of-words on "a C++ MapReduce library"; this module
+is the Python equivalent: explicit map → combine → shuffle → reduce
+phases over in-memory partitions, deterministic partitioning by key
+hash, and a small job API.  Deliberately synchronous: inside an enclave
+there is one trusted thread of execution anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from ...crypto.hashes import tagged_hash
+from ...errors import SpeedError
+
+Mapper = Callable[[Any], Iterable[tuple[Any, Any]]]
+Reducer = Callable[[Any, list[Any]], Any]
+Combiner = Callable[[Any, list[Any]], Any]
+
+
+@dataclass
+class JobStats:
+    """Counters from one job execution."""
+
+    map_inputs: int = 0
+    map_outputs: int = 0
+    combine_outputs: int = 0
+    reduce_groups: int = 0
+
+
+@dataclass
+class MapReduceJob:
+    """One configured job; ``run`` executes it over a list of records."""
+
+    mapper: Mapper
+    reducer: Reducer
+    combiner: Combiner | None = None
+    n_partitions: int = 4
+    stats: JobStats = field(default_factory=JobStats)
+
+    def _partition(self, key: Any) -> int:
+        digest = tagged_hash(b"mapreduce/partition", repr(key).encode())
+        return int.from_bytes(digest[:4], "big") % self.n_partitions
+
+    def run(self, records: list[Any]) -> dict[Any, Any]:
+        """Execute map/combine/shuffle/reduce; returns key -> reduced value."""
+        if self.n_partitions <= 0:
+            raise SpeedError("n_partitions must be positive")
+        self.stats = JobStats()
+
+        # Map (+ per-partition combine).
+        partitions: list[dict[Any, list[Any]]] = [
+            {} for _ in range(self.n_partitions)
+        ]
+        for record in records:
+            self.stats.map_inputs += 1
+            for key, value in self.mapper(record):
+                self.stats.map_outputs += 1
+                partitions[self._partition(key)].setdefault(key, []).append(value)
+
+        if self.combiner is not None:
+            for partition in partitions:
+                for key in list(partition):
+                    combined = self.combiner(key, partition[key])
+                    partition[key] = [combined]
+                    self.stats.combine_outputs += 1
+
+        # Shuffle is implicit (partitions are already key-grouped); reduce.
+        output: dict[Any, Any] = {}
+        for partition in partitions:
+            for key in sorted(partition, key=repr):
+                self.stats.reduce_groups += 1
+                output[key] = self.reducer(key, partition[key])
+        return output

@@ -1,0 +1,31 @@
+"""Case study 3: multi-pattern packet scanning (libpcre + Snort rules).
+
+Aho-Corasick literal prefilter (:mod:`.ahocorasick`), a Thompson-NFA
+regex engine (:mod:`.regex`), Snort-style rules (:mod:`.ruleset`), and
+the deduplicable scanning front end (:mod:`.matcher`).
+"""
+
+from .ahocorasick import AhoCorasick
+from .matcher import (
+    FUNCTION_SIGNATURE,
+    LIBRARY_FAMILY,
+    LIBRARY_VERSION,
+    make_scan_function,
+    scan_trace,
+)
+from .regex import Regex, pcre_exec
+from .ruleset import CompiledRuleset, Rule, ScanReport
+
+__all__ = [
+    "AhoCorasick",
+    "CompiledRuleset",
+    "FUNCTION_SIGNATURE",
+    "LIBRARY_FAMILY",
+    "LIBRARY_VERSION",
+    "Regex",
+    "Rule",
+    "ScanReport",
+    "make_scan_function",
+    "pcre_exec",
+    "scan_trace",
+]

@@ -1,0 +1,140 @@
+"""Case-study wiring: trusted libraries + descriptions + parsers.
+
+This module is the Python rendering of the paper's Fig. 4 — the four
+"Deduplicable versions" of the case-study functions.  Each
+:class:`CaseStudy` bundles the trusted library an application must link,
+the :class:`~repro.core.description.FunctionDescription` the developer
+writes, the parsers for input/result, and the *native factor* used by
+the simulated clock (how much faster the paper's C/C++ library runs than
+our pure-Python substitute; see DESIGN.md §2 — these are order-of-
+magnitude calibrations, recorded in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from . import compress as _compress
+from . import mapreduce as _mapreduce
+from . import pattern as _pattern
+from . import sift as _sift
+from .pattern.ruleset import Rule
+from ..core.deduplicable import Deduplicable
+from ..core.description import FunctionDescription, TrustedLibrary, TrustedLibraryRegistry
+from ..core.serialization import (
+    BytesParser,
+    IntParser,
+    ListParser,
+    MappingParser,
+    NdarrayParser,
+    Parser,
+    TextParser,
+)
+from ..deployment import Application
+
+
+@dataclass(frozen=True)
+class CaseStudy:
+    """Everything needed to mark one case-study function with SPEED."""
+
+    name: str
+    library: TrustedLibrary
+    description: FunctionDescription
+    input_parser: Parser
+    result_parser: Parser
+    native_factor: float
+    func: Callable
+
+    def register_into(self, registry: TrustedLibraryRegistry) -> None:
+        registry.register(self.library)
+
+    def deduplicable(self, app: Application) -> Deduplicable:
+        """Fig. 4, line 1: create the Deduplicable version."""
+        return app.deduplicable(
+            self.description,
+            input_parser=self.input_parser,
+            result_parser=self.result_parser,
+            native_factor=self.native_factor,
+        )
+
+
+def sift_case_study() -> CaseStudy:
+    """Case 1: image feature extraction via libsiftpp."""
+    library = TrustedLibrary(_sift.LIBRARY_FAMILY, _sift.LIBRARY_VERSION)
+    library.add(_sift.FUNCTION_SIGNATURE, _sift.sift)
+    return CaseStudy(
+        name="feature-extraction",
+        library=library,
+        description=FunctionDescription(
+            _sift.LIBRARY_FAMILY, _sift.LIBRARY_VERSION, _sift.FUNCTION_SIGNATURE
+        ),
+        input_parser=NdarrayParser(),
+        result_parser=NdarrayParser(),
+        # numpy-based SIFT is on par with the (notoriously slow)
+        # native libsiftpp; calibrated against Fig. 5(a)'s regime.
+        native_factor=1.0,
+        func=_sift.sift,
+    )
+
+
+def compress_case_study() -> CaseStudy:
+    """Case 2: data compression via zlib's deflate."""
+    library = TrustedLibrary(_compress.LIBRARY_FAMILY, _compress.LIBRARY_VERSION)
+    library.add(_compress.FUNCTION_SIGNATURE, _compress.deflate)
+    return CaseStudy(
+        name="data-compression",
+        library=library,
+        description=FunctionDescription(
+            _compress.LIBRARY_FAMILY, _compress.LIBRARY_VERSION,
+            _compress.FUNCTION_SIGNATURE,
+        ),
+        input_parser=BytesParser(),
+        result_parser=BytesParser(),
+        # Pure-Python LZ77+Huffman vs. C zlib (~0.17 vs ~18 MB/s).
+        native_factor=110.0,
+        func=_compress.deflate,
+    )
+
+
+def pattern_case_study(rules: list[Rule]) -> CaseStudy:
+    """Case 3: packet scanning via libpcre over a compiled ruleset.
+
+    The ruleset fingerprint is folded into the description's version so
+    results never leak across different rule databases.
+    """
+    scan, version = _pattern.make_scan_function(rules)
+    library = TrustedLibrary(_pattern.LIBRARY_FAMILY, version)
+    library.add(_pattern.FUNCTION_SIGNATURE, scan)
+    return CaseStudy(
+        name="pattern-matching",
+        library=library,
+        description=FunctionDescription(
+            _pattern.LIBRARY_FAMILY, version, _pattern.FUNCTION_SIGNATURE
+        ),
+        input_parser=BytesParser(),
+        result_parser=ListParser(IntParser()),
+        # Our Aho-Corasick prefilter beats the paper's per-rule pcre loop
+        # algorithmically; the factor folds both effects together.
+        native_factor=2.0,
+        func=scan,
+    )
+
+
+def bow_case_study() -> CaseStudy:
+    """Case 4: bag-of-words via the MapReduce framework."""
+    library = TrustedLibrary(_mapreduce.LIBRARY_FAMILY, _mapreduce.LIBRARY_VERSION)
+    library.add(_mapreduce.FUNCTION_SIGNATURE, _mapreduce.bag_of_words)
+    return CaseStudy(
+        name="bow-computation",
+        library=library,
+        description=FunctionDescription(
+            _mapreduce.LIBRARY_FAMILY, _mapreduce.LIBRARY_VERSION,
+            _mapreduce.FUNCTION_SIGNATURE,
+        ),
+        input_parser=TextParser(),
+        result_parser=MappingParser(IntParser()),
+        # Python dict shuffle vs. the C++ MapReduce library.
+        native_factor=6.0,
+        func=_mapreduce.bag_of_words,
+    )

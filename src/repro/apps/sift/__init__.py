@@ -1,0 +1,37 @@
+"""Case study 1: SIFT feature extraction (libsiftpp substitute).
+
+A from-scratch Lowe-2004 SIFT pipeline on numpy: scale space
+(:mod:`.pyramid`), keypoint detection (:mod:`.keypoints`), orientation +
+descriptors (:mod:`.descriptors`), and the top-level ``sift()``
+(:mod:`.sift`).
+"""
+
+from .gaussian import gaussian_blur, gaussian_kernel, gradients
+from .keypoints import DetectorConfig, Keypoint, detect_keypoints
+from .pyramid import PyramidConfig, ScaleSpace, build_scale_space
+from .sift import (
+    FUNCTION_SIGNATURE,
+    LIBRARY_FAMILY,
+    LIBRARY_VERSION,
+    SiftConfig,
+    match_descriptors,
+    sift,
+)
+
+__all__ = [
+    "DetectorConfig",
+    "FUNCTION_SIGNATURE",
+    "Keypoint",
+    "LIBRARY_FAMILY",
+    "LIBRARY_VERSION",
+    "PyramidConfig",
+    "ScaleSpace",
+    "SiftConfig",
+    "build_scale_space",
+    "detect_keypoints",
+    "gaussian_blur",
+    "gaussian_kernel",
+    "gradients",
+    "match_descriptors",
+    "sift",
+]

@@ -1,0 +1,122 @@
+"""Orientation assignment and 128-D descriptor extraction (Lowe §5-6).
+
+Orientations come from a 36-bin gradient histogram around the keypoint;
+descriptors are the classic 4x4 spatial grid of 8-bin orientation
+histograms, rotated to the keypoint orientation, normalised, clamped at
+0.2, renormalised, and quantised to uint8.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .gaussian import gradients
+from .keypoints import Keypoint
+from .pyramid import ScaleSpace
+
+N_ORIENTATION_BINS = 36
+DESCRIPTOR_GRID = 4
+DESCRIPTOR_BINS = 8
+DESCRIPTOR_SIZE = DESCRIPTOR_GRID * DESCRIPTOR_GRID * DESCRIPTOR_BINS
+
+
+def _octave_gradients(space: ScaleSpace, cache: dict, octave: int, interval: int):
+    key = (octave, interval)
+    if key not in cache:
+        cache[key] = gradients(space.gaussians[octave][interval])
+    return cache[key]
+
+
+def assign_orientation(
+    space: ScaleSpace, keypoint: Keypoint, cache: dict
+) -> float:
+    """Dominant gradient orientation (radians in [-pi, pi))."""
+    magnitude, orientation = _octave_gradients(space, cache, keypoint.octave, keypoint.interval)
+    h, w = magnitude.shape
+    scale_factor = 2.0**keypoint.octave
+    cy = int(round(keypoint.y / scale_factor))
+    cx = int(round(keypoint.x / scale_factor))
+    sigma = 1.5 * keypoint.sigma / scale_factor
+    radius = max(2, int(round(3.0 * sigma)))
+
+    y0, y1 = max(1, cy - radius), min(h - 1, cy + radius + 1)
+    x0, x1 = max(1, cx - radius), min(w - 1, cx + radius + 1)
+    if y0 >= y1 or x0 >= x1:
+        return 0.0
+    mag = magnitude[y0:y1, x0:x1]
+    ori = orientation[y0:y1, x0:x1]
+    yy, xx = np.mgrid[y0:y1, x0:x1]
+    weight = np.exp(-((yy - cy) ** 2 + (xx - cx) ** 2) / (2.0 * sigma * sigma))
+
+    bins = ((ori + np.pi) / (2 * np.pi) * N_ORIENTATION_BINS).astype(np.int64) % N_ORIENTATION_BINS
+    hist = np.bincount(bins.ravel(), weights=(mag * weight).ravel(), minlength=N_ORIENTATION_BINS)
+    # Circular smoothing stabilises the peak.
+    smoothed = (np.roll(hist, 1) + hist + np.roll(hist, -1)) / 3.0
+    peak = int(np.argmax(smoothed))
+    # Parabolic interpolation of the peak bin.
+    left = smoothed[(peak - 1) % N_ORIENTATION_BINS]
+    right = smoothed[(peak + 1) % N_ORIENTATION_BINS]
+    denom = left - 2 * smoothed[peak] + right
+    shift = 0.0 if abs(denom) < 1e-12 else 0.5 * (left - right) / denom
+    angle = (peak + shift + 0.5) / N_ORIENTATION_BINS * 2 * np.pi - np.pi
+    return float(angle)
+
+
+def compute_descriptor(
+    space: ScaleSpace, keypoint: Keypoint, angle: float, cache: dict
+) -> np.ndarray:
+    """The 128-byte SIFT descriptor for one oriented keypoint."""
+    magnitude, orientation = _octave_gradients(space, cache, keypoint.octave, keypoint.interval)
+    h, w = magnitude.shape
+    scale_factor = 2.0**keypoint.octave
+    cy = keypoint.y / scale_factor
+    cx = keypoint.x / scale_factor
+    sigma = keypoint.sigma / scale_factor
+    # Each of the 4x4 cells spans 3·sigma pixels.
+    cell = 3.0 * sigma
+    radius = int(round(cell * (DESCRIPTOR_GRID + 1) * np.sqrt(2) / 2.0))
+    radius = max(4, min(radius, max(h, w)))
+
+    y0, y1 = max(1, int(cy) - radius), min(h - 1, int(cy) + radius + 1)
+    x0, x1 = max(1, int(cx) - radius), min(w - 1, int(cx) + radius + 1)
+    hist = np.zeros((DESCRIPTOR_GRID, DESCRIPTOR_GRID, DESCRIPTOR_BINS), dtype=np.float64)
+    if y0 >= y1 or x0 >= x1:
+        return hist.ravel().astype(np.uint8)
+
+    mag = magnitude[y0:y1, x0:x1]
+    ori = orientation[y0:y1, x0:x1] - angle
+    yy, xx = np.mgrid[y0:y1, x0:x1]
+    dy = (yy - cy).astype(np.float64)
+    dx = (xx - cx).astype(np.float64)
+    # Rotate sample offsets into the keypoint frame.
+    cos_a, sin_a = np.cos(angle), np.sin(angle)
+    ry = -sin_a * dx + cos_a * dy
+    rx = cos_a * dx + sin_a * dy
+    # Continuous cell coordinates in [0, 4).
+    cell_y = ry / cell + DESCRIPTOR_GRID / 2.0 - 0.5
+    cell_x = rx / cell + DESCRIPTOR_GRID / 2.0 - 0.5
+    valid = (
+        (cell_y > -1) & (cell_y < DESCRIPTOR_GRID)
+        & (cell_x > -1) & (cell_x < DESCRIPTOR_GRID)
+    )
+    if not np.any(valid):
+        return hist.ravel().astype(np.uint8)
+
+    weight = np.exp(-(rx**2 + ry**2) / (2.0 * (0.5 * DESCRIPTOR_GRID * cell) ** 2))
+    contributions = (mag * weight)[valid]
+    by = np.clip(np.round(cell_y[valid]).astype(np.int64), 0, DESCRIPTOR_GRID - 1)
+    bx = np.clip(np.round(cell_x[valid]).astype(np.int64), 0, DESCRIPTOR_GRID - 1)
+    bo = (
+        ((ori[valid] + 2 * np.pi) % (2 * np.pi)) / (2 * np.pi) * DESCRIPTOR_BINS
+    ).astype(np.int64) % DESCRIPTOR_BINS
+    np.add.at(hist, (by, bx, bo), contributions)
+
+    vec = hist.ravel()
+    norm = np.linalg.norm(vec)
+    if norm > 1e-12:
+        vec = vec / norm
+    vec = np.minimum(vec, 0.2)
+    norm = np.linalg.norm(vec)
+    if norm > 1e-12:
+        vec = vec / norm
+    return np.clip(np.round(vec * 512.0), 0, 255).astype(np.uint8)

@@ -1,0 +1,61 @@
+"""Separable Gaussian filtering on numpy arrays.
+
+The building block of the SIFT scale space.  Implemented with reflected
+padding and shifted-slice accumulation, so the only dependency is numpy
+(the library's single runtime dependency).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import SpeedError
+
+
+def gaussian_kernel(sigma: float) -> np.ndarray:
+    """Normalised 1-D Gaussian kernel with radius ``ceil(3·sigma)``."""
+    if sigma <= 0:
+        raise SpeedError("sigma must be positive")
+    radius = max(1, int(np.ceil(3.0 * sigma)))
+    xs = np.arange(-radius, radius + 1, dtype=np.float64)
+    kernel = np.exp(-(xs**2) / (2.0 * sigma * sigma))
+    return kernel / kernel.sum()
+
+
+def _convolve_axis(image: np.ndarray, kernel: np.ndarray, axis: int) -> np.ndarray:
+    radius = len(kernel) // 2
+    pad = [(0, 0), (0, 0)]
+    pad[axis] = (radius, radius)
+    padded = np.pad(image, pad, mode="reflect")
+    out = np.zeros_like(image, dtype=np.float64)
+    length = image.shape[axis]
+    for k, weight in enumerate(kernel):
+        if axis == 0:
+            out += weight * padded[k:k + length, :]
+        else:
+            out += weight * padded[:, k:k + length]
+    return out
+
+
+def gaussian_blur(image: np.ndarray, sigma: float) -> np.ndarray:
+    """Blur a 2-D float image with a separable Gaussian."""
+    if image.ndim != 2:
+        raise SpeedError("gaussian_blur expects a 2-D image")
+    kernel = gaussian_kernel(sigma)
+    return _convolve_axis(_convolve_axis(image.astype(np.float64), kernel, 0), kernel, 1)
+
+
+def downsample2(image: np.ndarray) -> np.ndarray:
+    """Take every second pixel (the SIFT octave step)."""
+    return image[::2, ::2]
+
+
+def gradients(image: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Central-difference gradient magnitude and orientation (radians)."""
+    dy = np.zeros_like(image)
+    dx = np.zeros_like(image)
+    dy[1:-1, :] = (image[2:, :] - image[:-2, :]) / 2.0
+    dx[:, 1:-1] = (image[:, 2:] - image[:, :-2]) / 2.0
+    magnitude = np.hypot(dx, dy)
+    orientation = np.arctan2(dy, dx)  # [-pi, pi]
+    return magnitude, orientation

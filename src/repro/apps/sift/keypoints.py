@@ -1,0 +1,140 @@
+"""Keypoint detection: DoG extrema, subpixel refinement, edge rejection.
+
+Lowe (2004) §3-4: candidate keypoints are 26-neighbourhood extrema in
+the DoG stack; a 3-D quadratic fit refines their position and rejects
+low-contrast points; the 2x2 Hessian ratio test rejects edge responses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .pyramid import ScaleSpace
+
+
+@dataclass(frozen=True)
+class Keypoint:
+    """A detected scale-space keypoint (octave-local coordinates kept
+    alongside absolute image coordinates)."""
+
+    x: float           # absolute column in the input image
+    y: float           # absolute row in the input image
+    octave: int
+    interval: int      # DoG interval index the extremum refined into
+    sigma: float       # absolute scale
+    response: float    # |DoG| at the refined extremum
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    contrast_threshold: float = 0.008
+    edge_ratio: float = 10.0
+    border: int = 5
+    max_refine_steps: int = 5
+
+
+def _local_extrema_mask(prev: np.ndarray, cur: np.ndarray, nxt: np.ndarray,
+                        threshold: float) -> np.ndarray:
+    """Boolean mask of pixels that beat all 26 neighbours (vectorised)."""
+    c = cur[1:-1, 1:-1]
+    candidates = np.abs(c) > threshold
+    is_max = np.ones_like(candidates)
+    is_min = np.ones_like(candidates)
+    for layer in (prev, cur, nxt):
+        for dy in (0, 1, 2):
+            for dx in (0, 1, 2):
+                if layer is cur and dy == 1 and dx == 1:
+                    continue
+                window = layer[dy:dy + c.shape[0], dx:dx + c.shape[1]]
+                is_max &= c > window
+                is_min &= c < window
+    mask = np.zeros_like(cur, dtype=bool)
+    mask[1:-1, 1:-1] = candidates & (is_max | is_min)
+    return mask
+
+
+def _refine(dogs: list[np.ndarray], interval: int, y: int, x: int,
+            config: DetectorConfig) -> tuple[float, float, float, float] | None:
+    """Quadratic subpixel refinement; returns (y, x, ds, value) or None."""
+    h, w = dogs[0].shape
+    for _ in range(config.max_refine_steps):
+        prev, cur, nxt = dogs[interval - 1], dogs[interval], dogs[interval + 1]
+        # Gradient and Hessian of D at (interval, y, x).
+        dD = np.array([
+            (cur[y, x + 1] - cur[y, x - 1]) / 2.0,
+            (cur[y + 1, x] - cur[y - 1, x]) / 2.0,
+            (nxt[y, x] - prev[y, x]) / 2.0,
+        ])
+        dxx = cur[y, x + 1] - 2 * cur[y, x] + cur[y, x - 1]
+        dyy = cur[y + 1, x] - 2 * cur[y, x] + cur[y - 1, x]
+        dss = nxt[y, x] - 2 * cur[y, x] + prev[y, x]
+        dxy = (cur[y + 1, x + 1] - cur[y + 1, x - 1] - cur[y - 1, x + 1] + cur[y - 1, x - 1]) / 4.0
+        dxs = (nxt[y, x + 1] - nxt[y, x - 1] - prev[y, x + 1] + prev[y, x - 1]) / 4.0
+        dys = (nxt[y + 1, x] - nxt[y - 1, x] - prev[y + 1, x] + prev[y - 1, x]) / 4.0
+        hessian = np.array([[dxx, dxy, dxs], [dxy, dyy, dys], [dxs, dys, dss]])
+        try:
+            offset = -np.linalg.solve(hessian, dD)
+        except np.linalg.LinAlgError:
+            return None
+        if np.all(np.abs(offset) < 0.5):
+            value = cur[y, x] + 0.5 * dD.dot(offset)
+            # Edge rejection on the 2x2 spatial Hessian.
+            trace = dxx + dyy
+            det = dxx * dyy - dxy * dxy
+            r = config.edge_ratio
+            if det <= 0 or trace * trace * r >= det * (r + 1) ** 2:
+                return None
+            if abs(value) < config.contrast_threshold:
+                return None
+            return (y + offset[1], x + offset[0], interval + offset[2], value)
+        # Step towards the true extremum and retry.
+        x += int(round(float(offset[0])))
+        y += int(round(float(offset[1])))
+        interval += int(round(float(offset[2])))
+        if not (1 <= interval < len(dogs) - 1):
+            return None
+        if not (config.border <= y < h - config.border):
+            return None
+        if not (config.border <= x < w - config.border):
+            return None
+    return None
+
+
+def detect_keypoints(space: ScaleSpace, config: DetectorConfig | None = None) -> list[Keypoint]:
+    """Find refined, filtered keypoints across all octaves."""
+    config = config or DetectorConfig()
+    s = space.config.scales_per_octave
+    k = 2.0 ** (1.0 / s)
+    keypoints: list[Keypoint] = []
+    for octave, dogs in enumerate(space.dogs):
+        scale_factor = 2.0**octave
+        for interval in range(1, len(dogs) - 1):
+            mask = _local_extrema_mask(
+                dogs[interval - 1], dogs[interval], dogs[interval + 1],
+                0.5 * config.contrast_threshold,
+            )
+            border = config.border
+            mask[:border, :] = mask[-border:, :] = False
+            mask[:, :border] = mask[:, -border:] = False
+            ys, xs = np.nonzero(mask)
+            for y, x in zip(ys.tolist(), xs.tolist()):
+                refined = _refine(dogs, interval, y, x, config)
+                if refined is None:
+                    continue
+                ry, rx, rs, value = refined
+                sigma = space.config.base_sigma * (k**rs) * scale_factor
+                keypoints.append(
+                    Keypoint(
+                        x=rx * scale_factor,
+                        y=ry * scale_factor,
+                        octave=octave,
+                        interval=interval,
+                        sigma=float(sigma),
+                        response=float(abs(value)),
+                    )
+                )
+    # Canonical deterministic order: position, then scale.
+    keypoints.sort(key=lambda p: (p.y, p.x, p.sigma))
+    return keypoints

@@ -1,0 +1,73 @@
+"""The top-level SIFT entry point — the ``sift(·)`` of libsiftpp.
+
+The paper's Case 1 deduplicates the ``sift()`` call of libsiftpp, a
+lightweight C++ SIFT.  This module is our from-scratch equivalent: it
+takes a grayscale image and returns an ``(N, 132)`` float64 array whose
+rows are ``(x, y, sigma, orientation, descriptor[128])`` — deterministic
+for a given input, which is what computation deduplication requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .descriptors import DESCRIPTOR_SIZE, assign_orientation, compute_descriptor
+from .keypoints import DetectorConfig, detect_keypoints
+from .pyramid import PyramidConfig, build_scale_space
+
+LIBRARY_FAMILY = "libsiftpp"
+LIBRARY_VERSION = "0.9.0"
+FUNCTION_SIGNATURE = "ndarray sift(ndarray image)"
+
+
+@dataclass(frozen=True)
+class SiftConfig:
+    pyramid: PyramidConfig = PyramidConfig()
+    detector: DetectorConfig = DetectorConfig()
+    max_keypoints: int = 2000
+
+
+def sift(image: np.ndarray, config: SiftConfig | None = None) -> np.ndarray:
+    """Extract SIFT keypoints + descriptors from a grayscale image.
+
+    Returns an ``(N, 4 + 128)`` float64 array sorted in a canonical
+    (deterministic) order.  ``N`` may be zero for featureless inputs.
+    """
+    config = config or SiftConfig()
+    space = build_scale_space(image, config.pyramid)
+    keypoints = detect_keypoints(space, config.detector)
+    if config.max_keypoints and len(keypoints) > config.max_keypoints:
+        keypoints = sorted(keypoints, key=lambda p: -p.response)[: config.max_keypoints]
+        keypoints.sort(key=lambda p: (p.y, p.x, p.sigma))
+
+    gradient_cache: dict = {}
+    rows = np.zeros((len(keypoints), 4 + DESCRIPTOR_SIZE), dtype=np.float64)
+    for i, keypoint in enumerate(keypoints):
+        angle = assign_orientation(space, keypoint, gradient_cache)
+        descriptor = compute_descriptor(space, keypoint, angle, gradient_cache)
+        rows[i, 0] = keypoint.x
+        rows[i, 1] = keypoint.y
+        rows[i, 2] = keypoint.sigma
+        rows[i, 3] = angle
+        rows[i, 4:] = descriptor
+    return rows
+
+
+def match_descriptors(a: np.ndarray, b: np.ndarray, ratio: float = 0.8) -> list[tuple[int, int]]:
+    """Lowe's ratio-test matcher — used by the image-service example."""
+    if len(a) == 0 or len(b) < 2:
+        return []
+    da = a[:, 4:]
+    db = b[:, 4:]
+    matches = []
+    # Squared Euclidean distances, vectorised per query row.
+    db_sq = np.sum(db * db, axis=1)
+    for i in range(len(da)):
+        dists = db_sq - 2.0 * db.dot(da[i]) + da[i].dot(da[i])
+        order = np.argsort(dists)
+        best, second = order[0], order[1]
+        if dists[best] < (ratio**2) * dists[second]:
+            matches.append((i, int(best)))
+    return matches

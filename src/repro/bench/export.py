@@ -1,0 +1,65 @@
+"""CSV export for experiment results.
+
+Every ``run_*`` function in :mod:`repro.bench.harness` returns a list of
+frozen dataclass rows; this module turns any such list into a CSV file
+so the paper's figures can be re-plotted with external tooling::
+
+    python -m repro.bench fig6 --csv out/
+    # -> out/fig6.csv
+
+Derived properties declared on the row classes (``speedup``,
+``init_relative``, ...) are exported as additional columns.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import io
+import pathlib
+from typing import Sequence
+
+
+def _property_names(row) -> list[str]:
+    cls = type(row)
+    return [
+        name for name in dir(cls)
+        if isinstance(getattr(cls, name, None), property)
+    ]
+
+
+def _cell(value) -> object:
+    if isinstance(value, float):
+        return f"{value:.9g}"
+    if isinstance(value, bytes):
+        return value.hex()
+    if isinstance(value, dict):
+        return ";".join(f"{k}={_cell(v)}" for k, v in sorted(value.items()))
+    return value
+
+
+def rows_to_csv(rows: Sequence) -> str:
+    """Render a list of dataclass rows as CSV text."""
+    if not rows:
+        return ""
+    first = rows[0]
+    if not dataclasses.is_dataclass(first):
+        raise TypeError(f"expected dataclass rows, got {type(first).__name__}")
+    field_names = [f.name for f in dataclasses.fields(first)]
+    extra = _property_names(first)
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(field_names + extra)
+    for row in rows:
+        values = [_cell(getattr(row, name)) for name in field_names]
+        values += [_cell(getattr(row, name)) for name in extra]
+        writer.writerow(values)
+    return buffer.getvalue()
+
+
+def write_csv(rows: Sequence, path: str | pathlib.Path) -> pathlib.Path:
+    """Write rows to ``path`` (parent directories created); returns it."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(rows_to_csv(rows))
+    return path

@@ -1,0 +1,966 @@
+"""Experiment harness: one runner per table/figure of the paper.
+
+Each ``run_*`` function regenerates one artifact of the evaluation
+section (see DESIGN.md §4 for the experiment index) and returns
+structured rows; ``print_*`` wrappers render them like the paper's
+tables.  All runners are deterministic under their seeds.
+
+Timing convention: ``sim_*`` fields are seconds on the calibrated
+virtual clock (the series whose *shape* should match the paper);
+``wall_*`` fields are honest Python wall-clock seconds.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from .reporting import format_table, human_size
+from ..apps.registry import (
+    CaseStudy,
+    bow_case_study,
+    compress_case_study,
+    pattern_case_study,
+    sift_case_study,
+)
+from ..baselines.presets import (
+    no_dedup_runtime_config,
+    single_key_runtime_config,
+)
+from ..baselines.unic import UnicRuntime, UnicStore
+from ..core.runtime import RuntimeConfig
+from ..core.scheme import CHALLENGE_SIZE, KEY_SIZE, CrossAppScheme
+from ..core.tag import derive_locking_hash, derive_tag
+from ..crypto import gcm
+from ..crypto.drbg import HmacDrbg
+from ..crypto.hashes import sha256
+from ..deployment import Deployment
+from ..errors import SpeedError
+from ..net.messages import GetRequest, PutRequest
+from ..sgx.cost_model import SimClock
+from ..store.resultstore import StoreConfig
+from ..workloads import (
+    generate_rules,
+    packet_trace,
+    synthetic_image,
+    synthetic_text,
+    synthetic_webpage,
+)
+
+KB = 1024
+MB = 1024 * 1024
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5 — relative running time of the four applications
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Fig5Row:
+    label: str
+    sim_baseline_s: float
+    sim_init_s: float
+    sim_subsq_s: float
+    wall_baseline_s: float
+    wall_init_s: float
+    wall_subsq_s: float
+
+    @property
+    def init_relative(self) -> float:
+        """Init. Comp. running time relative to baseline (Fig. 5 y-axis)."""
+        return 100.0 * self.sim_init_s / self.sim_baseline_s
+
+    @property
+    def subsq_relative(self) -> float:
+        return 100.0 * self.sim_subsq_s / self.sim_baseline_s
+
+    @property
+    def speedup(self) -> float:
+        return self.sim_baseline_s / self.sim_subsq_s if self.sim_subsq_s else float("inf")
+
+
+def _measure_case(
+    case: CaseStudy, input_value: Any, seed: bytes, trials: int
+) -> Fig5Row | None:
+    """Measure baseline / initial / subsequent for one input."""
+
+    def mean(values: list[float]) -> float:
+        return sum(values) / len(values)
+
+    sim_base, wall_base = [], []
+    sim_init, wall_init = [], []
+    sim_subsq, wall_subsq = [], []
+
+    # Warm caches/JIT paths so wall-clock compute is comparable across
+    # the baseline/init measurements (the compute term feeds the sim clock).
+    case.func(input_value)
+
+    for trial in range(trials):
+        trial_seed = seed + trial.to_bytes(2, "big")
+
+        # Baseline: without SPEED.
+        from ..core.description import TrustedLibraryRegistry
+
+        libs = TrustedLibraryRegistry()
+        case.register_into(libs)
+        d_base = Deployment(seed=trial_seed + b"/base")
+        app = d_base.create_application(
+            "baseline", libs, no_dedup_runtime_config("baseline")
+        )
+        case.deduplicable(app)(input_value)
+        record = app.runtime.stats.records[-1]
+        sim_base.append(record.sim_seconds)
+        wall_base.append(record.wall_seconds)
+
+        # Initial computation: SPEED with an empty store, synchronous PUT
+        # (the paper's Init. Comp. includes "the time for secure storing
+        # [the] result").
+        libs2 = TrustedLibraryRegistry()
+        case.register_into(libs2)
+        d = Deployment(seed=trial_seed + b"/speed")
+        app1 = d.create_application(
+            "app-initial", libs2, RuntimeConfig(app_id="app-initial", async_put=False)
+        )
+        case.deduplicable(app1)(input_value)
+        record = app1.runtime.stats.records[-1]
+        sim_init.append(record.sim_seconds)
+        wall_init.append(record.wall_seconds)
+
+        # Subsequent computation: a second application, same computation.
+        libs3 = TrustedLibraryRegistry()
+        case.register_into(libs3)
+        app2 = d.create_application("app-subsq", libs3)
+        case.deduplicable(app2)(input_value)
+        record = app2.runtime.stats.records[-1]
+        if not record.hit:
+            raise SpeedError("subsequent computation unexpectedly missed the store")
+        sim_subsq.append(record.sim_seconds)
+        wall_subsq.append(record.wall_seconds)
+
+    return Fig5Row(
+        label="",
+        sim_baseline_s=mean(sim_base),
+        sim_init_s=mean(sim_init),
+        sim_subsq_s=mean(sim_subsq),
+        wall_baseline_s=mean(wall_base),
+        wall_init_s=mean(wall_init),
+        wall_subsq_s=mean(wall_subsq),
+    )
+
+
+def _run_fig5(
+    case_factory: Callable[[], CaseStudy],
+    labeled_inputs: list[tuple[str, Any]],
+    trials: int,
+    seed: bytes,
+) -> list[Fig5Row]:
+    rows = []
+    for label, value in labeled_inputs:
+        case = case_factory()
+        row = _measure_case(case, value, seed + label.encode(), trials)
+        rows.append(
+            Fig5Row(
+                label=label,
+                sim_baseline_s=row.sim_baseline_s,
+                sim_init_s=row.sim_init_s,
+                sim_subsq_s=row.sim_subsq_s,
+                wall_baseline_s=row.wall_baseline_s,
+                wall_init_s=row.wall_init_s,
+                wall_subsq_s=row.wall_subsq_s,
+            )
+        )
+    return rows
+
+
+def run_fig5a_sift(sizes: list[int] | None = None, trials: int = 1, seed: int = 7) -> list[Fig5Row]:
+    """Fig. 5(a): SIFT feature extraction under different image sizes."""
+    sizes = sizes or [96, 128, 192, 256]
+    inputs = [(f"{s}px", synthetic_image(s, seed=seed)) for s in sizes]
+    return _run_fig5(sift_case_study, inputs, trials, b"fig5a")
+
+
+def run_fig5b_compress(sizes: list[int] | None = None, trials: int = 1, seed: int = 7) -> list[Fig5Row]:
+    """Fig. 5(b): zlib-style compression under different text sizes."""
+    sizes = sizes or [16 * KB, 64 * KB, 128 * KB, 256 * KB]
+    inputs = [(human_size(s), synthetic_text(s, seed=seed)) for s in sizes]
+    return _run_fig5(compress_case_study, inputs, trials, b"fig5b")
+
+
+def run_fig5c_pattern(
+    payload_sizes: list[int] | None = None,
+    n_rules: int = 3700,
+    trials: int = 1,
+    seed: int = 7,
+) -> list[Fig5Row]:
+    """Fig. 5(c): packet scanning against the full ruleset."""
+    payload_sizes = payload_sizes or [256, 512, 1024, 2048]
+    rules = generate_rules(n_rules, seed=seed)
+    inputs = []
+    for size in payload_sizes:
+        payload = packet_trace(1, payload_size=size, duplicate_fraction=0.0, seed=seed + size)[0]
+        inputs.append((human_size(len(payload)), payload))
+    return _run_fig5(lambda: pattern_case_study(rules), inputs, trials, b"fig5c")
+
+
+def run_fig5d_bow(word_counts: list[int] | None = None, trials: int = 1, seed: int = 7) -> list[Fig5Row]:
+    """Fig. 5(d): BoW computation under different page sizes."""
+    word_counts = word_counts or [2000, 4000, 8000, 16000]
+    inputs = [(f"{n}w", synthetic_webpage(n, seed=seed)) for n in word_counts]
+    return _run_fig5(bow_case_study, inputs, trials, b"fig5d")
+
+
+def print_fig5(title: str, rows: list[Fig5Row]) -> str:
+    headers = [
+        "input", "base sim(s)", "init sim(s)", "subsq sim(s)",
+        "init rel%", "subsq rel%", "speedup", "base wall(s)", "subsq wall(s)",
+    ]
+    table = [
+        [
+            r.label, r.sim_baseline_s, r.sim_init_s, r.sim_subsq_s,
+            r.init_relative, r.subsq_relative, r.speedup,
+            r.wall_baseline_s, r.wall_subsq_s,
+        ]
+        for r in rows
+    ]
+    return format_table(title, headers, table)
+
+
+# ---------------------------------------------------------------------------
+# Table I — cryptographic operations in DedupRuntime
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Table1Row:
+    input_bytes: int
+    sim_ms: dict[str, float]
+    wall_ms: dict[str, float]
+
+
+TABLE1_OPS = ["tag_gen", "key_gen", "key_rec", "result_enc", "result_dec"]
+
+
+def run_table1(sizes: list[int] | None = None, trials: int = 3, seed: int = 11) -> list[Table1Row]:
+    """Table I: Tag Gen / Key Gen / Key Rec / Result Enc / Result Dec."""
+    sizes = sizes or [1 * KB, 10 * KB, 100 * KB, 1 * MB]
+    drbg = HmacDrbg(seed.to_bytes(4, "big"), b"table1")
+    func_identity = drbg.generate(32)
+    rows = []
+    for size in sizes:
+        data = drbg.generate(16) * (size // 16 + 1)
+        data = data[:size]
+        sim_acc = {op: 0.0 for op in TABLE1_OPS}
+        wall_acc = {op: 0.0 for op in TABLE1_OPS}
+        for _ in range(trials):
+            clock = SimClock()
+
+            def timed(op: str, fn: Callable[[], Any]) -> Any:
+                start_wall = time.perf_counter()
+                start_sim = clock.snapshot()
+                out = fn()
+                wall_acc[op] += time.perf_counter() - start_wall
+                sim_acc[op] += clock.since(start_sim) / clock.params.cpu_freq_hz
+                return out
+
+            tag = timed("tag_gen", lambda: derive_tag(func_identity, data, clock))
+
+            challenge = drbg.generate(CHALLENGE_SIZE)
+            key = drbg.generate(KEY_SIZE)
+            iv = drbg.generate(12)
+
+            def key_gen():
+                locking = derive_locking_hash(func_identity, data, challenge, clock)
+                clock.charge_keygen()
+                return bytes(a ^ b for a, b in zip(key, locking[:KEY_SIZE]))
+
+            wrapped = timed("key_gen", key_gen)
+
+            def key_rec():
+                locking = derive_locking_hash(func_identity, data, challenge, clock)
+                return bytes(a ^ b for a, b in zip(wrapped, locking[:KEY_SIZE]))
+
+            recovered = timed("key_rec", key_rec)
+            assert recovered == key
+
+            def result_enc():
+                clock.charge_aead_encrypt(len(data))
+                return gcm.seal(key, iv, data, aad=tag)
+
+            sealed = timed("result_enc", result_enc)
+
+            def result_dec():
+                clock.charge_aead_decrypt(len(sealed))
+                return gcm.open_(key, sealed, aad=tag)
+
+            plain = timed("result_dec", result_dec)
+            assert plain == data
+        rows.append(
+            Table1Row(
+                input_bytes=size,
+                sim_ms={op: sim_acc[op] / trials * 1000 for op in TABLE1_OPS},
+                wall_ms={op: wall_acc[op] / trials * 1000 for op in TABLE1_OPS},
+            )
+        )
+    return rows
+
+
+def print_table1(rows: list[Table1Row]) -> str:
+    headers = ["Input", "Tag Gen.", "Key Gen.", "Key Rec.", "Res Enc.", "Res Dec."]
+    sim_rows = [
+        [human_size(r.input_bytes)] + [r.sim_ms[op] for op in TABLE1_OPS] for r in rows
+    ]
+    wall_rows = [
+        [human_size(r.input_bytes)] + [r.wall_ms[op] for op in TABLE1_OPS] for r in rows
+    ]
+    return (
+        format_table("Table I (simulated, ms)", headers, sim_rows)
+        + "\n\n"
+        + format_table("Table I (measured wall, ms)", headers, wall_rows)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 6 — ResultStore throughput (with and without SGX)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Fig6Row:
+    size_bytes: int
+    use_sgx: bool
+    put_total_sim_s: float
+    get_total_sim_s: float
+    put_total_wall_s: float
+    get_total_wall_s: float
+    ops: int
+
+
+def run_fig6(
+    sizes: list[int] | None = None, ops: int = 100, seed: int = 13
+) -> list[Fig6Row]:
+    """Fig. 6: time to process ``ops`` PUTs and GETs of each size, with
+    the store enclave enabled and disabled ("the incoming data are all
+    different")."""
+    sizes = sizes or [1 * KB, 10 * KB, 100 * KB, 1 * MB]
+    rows = []
+    for use_sgx in (True, False):
+        for size in sizes:
+            d = Deployment(
+                seed=b"fig6" + bytes([use_sgx]) + size.to_bytes(4, "big"),
+                store_config=StoreConfig(use_sgx=use_sgx),
+            )
+            if use_sgx:
+                bench_enclave = d.platform.create_enclave("fig6-client", b"fig6-client-code")
+            else:
+                bench_enclave = None
+            client = d.store.connect("fig6-client-addr", app_enclave=bench_enclave)
+            drbg = HmacDrbg(seed.to_bytes(4, "big"), b"fig6")
+            base = drbg.generate(4096)
+            payloads = []
+            for i in range(ops):
+                tag = sha256(b"fig6-tag" + i.to_bytes(4, "big") + bytes([use_sgx]) + size.to_bytes(4, "big"))
+                body = (base * (size // len(base) + 1))[:size - 8] + i.to_bytes(8, "big")
+                payloads.append(
+                    PutRequest(
+                        tag=tag,
+                        challenge=drbg.generate(CHALLENGE_SIZE),
+                        wrapped_key=drbg.generate(KEY_SIZE),
+                        sealed_result=body,
+                        app_id="fig6",
+                    )
+                )
+
+            clock = d.clock
+            wall0, sim0 = time.perf_counter(), clock.snapshot()
+            for put in payloads:
+                client.call(put)
+            put_wall = time.perf_counter() - wall0
+            put_sim = clock.since(sim0) / clock.params.cpu_freq_hz
+
+            wall0, sim0 = time.perf_counter(), clock.snapshot()
+            for put in payloads:
+                response = client.call(GetRequest(tag=put.tag, app_id="fig6"))
+                assert response.found
+            get_wall = time.perf_counter() - wall0
+            get_sim = clock.since(sim0) / clock.params.cpu_freq_hz
+
+            rows.append(
+                Fig6Row(
+                    size_bytes=size,
+                    use_sgx=use_sgx,
+                    put_total_sim_s=put_sim,
+                    get_total_sim_s=get_sim,
+                    put_total_wall_s=put_wall,
+                    get_total_wall_s=get_wall,
+                    ops=ops,
+                )
+            )
+    return rows
+
+
+def print_fig6(rows: list[Fig6Row]) -> str:
+    headers = ["size", "SGX", "PUT total sim(s)", "GET total sim(s)",
+               "PUT wall(s)", "GET wall(s)", "ops"]
+    table = [
+        [
+            human_size(r.size_bytes), "yes" if r.use_sgx else "no",
+            r.put_total_sim_s, r.get_total_sim_s,
+            r.put_total_wall_s, r.get_total_wall_s, r.ops,
+        ]
+        for r in rows
+    ]
+    return format_table("Fig. 6: ResultStore throughput", headers, table)
+
+
+# ---------------------------------------------------------------------------
+# Ablation A1 — result-protection schemes
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class SchemeRow:
+    scheme: str
+    sim_init_s: float
+    sim_subsq_s: float
+    encrypted_at_rest: bool
+
+
+def run_ablation_schemes(text_bytes: int = 64 * KB, seed: int = 17) -> list[SchemeRow]:
+    """A1: cross-app RCE vs single-key (§III-B) vs UNIC plaintext."""
+    from ..apps.compress import deflate
+    from ..core.description import TrustedLibraryRegistry
+
+    data = synthetic_text(text_bytes, seed=seed)
+    rows = []
+    for name, config_factory, encrypted in (
+        ("cross-app (III-C)", lambda: RuntimeConfig(app_id="a", async_put=False), True),
+        ("single-key (III-B)", lambda: single_key_runtime_config("a"), True),
+    ):
+        case = compress_case_study()
+        libs = TrustedLibraryRegistry()
+        case.register_into(libs)
+        d = Deployment(seed=b"a1" + name.encode())
+        cfg = config_factory()
+        cfg.async_put = False
+        app1 = d.create_application("a1-app1", libs, cfg)
+        case.deduplicable(app1)(data)
+        init = app1.runtime.stats.records[-1].sim_seconds
+
+        libs2 = TrustedLibraryRegistry()
+        case.register_into(libs2)
+        cfg2 = config_factory()
+        app2 = d.create_application("a1-app2", libs2, cfg2)
+        case.deduplicable(app2)(data)
+        subsq = app2.runtime.stats.records[-1].sim_seconds
+        rows.append(SchemeRow(name, init, subsq, encrypted))
+
+    # UNIC plaintext baseline.
+    clock = SimClock()
+    store = UnicStore(mac_key=b"\x01" * 32)
+    unic = UnicRuntime(
+        store, deflate, encode=lambda b: b, decode=lambda b: b,
+        clock=clock, native_factor=300.0,
+    )
+    s0 = clock.snapshot()
+    unic.call(data, data)
+    init = clock.since(s0) / clock.params.cpu_freq_hz
+    s0 = clock.snapshot()
+    unic.call(data, data)
+    subsq = clock.since(s0) / clock.params.cpu_freq_hz
+    rows.append(SchemeRow("UNIC plaintext [16]", init, subsq, False))
+    return rows
+
+
+def print_ablation_schemes(rows: list[SchemeRow]) -> str:
+    headers = ["scheme", "init sim(s)", "subsq sim(s)", "encrypted at rest"]
+    return format_table(
+        "Ablation A1: result-protection schemes",
+        headers,
+        [[r.scheme, r.sim_init_s, r.sim_subsq_s, "yes" if r.encrypted_at_rest else "NO"] for r in rows],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Ablation A2 — synchronous vs asynchronous PUT
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class AsyncPutRow:
+    mode: str
+    sim_init_latency_s: float
+
+
+def run_ablation_async_put(text_bytes: int = 64 * KB, seed: int = 19) -> list[AsyncPutRow]:
+    """A2: initial-computation latency with sync vs async PUT (§V-B)."""
+    from ..core.description import TrustedLibraryRegistry
+
+    data = synthetic_text(text_bytes, seed=seed)
+    rows = []
+    for mode, async_put in (("sync PUT", False), ("async PUT", True)):
+        case = compress_case_study()
+        libs = TrustedLibraryRegistry()
+        case.register_into(libs)
+        d = Deployment(seed=b"a2" + mode.encode())
+        app = d.create_application(
+            "a2-app", libs, RuntimeConfig(app_id="a2-app", async_put=async_put)
+        )
+        case.deduplicable(app)(data)
+        latency = app.runtime.stats.records[-1].sim_seconds
+        app.runtime.flush_puts()
+        rows.append(AsyncPutRow(mode, latency))
+    return rows
+
+
+def print_ablation_async_put(rows: list[AsyncPutRow]) -> str:
+    return format_table(
+        "Ablation A2: PUT on/off the critical path",
+        ["mode", "init latency sim(s)"],
+        [[r.mode, r.sim_init_latency_s] for r in rows],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Ablation A3 — metadata-outside vs results-inside EPC
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class EpcRow:
+    design: str
+    entries: int
+    result_bytes: int
+    page_faults: int
+    sim_total_s: float
+
+
+def run_ablation_epc(
+    n_entries: int = 256,
+    result_bytes: int = 64 * KB,
+    epc_usable: int = 4 * MB,
+    seed: int = 23,
+) -> list[EpcRow]:
+    """A3: why the paper stores ciphertexts outside the enclave.
+
+    Fills a store whose EPC is deliberately small, then sweeps GETs; the
+    blobs-in-EPC variant thrashes while the paper's design stays flat.
+    """
+    rows = []
+    for design, blobs_in_epc in (("metadata-only in EPC (paper)", False),
+                                 ("results inside EPC", True)):
+        d = Deployment(
+            seed=b"a3" + design.encode(),
+            store_config=StoreConfig(use_sgx=True, blobs_in_epc=blobs_in_epc),
+            epc_usable_bytes=epc_usable,
+        )
+        enclave = d.platform.create_enclave("a3-client", b"a3-client-code")
+        client = d.store.connect("a3-client-addr", app_enclave=enclave)
+        drbg = HmacDrbg(seed.to_bytes(4, "big"), b"a3")
+        block = drbg.generate(1024)
+        tags = []
+        for i in range(n_entries):
+            tag = sha256(b"a3" + design.encode() + i.to_bytes(4, "big"))
+            tags.append(tag)
+            body = (block * (result_bytes // len(block) + 1))[:result_bytes - 8] + i.to_bytes(8, "big")
+            client.call(PutRequest(tag=tag, challenge=drbg.generate(32),
+                                   wrapped_key=drbg.generate(16),
+                                   sealed_result=body, app_id="a3"))
+        faults_before = d.platform.epc.fault_count
+        sim0 = d.clock.snapshot()
+        for tag in tags:
+            response = client.call(GetRequest(tag=tag, app_id="a3"))
+            assert response.found
+        sim_total = d.clock.since(sim0) / d.clock.params.cpu_freq_hz
+        rows.append(
+            EpcRow(
+                design=design,
+                entries=n_entries,
+                result_bytes=result_bytes,
+                page_faults=d.platform.epc.fault_count - faults_before,
+                sim_total_s=sim_total,
+            )
+        )
+    return rows
+
+
+def print_ablation_epc(rows: list[EpcRow]) -> str:
+    return format_table(
+        "Ablation A3: EPC pressure (GET sweep)",
+        ["design", "entries", "result size", "page faults", "GET total sim(s)"],
+        [[r.design, r.entries, human_size(r.result_bytes), r.page_faults, r.sim_total_s]
+         for r in rows],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Ablation A4 — DoS quota under a PUT flood
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class QuotaRow:
+    policy: str
+    flood_puts: int
+    accepted_from_attacker: int
+    honest_entries_surviving: int
+
+
+def run_ablation_quota(flood: int = 200, honest: int = 20, seed: int = 29) -> list[QuotaRow]:
+    """A4: a malicious app floods PUTs; quotas cap the damage (§III-D)."""
+    from ..store.quota import QuotaPolicy
+
+    rows = []
+    for policy_name, quota in (
+        ("no quota", None),
+        ("quota: 32 entries/app", QuotaPolicy(max_entries_per_app=32)),
+    ):
+        d = Deployment(
+            seed=b"a4" + policy_name.encode(),
+            store_config=StoreConfig(
+                use_sgx=True, capacity_entries=128, eviction="lru", quota=quota
+            ),
+        )
+        honest_enclave = d.platform.create_enclave("a4-honest", b"a4-honest-code")
+        attacker_enclave = d.platform.create_enclave("a4-attacker", b"a4-attacker-code")
+        honest_client = d.store.connect("a4-honest-addr", app_enclave=honest_enclave)
+        attacker_client = d.store.connect("a4-attacker-addr", app_enclave=attacker_enclave)
+        drbg = HmacDrbg(seed.to_bytes(4, "big"), b"a4")
+
+        honest_tags = []
+        for i in range(honest):
+            tag = sha256(b"a4-honest" + policy_name.encode() + i.to_bytes(4, "big"))
+            honest_tags.append(tag)
+            honest_client.call(PutRequest(tag=tag, challenge=drbg.generate(32),
+                                          wrapped_key=drbg.generate(16),
+                                          sealed_result=drbg.generate(256),
+                                          app_id="honest"))
+        accepted = 0
+        for i in range(flood):
+            tag = sha256(b"a4-flood" + policy_name.encode() + i.to_bytes(4, "big"))
+            put = PutRequest(tag=tag, challenge=drbg.generate(32),
+                             wrapped_key=drbg.generate(16),
+                             sealed_result=drbg.generate(256), app_id="attacker")
+            attacker_client.send_oneway(put)
+        for response in attacker_client.drain_responses():
+            if getattr(response, "accepted", False):
+                accepted += 1
+        surviving = sum(1 for t in honest_tags if d.store.contains(t))
+        rows.append(QuotaRow(policy_name, flood, accepted, surviving))
+    return rows
+
+
+def print_ablation_quota(rows: list[QuotaRow]) -> str:
+    return format_table(
+        "Ablation A4: PUT-flood DoS vs quota",
+        ["policy", "flood PUTs", "accepted from attacker", "honest entries surviving"],
+        [[r.policy, r.flood_puts, r.accepted_from_attacker, r.honest_entries_surviving]
+         for r in rows],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Ablation A5 — adaptive deduplication strategy (paper §VII future work)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class AdaptiveRow:
+    policy: str
+    workload: str
+    calls: int
+    store_gets: int
+    sim_total_s: float
+
+
+def run_ablation_adaptive(calls: int = 40, seed: int = 31) -> list[AdaptiveRow]:
+    """A5: the adaptive policy suppresses lookups on workloads where
+    deduplication does not pay, and leaves profitable workloads alone."""
+    from .. import RuntimeConfig
+    from ..core.adaptive import AdaptiveDedupPolicy
+    from ..core.description import TrustedLibraryRegistry
+
+    rows = []
+    workloads = {
+        # A trivially fast function over all-unique inputs: dedup never pays.
+        "cheap+unique": lambda i: synthetic_text(256, seed=seed + i),
+        # An expensive function over a highly repetitive stream: dedup wins.
+        "slow+repetitive": lambda i: synthetic_text(64 * KB, seed=seed + (i % 3)),
+    }
+    for policy_name, make_policy_obj in (
+        ("always-on", lambda: None),
+        ("adaptive", lambda: AdaptiveDedupPolicy(min_observations=6, probe_interval=20)),
+    ):
+        for workload_name, make_input in workloads.items():
+            case = compress_case_study()
+            libs = TrustedLibraryRegistry()
+            case.register_into(libs)
+            d = Deployment(seed=b"a5" + policy_name.encode() + workload_name.encode())
+            app = d.create_application(
+                "a5-app", libs,
+                RuntimeConfig(app_id="a5-app", adaptive=make_policy_obj()),
+            )
+            dedup = case.deduplicable(app)
+            sim0 = d.clock.snapshot()
+            for i in range(calls):
+                dedup(make_input(i))
+                app.runtime.flush_puts()
+            sim_total = d.clock.since(sim0) / d.clock.params.cpu_freq_hz
+            rows.append(AdaptiveRow(
+                policy=policy_name,
+                workload=workload_name,
+                calls=calls,
+                store_gets=d.store.stats.gets,
+                sim_total_s=sim_total,
+            ))
+    return rows
+
+
+def print_ablation_adaptive(rows: list[AdaptiveRow]) -> str:
+    return format_table(
+        "Ablation A5: adaptive deduplication strategy",
+        ["policy", "workload", "calls", "store GETs", "total sim(s)"],
+        [[r.policy, r.workload, r.calls, r.store_gets, r.sim_total_s] for r in rows],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Ablation A6 — oblivious metadata access (Path ORAM, paper §III-D)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ObliviousRow:
+    design: str
+    ops: int
+    sim_total_s: float
+    oram_accesses: int
+
+
+def run_ablation_oblivious(n_entries: int = 64, gets: int = 128, seed: int = 37) -> list[ObliviousRow]:
+    """A6: the overhead of hiding the metadata access pattern.
+
+    Fills a store and replays a GET workload against the plain dictionary
+    and the Path-ORAM dictionary; the difference is the "extra overhead"
+    the paper anticipated when discussing oblivious memory access.
+    """
+    rows = []
+    for design, oblivious in (("plain dictionary (paper)", False),
+                              ("Path ORAM metadata", True)):
+        d = Deployment(
+            seed=b"a6" + design.encode(),
+            store_config=StoreConfig(
+                oblivious_metadata=oblivious,
+                oblivious_capacity=max(256, 2 * n_entries),
+            ),
+        )
+        enclave = d.platform.create_enclave("a6-client", b"a6-client-code")
+        client = d.store.connect("a6-client-addr", app_enclave=enclave)
+        drbg = HmacDrbg(seed.to_bytes(4, "big"), b"a6")
+        tags = []
+        for i in range(n_entries):
+            tag = sha256(b"a6" + design.encode() + i.to_bytes(4, "big"))
+            tags.append(tag)
+            client.call(PutRequest(tag=tag, challenge=drbg.generate(32),
+                                   wrapped_key=drbg.generate(16),
+                                   sealed_result=drbg.generate(1024), app_id="a6"))
+        sim0 = d.clock.snapshot()
+        for i in range(gets):
+            response = client.call(GetRequest(tag=tags[i % n_entries], app_id="a6"))
+            assert response.found
+        sim_total = d.clock.since(sim0) / d.clock.params.cpu_freq_hz
+        accesses = d.store._dict.oram.accesses if oblivious else 0
+        rows.append(ObliviousRow(design=design, ops=gets,
+                                 sim_total_s=sim_total, oram_accesses=accesses))
+    return rows
+
+
+def print_ablation_oblivious(rows: list[ObliviousRow]) -> str:
+    return format_table(
+        "Ablation A6: oblivious metadata access",
+        ["design", "GET ops", "total sim(s)", "ORAM path accesses"],
+        [[r.design, r.ops, r.sim_total_s, r.oram_accesses] for r in rows],
+    )
+
+
+# ---------------------------------------------------------------------------
+# E9 — incremental processing (the introduction's motivating workload)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class IncrementalRow:
+    epoch: int
+    pages: int
+    new_pages: int
+    hit_rate: float
+    sim_epoch_s: float
+
+
+def run_incremental(
+    epochs: int = 4,
+    pages_per_epoch: int = 12,
+    churn: float = 0.25,
+    seed: int = 41,
+) -> list[IncrementalRow]:
+    """E9: "incrementally updated datasets are constantly being processed
+    by the same or similar computing tasks" (§I).  Re-crawl a page set
+    whose content churns by ``churn`` per epoch; the hit rate climbs to
+    ``1 - churn`` and the per-epoch cost collapses accordingly."""
+    from ..core.description import TrustedLibraryRegistry
+
+    case = bow_case_study()
+    libs = TrustedLibraryRegistry()
+    case.register_into(libs)
+    d = Deployment(seed=b"e9-incremental")
+    app = d.create_application("crawler", libs)
+    dedup = case.deduplicable(app)
+
+    corpus = [synthetic_webpage(600, seed=seed + i) for i in range(pages_per_epoch)]
+    next_fresh = pages_per_epoch
+    rows = []
+    for epoch in range(epochs):
+        if epoch > 0:
+            n_churn = max(1, int(churn * pages_per_epoch))
+            for slot in range(n_churn):
+                corpus[(epoch * 7 + slot) % pages_per_epoch] = synthetic_webpage(
+                    600, seed=seed + next_fresh
+                )
+                next_fresh += 1
+        hits_before = app.runtime.stats.hits
+        sim0 = d.clock.snapshot()
+        for page in corpus:
+            dedup(page)
+            app.runtime.flush_puts()
+        sim_epoch = d.clock.since(sim0) / d.clock.params.cpu_freq_hz
+        epoch_hits = app.runtime.stats.hits - hits_before
+        rows.append(IncrementalRow(
+            epoch=epoch,
+            pages=pages_per_epoch,
+            new_pages=pages_per_epoch - epoch_hits,
+            hit_rate=epoch_hits / pages_per_epoch,
+            sim_epoch_s=sim_epoch,
+        ))
+    return rows
+
+
+def print_incremental(rows: list[IncrementalRow]) -> str:
+    return format_table(
+        "E9: incremental re-crawl processing",
+        ["epoch", "pages", "new pages", "hit rate", "epoch sim(s)"],
+        [[r.epoch, r.pages, r.new_pages, f"{r.hit_rate:.0%}", r.sim_epoch_s]
+         for r in rows],
+    )
+
+
+# ---------------------------------------------------------------------------
+# E10 — speedup as a function of workload duplication ratio
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class DuplicationRow:
+    duplicate_fraction: float
+    calls: int
+    hit_rate: float
+    sim_total_s: float
+    sim_baseline_s: float
+
+    @property
+    def speedup(self) -> float:
+        return self.sim_baseline_s / self.sim_total_s if self.sim_total_s else float("inf")
+
+
+def run_duplication_sweep(
+    fractions: list[float] | None = None,
+    calls: int = 24,
+    text_bytes: int = 32 * KB,
+    seed: int = 43,
+) -> list[DuplicationRow]:
+    """E10: how much duplication a workload needs before SPEED pays.
+
+    Generalises Fig. 5: instead of a guaranteed-hit second call, run a
+    realistic stream whose duplicate fraction varies and report the
+    end-to-end speedup over the no-SPEED baseline.
+    """
+    from ..core.description import TrustedLibraryRegistry
+    from ..workloads import text_corpus
+
+    fractions = fractions if fractions is not None else [0.0, 0.25, 0.5, 0.75, 0.9]
+    rows = []
+    for fraction in fractions:
+        corpus = text_corpus(calls, text_bytes, duplicate_fraction=fraction,
+                             seed=seed)
+
+        def run(config_factory) -> float:
+            case = compress_case_study()
+            libs = TrustedLibraryRegistry()
+            case.register_into(libs)
+            d = Deployment(seed=b"e10-%d" % int(fraction * 100))
+            app = d.create_application("app", libs, config_factory())
+            dedup = case.deduplicable(app)
+            sim0 = d.clock.snapshot()
+            for doc in corpus:
+                dedup(doc)
+                app.runtime.flush_puts()
+            return (
+                d.clock.since(sim0) / d.clock.params.cpu_freq_hz,
+                app.runtime.stats.hit_rate(),
+            )
+
+        sim_speed, hit_rate = run(lambda: RuntimeConfig(app_id="speed"))
+        sim_base, _ = run(lambda: no_dedup_runtime_config("base"))
+        rows.append(DuplicationRow(
+            duplicate_fraction=fraction,
+            calls=calls,
+            hit_rate=hit_rate,
+            sim_total_s=sim_speed,
+            sim_baseline_s=sim_base,
+        ))
+    return rows
+
+
+def print_duplication_sweep(rows: list[DuplicationRow]) -> str:
+    return format_table(
+        "E10: speedup vs workload duplication ratio",
+        ["dup fraction", "calls", "hit rate", "SPEED sim(s)",
+         "baseline sim(s)", "speedup"],
+        [[f"{r.duplicate_fraction:.0%}", r.calls, f"{r.hit_rate:.0%}",
+          r.sim_total_s, r.sim_baseline_s, r.speedup] for r in rows],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Ablation A7 — switchless (hot) calls vs classic transitions
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class SwitchlessRow:
+    mode: str
+    size_bytes: int
+    get_total_sim_s: float
+    ops: int
+
+
+def run_ablation_switchless(
+    sizes: list[int] | None = None, ops: int = 50, seed: int = 47
+) -> list[SwitchlessRow]:
+    """A7: the SS V-B mitigation — replace ECALL/OCALL transitions with
+    HotCalls-style shared-buffer calls and re-measure the store's GET
+    path (the Fig. 6 regime where transition cost dominates)."""
+    from ..sgx.cost_model import CostParams
+
+    sizes = sizes or [1 * KB, 10 * KB]
+    rows = []
+    for mode, switchless in (("classic ECALL/OCALL", False), ("switchless (HotCalls)", True)):
+        for size in sizes:
+            d = Deployment(
+                seed=b"a7" + mode.encode() + size.to_bytes(4, "big"),
+                cost_params=CostParams(switchless=switchless),
+            )
+            enclave = d.platform.create_enclave("a7-client", b"a7-client-code")
+            client = d.store.connect("a7-client-addr", app_enclave=enclave)
+            drbg = HmacDrbg(seed.to_bytes(4, "big"), b"a7")
+            tags = []
+            for i in range(ops):
+                tag = sha256(b"a7" + bytes([switchless]) + size.to_bytes(4, "big") + i.to_bytes(4, "big"))
+                tags.append(tag)
+                client.call(PutRequest(tag=tag, challenge=drbg.generate(32),
+                                       wrapped_key=drbg.generate(16),
+                                       sealed_result=drbg.generate(min(size, 4096)) * max(1, size // 4096),
+                                       app_id="a7"))
+            sim0 = d.clock.snapshot()
+            for tag in tags:
+                assert client.call(GetRequest(tag=tag, app_id="a7")).found
+            rows.append(SwitchlessRow(
+                mode=mode, size_bytes=size,
+                get_total_sim_s=d.clock.since(sim0) / d.clock.params.cpu_freq_hz,
+                ops=ops,
+            ))
+    return rows
+
+
+def print_ablation_switchless(rows: list[SwitchlessRow]) -> str:
+    return format_table(
+        "Ablation A7: switchless calls (HotCalls/Eleos mitigation)",
+        ["mode", "size", "GET total sim(s)", "ops"],
+        [[r.mode, human_size(r.size_bytes), r.get_total_sim_s, r.ops] for r in rows],
+    )

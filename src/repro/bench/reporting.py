@@ -1,0 +1,45 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Every experiment prints the same rows/series the paper reports, in both
+simulated (calibrated virtual clock) and measured (Python wall) time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Fixed-width table with a title rule."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [title, "=" * len(title)]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 100:
+            return f"{cell:.1f}"
+        if abs(cell) >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.4f}"
+    return str(cell)
+
+
+def human_size(n_bytes: int) -> str:
+    if n_bytes >= 1 << 20:
+        return f"{n_bytes / (1 << 20):.0f}MB"
+    if n_bytes >= 1 << 10:
+        return f"{n_bytes / (1 << 10):.0f}KB"
+    return f"{n_bytes}B"

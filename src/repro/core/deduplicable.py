@@ -1,0 +1,91 @@
+"""The developer-facing API: ``Deduplicable`` (paper §IV-C, Fig. 4).
+
+"The API is centered on a Deduplicable object, which wraps the
+interaction with [the] underlying trusted DedupRuntime, conversion
+between data formats, and all other intermediate operations. ... To make
+a function deduplicable, the developer only needs to create a
+Deduplicable version by providing the aforementioned simple description,
+and then uses the new version as normal.  This usually requires a change
+of only 2 lines of code per function call."
+
+The Python rendering of the paper's C++ template API::
+
+    # line 1: create the Deduplicable version of the function
+    dedup_deflate = Deduplicable(runtime, FunctionDescription("zlib", "1.2.11", "bytes deflate(bytes)"))
+    # line 2: use it as normal
+    compressed = dedup_deflate(data)
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .description import FunctionDescription
+from .runtime import DedupRuntime
+from .serialization import AnyParser, Parser, TupleParser
+
+
+class Deduplicable:
+    """A callable, deduplicated version of one trusted-library function.
+
+    Parameters
+    ----------
+    runtime:
+        The application's DedupRuntime.
+    description:
+        Library family / version / signature identifying the function;
+        the runtime verifies the application actually links that code.
+    input_parser, result_parser:
+        Optional explicit parsers; by default the self-describing
+        :class:`~repro.core.serialization.AnyParser` resolves parsers
+        from the runtime's registry by value type.
+    native_factor:
+        Calibration constant for the simulated clock: how many times
+        faster the paper's native library runs than our pure-Python
+        reimplementation (see DESIGN.md §2).
+    """
+
+    def __init__(
+        self,
+        runtime: DedupRuntime,
+        description: FunctionDescription,
+        input_parser: Parser | None = None,
+        result_parser: Parser | None = None,
+        native_factor: float = 1.0,
+    ):
+        self.runtime = runtime
+        self.description = description
+        self._input_parser = input_parser
+        self._result_parser = result_parser
+        self.native_factor = native_factor
+        # Fail fast at creation time if the app does not own the code.
+        with runtime.enclave.ecall("deduplicable_create"):
+            runtime.libraries.lookup(description)
+
+    def __call__(self, *args: Any) -> Any:
+        """Invoke the function with deduplication, "as normal"."""
+        if not args:
+            raise TypeError("a deduplicated call needs at least one argument")
+        if len(args) == 1:
+            input_value: Any = args[0]
+            input_parser = self._input_parser
+            unpack = False
+        else:
+            input_value = tuple(args)
+            if self._input_parser is not None:
+                input_parser = self._input_parser
+            else:
+                registry = self.runtime.parsers
+                input_parser = TupleParser(*(AnyParser(registry) for _ in args))
+            unpack = True
+        return self.runtime.execute(
+            self.description,
+            input_value,
+            input_parser=input_parser,
+            result_parser=self._result_parser,
+            unpack_args=unpack,
+            native_factor=self.native_factor,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Deduplicable {self.description}>"

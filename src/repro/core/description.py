@@ -1,0 +1,138 @@
+"""Function descriptions and trusted-library identity (paper §IV-B).
+
+DedupRuntime does not hash raw executable bytes — "the same code may be
+compiled into different executable files in different compilation
+environment".  Instead the developer supplies a *description* of a marked
+function — library family, version number, function signature — e.g.
+``("zlib", "1.2.11", "int deflate(...)")``.  The runtime then "verif[ies]
+that the application indeed owns the actual code of the function by
+scanning the underlying trusted library, and derive[s] a universally
+unique value for function identification".
+
+Our Python rendering: a :class:`TrustedLibrary` groups the ported
+functions of one library; the registry checks a description against the
+libraries linked into the application enclave and derives the function
+identity from the description plus a fingerprint of the actual code
+object — so two applications that link the same library version derive
+the same identity, while an application that merely *claims* the
+description without the code cannot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..crypto.hashes import tagged_hash
+from ..errors import DedupError
+
+
+@dataclass(frozen=True)
+class FunctionDescription:
+    """What the developer writes to mark a function (Fig. 4)."""
+
+    family: str      # e.g. "zlib"
+    version: str     # e.g. "1.2.11"
+    signature: str   # e.g. "int deflate(...)"
+
+    def canonical_bytes(self) -> bytes:
+        return tagged_hash(
+            b"speed/func-desc",
+            self.family.encode(),
+            self.version.encode(),
+            self.signature.encode(),
+        )
+
+    def __str__(self) -> str:
+        return f'("{self.family}", "{self.version}", {self.signature})'
+
+
+def code_fingerprint(func: Callable) -> bytes:
+    """Fingerprint the actual code of a trusted-library function.
+
+    Python's analogue of scanning the trusted library's text: the
+    bytecode and constants of the function object.  Identical source at
+    the same interpreter version fingerprints identically across
+    applications, which is what cross-application deduplication needs.
+    """
+    code = getattr(func, "__code__", None)
+    if code is None:
+        # Builtins / callables without code objects: identity by qualified name.
+        name = getattr(func, "__qualname__", repr(func))
+        return tagged_hash(b"speed/code-fp/builtin", name.encode())
+    consts = repr(code.co_consts).encode()
+    return tagged_hash(b"speed/code-fp", code.co_code, consts, str(code.co_argcount).encode())
+
+
+@dataclass
+class TrustedLibrary:
+    """One ported ("properly ported, at the applications", §IV-B fn. 2)
+    trusted library linked into an application enclave."""
+
+    family: str
+    version: str
+    functions: dict[str, Callable] = field(default_factory=dict)
+
+    def add(self, signature: str, func: Callable) -> "TrustedLibrary":
+        if signature in self.functions:
+            raise DedupError(f"duplicate signature {signature!r} in {self.family}")
+        self.functions[signature] = func
+        return self
+
+    def code_identity(self) -> bytes:
+        """Contribution of this library to the enclave measurement."""
+        parts = [self.family.encode(), self.version.encode()]
+        for signature in sorted(self.functions):
+            parts.append(signature.encode())
+            parts.append(code_fingerprint(self.functions[signature]))
+        return tagged_hash(b"speed/lib-identity", *parts)
+
+
+class TrustedLibraryRegistry:
+    """The set of trusted libraries available inside one application."""
+
+    def __init__(self):
+        self._libraries: dict[tuple[str, str], TrustedLibrary] = {}
+
+    def register(self, library: TrustedLibrary) -> None:
+        key = (library.family, library.version)
+        if key in self._libraries:
+            raise DedupError(f"library {key} already registered")
+        self._libraries[key] = library
+
+    def lookup(self, description: FunctionDescription) -> Callable:
+        """Return the actual function for a description, or raise."""
+        library = self._libraries.get((description.family, description.version))
+        if library is None:
+            raise DedupError(
+                f"application does not link trusted library "
+                f"{description.family} {description.version}"
+            )
+        func = library.functions.get(description.signature)
+        if func is None:
+            raise DedupError(
+                f"trusted library {description.family} {description.version} "
+                f"has no function {description.signature!r}"
+            )
+        return func
+
+    def function_identity(self, description: FunctionDescription) -> bytes:
+        """The "universally unique value for function identification":
+        description plus fingerprint of the code the app actually owns."""
+        func = self.lookup(description)
+        return tagged_hash(
+            b"speed/func-identity",
+            description.canonical_bytes(),
+            code_fingerprint(func),
+        )
+
+    def code_identity(self) -> bytes:
+        """Aggregate identity of all linked libraries, fed into the
+        application enclave's measurement."""
+        parts = [
+            self._libraries[key].code_identity() for key in sorted(self._libraries)
+        ]
+        return tagged_hash(b"speed/app-libs", *parts)
+
+    def libraries(self) -> list[TrustedLibrary]:
+        return list(self._libraries.values())

@@ -1,0 +1,239 @@
+"""The secure deduplication runtime (paper §IV-B, Algorithms 1 & 2).
+
+One :class:`DedupRuntime` instance is linked into one application
+enclave.  A deduplicated call runs as follows, mirroring the paper's
+control flow exactly:
+
+1. **ECALL** into the application enclave.
+2. Verify the app owns the marked function (trusted-library scan) and
+   derive the function identity; canonically serialize the input.
+3. ``t ← Hash(func, m)`` and **OCALL** a synchronous ``GET_REQUEST``.
+4. On a positive response, run the Fig. 3 verification protocol; a
+   verified result is decrypted, deserialized, and returned — the
+   *subsequent computation* path (Algorithm 2).
+5. Otherwise execute the function inside the enclave, protect the result
+   with the configured scheme, and issue a ``PUT_REQUEST`` — the
+   *initial computation* path (Algorithm 1).  The PUT is asynchronous by
+   default ("the remaining PUT operations can be processed in a
+   separated thread", §V-B); ``flush_puts`` drains it off the critical
+   path.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .adaptive import AdaptiveDedupPolicy
+from .description import FunctionDescription, TrustedLibraryRegistry
+from .scheme import CrossAppScheme, ProtectedResult, ResultScheme
+from .serialization import AnyParser, Parser, ParserRegistry, default_registry
+from .stats import CallRecord, RuntimeStats
+from .tag import derive_tag
+from .verification import verify_and_recover
+from ..errors import DedupError
+from ..net.messages import GetRequest, GetResponse, PutRequest, PutResponse
+from ..net.rpc import RpcClient
+from ..sgx.enclave import Enclave
+
+
+@dataclass
+class RuntimeConfig:
+    """Per-application runtime policy."""
+
+    app_id: str = "app"
+    async_put: bool = True
+    scheme: ResultScheme = field(default_factory=CrossAppScheme)
+    # When False, a deduplicated call skips the GET/PUT entirely and just
+    # executes — the "without SPEED" baseline of Fig. 5.
+    dedup_enabled: bool = True
+    # The paper's future-work extension (§VII): learn per function
+    # whether deduplication pays off and suppress it when it does not.
+    adaptive: AdaptiveDedupPolicy | None = None
+
+
+class DedupRuntime:
+    """The trusted deduplication library linked against one app enclave."""
+
+    def __init__(
+        self,
+        enclave: Enclave,
+        client: RpcClient,
+        libraries: TrustedLibraryRegistry,
+        parsers: ParserRegistry | None = None,
+        config: RuntimeConfig | None = None,
+    ):
+        self.enclave = enclave
+        self.client = client
+        self.libraries = libraries
+        self.parsers = parsers or default_registry()
+        self.config = config or RuntimeConfig()
+        self.clock = enclave.platform.clock
+        self.stats = RuntimeStats()
+        self._pending_puts: list[PutRequest] = []
+
+    # -- public entry point -------------------------------------------------
+    def execute(
+        self,
+        description: FunctionDescription,
+        input_value: Any,
+        input_parser: Parser | None = None,
+        result_parser: Parser | None = None,
+        unpack_args: bool = False,
+        native_factor: float = 1.0,
+    ) -> Any:
+        """Run one deduplicated computation and return its result."""
+        input_parser = input_parser or AnyParser(self.parsers)
+        result_parser = result_parser or AnyParser(self.parsers)
+        wall_start = time.perf_counter()
+        sim_start = self.clock.snapshot()
+
+        with self.enclave.ecall("dedup_execute"):
+            func = self.libraries.lookup(description)
+            func_identity = self.libraries.function_identity(description)
+            input_bytes = input_parser.encode(input_value)
+            tag = derive_tag(func_identity, input_bytes, self.clock)
+
+            result_value = None
+            hit = False
+            result_len = 0
+
+            attempt_dedup = self.config.dedup_enabled
+            adaptive = self.config.adaptive
+            if attempt_dedup and adaptive is not None:
+                attempt_dedup = adaptive.should_attempt_dedup(func_identity)
+            compute_sim_seconds = 0.0
+
+            if attempt_dedup:
+                response = self._get(tag, len(input_bytes))
+                if response.found:
+                    protected = ProtectedResult(
+                        challenge=response.challenge,
+                        wrapped_key=response.wrapped_key,
+                        sealed_result=response.sealed_result,
+                    )
+                    outcome = verify_and_recover(
+                        self.config.scheme, func_identity, input_bytes, tag,
+                        protected, self.clock,
+                    )
+                    if outcome.ok:
+                        hit = True
+                        result_len = len(outcome.result_bytes)
+                        result_value = result_parser.decode(outcome.result_bytes)
+                    else:
+                        self.stats.verification_failures += 1
+
+            if not hit:
+                result_value, result_len, compute_sim_seconds = self._compute_and_put(
+                    func, description, func_identity, input_value, input_bytes,
+                    tag, result_parser, unpack_args, native_factor,
+                    store_result=attempt_dedup,
+                )
+
+        wall = time.perf_counter() - wall_start
+        sim = self.clock.since(sim_start) / self.clock.params.cpu_freq_hz
+        if adaptive is not None and self.config.dedup_enabled:
+            if hit:
+                adaptive.observe_hit(func_identity, sim)
+            elif attempt_dedup:
+                adaptive.observe_miss(func_identity, sim, compute_sim_seconds)
+            else:
+                adaptive.observe_plain_compute(func_identity, compute_sim_seconds)
+        self.stats.record_call(
+            CallRecord(
+                description=str(description),
+                hit=hit,
+                input_bytes=len(input_bytes),
+                result_bytes=result_len,
+                wall_seconds=wall,
+                sim_seconds=sim,
+            )
+        )
+        return result_value
+
+    # -- GET (Algorithm 2, lines 2-3) ----------------------------------------
+    def _get(self, tag: bytes, input_len: int) -> GetResponse:
+        request = GetRequest(tag=tag, app_id=self.config.app_id)
+        with self.enclave.ocall("get_request", in_bytes=len(tag) + 64):
+            response = self.client.call(request)
+        if not isinstance(response, GetResponse):
+            raise DedupError(f"store answered GET with {type(response).__name__}")
+        return response
+
+    # -- fresh computation + PUT (Algorithm 1, lines 4-10) --------------------
+    def _compute_and_put(
+        self,
+        func: Callable,
+        description: FunctionDescription,
+        func_identity: bytes,
+        input_value: Any,
+        input_bytes: bytes,
+        tag: bytes,
+        result_parser: Parser,
+        unpack_args: bool,
+        native_factor: float,
+        store_result: bool = True,
+    ) -> tuple[Any, int, float]:
+        compute_start = time.perf_counter()
+        if unpack_args:
+            result_value = func(*input_value)
+        else:
+            result_value = func(input_value)
+        compute_wall = time.perf_counter() - compute_start
+        self.clock.charge_compute(compute_wall, native_factor)
+        compute_sim = compute_wall / native_factor
+
+        result_bytes = result_parser.encode(result_value)
+        if self.config.dedup_enabled and store_result:
+            protected = self.config.scheme.protect(
+                func_identity, input_bytes, tag, result_bytes,
+                rand=self.enclave.read_rand, clock=self.clock,
+            )
+            put = PutRequest(
+                tag=tag,
+                challenge=protected.challenge,
+                wrapped_key=protected.wrapped_key,
+                sealed_result=protected.sealed_result,
+                app_id=self.config.app_id,
+            )
+            if self.config.async_put:
+                self._pending_puts.append(put)
+            else:
+                self._send_put_sync(put)
+        return result_value, len(result_bytes), compute_sim
+
+    def _send_put_sync(self, put: PutRequest) -> None:
+        with self.enclave.ocall("put_request", in_bytes=len(put.sealed_result) + 128):
+            response = self.client.call(put)
+        self.stats.puts_sent += 1
+        if isinstance(response, PutResponse) and response.accepted:
+            self.stats.puts_accepted += 1
+        else:
+            self.stats.puts_rejected += 1
+
+    # -- asynchronous PUT draining ---------------------------------------------
+    def flush_puts(self) -> int:
+        """Send all queued PUTs (the "separated thread" of §V-B) and
+        account their outcomes; returns the number flushed.
+
+        Called off the latency-critical path — e.g. between requests or
+        from the host loop.  Queued PUTs were already protected inside
+        the enclave; only untrusted sending remains.
+        """
+        flushed = 0
+        for put in self._pending_puts:
+            self.client.send_oneway(put)
+            self.stats.puts_sent += 1
+            flushed += 1
+        self._pending_puts.clear()
+        for response in self.client.drain_responses():
+            if isinstance(response, PutResponse) and response.accepted:
+                self.stats.puts_accepted += 1
+            else:
+                self.stats.puts_rejected += 1
+        return flushed
+
+    @property
+    def pending_put_count(self) -> int:
+        return len(self._pending_puts)

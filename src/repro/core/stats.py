@@ -1,0 +1,54 @@
+"""Per-runtime instrumentation for experiments and examples.
+
+Every deduplicated call records both wall-clock time (honest Python
+measurement) and simulated time (the calibrated virtual clock), so the
+benchmark harness can print the paper's relative-running-time series in
+both units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CallRecord:
+    """One deduplicated function call."""
+
+    description: str
+    hit: bool
+    input_bytes: int
+    result_bytes: int
+    wall_seconds: float
+    sim_seconds: float
+
+
+@dataclass
+class RuntimeStats:
+    """Counters for one DedupRuntime instance."""
+
+    calls: int = 0
+    hits: int = 0
+    misses: int = 0
+    verification_failures: int = 0
+    puts_sent: int = 0
+    puts_accepted: int = 0
+    puts_rejected: int = 0
+    records: list[CallRecord] = field(default_factory=list)
+
+    def record_call(self, record: CallRecord) -> None:
+        self.calls += 1
+        if record.hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+        self.records.append(record)
+
+    def hit_rate(self) -> float:
+        return self.hits / self.calls if self.calls else 0.0
+
+    def total_wall_seconds(self) -> float:
+        return sum(r.wall_seconds for r in self.records)
+
+    def total_sim_seconds(self) -> float:
+        return sum(r.sim_seconds for r in self.records)

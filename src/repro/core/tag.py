@@ -1,0 +1,40 @@
+"""Tag derivation: ``t ← Hash(func, m)`` (Algorithms 1 & 2, line 1).
+
+"Two computations are considered duplicated if their tags are identical"
+(§II-A).  The tag binds the function identity (from the trusted-library
+scan, :mod:`repro.core.description`) to the canonical input encoding.
+"""
+
+from __future__ import annotations
+
+from ..crypto.hashes import DIGEST_SIZE, tagged_hash
+from ..sgx.cost_model import SimClock
+
+TAG_SIZE = DIGEST_SIZE
+
+
+def derive_tag(func_identity: bytes, input_bytes: bytes, clock: SimClock | None = None) -> bytes:
+    """Compute the duplicate-checking tag for one computation.
+
+    The cost model charges the SHA-256 pass over function identity plus
+    input data — the "Tag Gen." column of the paper's Table I.
+    """
+    if clock is not None:
+        clock.charge_hash(len(func_identity) + len(input_bytes))
+    return tagged_hash(b"speed/tag", func_identity, input_bytes)
+
+
+def derive_locking_hash(
+    func_identity: bytes,
+    input_bytes: bytes,
+    challenge: bytes,
+    clock: SimClock | None = None,
+) -> bytes:
+    """Compute ``h ← Hash(func, m, r)`` (Algorithm 1 line 6 / Algorithm 2
+    line 4): the secondary key that wraps the random result key.
+
+    Charged as the "Key Gen." / "Key Rec." columns of Table I.
+    """
+    if clock is not None:
+        clock.charge_hash(len(func_identity) + len(input_bytes) + len(challenge))
+    return tagged_hash(b"speed/locking-hash", func_identity, input_bytes, challenge)

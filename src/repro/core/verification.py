@@ -1,0 +1,49 @@
+"""The Fig. 3 verification protocol.
+
+When the ResultStore answers a GET positively, DedupRuntime must check —
+*inside the application enclave* — that it can actually recover the
+result: it recomputes ``h' = Hash(func, m, r)``, unwraps ``k' = [k] ⊕ h'``
+and attempts the authenticated decryption.  ``⊥`` (a failed authenticity
+check) means either the application does not really own ``(func, m)`` or
+the stored data was poisoned; in both cases the protocol "Ret false" and
+the caller falls back to fresh computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .scheme import ProtectedResult, ResultScheme
+from ..errors import IntegrityError
+from ..sgx.cost_model import SimClock
+
+
+@dataclass(frozen=True)
+class VerificationOutcome:
+    """Result of running the protocol on one GET response."""
+
+    ok: bool
+    result_bytes: bytes = b""
+    reason: str = ""
+
+
+def verify_and_recover(
+    scheme: ResultScheme,
+    func_identity: bytes,
+    input_bytes: bytes,
+    tag: bytes,
+    protected: ProtectedResult,
+    clock: SimClock | None = None,
+) -> VerificationOutcome:
+    """Run Fig. 3: returns ``(true, res)`` or ``(false, ·)``.
+
+    Never raises on authenticity failure — the protocol's contract is a
+    boolean verdict, and the runtime treats ``false`` as a miss.
+    """
+    try:
+        result = scheme.recover(func_identity, input_bytes, tag, protected, clock)
+    except IntegrityError as exc:
+        return VerificationOutcome(ok=False, reason=f"decryption rejected: {exc}")
+    except Exception as exc:  # malformed challenge/wrapped key shapes
+        return VerificationOutcome(ok=False, reason=f"malformed stored entry: {exc}")
+    return VerificationOutcome(ok=True, result_bytes=result)

@@ -1,0 +1,27 @@
+"""Constant-time comparison helpers.
+
+The simulated enclave still follows cryptographic hygiene: tag and MAC
+comparisons must not leak how many leading bytes matched.  CPython cannot
+give hard constant-time guarantees, but :func:`hmac.compare_digest` is the
+standard best-effort primitive and we centralise its use here.
+"""
+
+from __future__ import annotations
+
+import hmac
+
+
+def bytes_eq(a: bytes, b: bytes) -> bool:
+    """Compare two byte strings without early exit on the first mismatch."""
+    if not isinstance(a, (bytes, bytearray)) or not isinstance(b, (bytes, bytearray)):
+        raise TypeError("bytes_eq() expects bytes-like arguments")
+    return hmac.compare_digest(bytes(a), bytes(b))
+
+
+def select(flag: bool, when_true: bytes, when_false: bytes) -> bytes:
+    """Branch-free-style selection between two equal-length byte strings."""
+    if len(when_true) != len(when_false):
+        raise ValueError("select() requires equal-length alternatives")
+    mask = 0xFF if flag else 0x00
+    inv = mask ^ 0xFF
+    return bytes((t & mask) | (f & inv) for t, f in zip(when_true, when_false))

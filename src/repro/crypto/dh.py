@@ -1,0 +1,76 @@
+"""Finite-field Diffie-Hellman for the secure channel handshake.
+
+The paper establishes a "secure channel" between each application's
+DedupRuntime and the encrypted ResultStore (Fig. 1 / Algorithm 1, line 2).
+On real SGX this rides on local attestation (``sgx_dh_*`` in the SDK,
+which itself runs an ephemeral Diffie-Hellman).  We reproduce it with the
+RFC 3526 2048-bit MODP group; the shared secret feeds HKDF to derive the
+per-direction AES-GCM session keys in :mod:`repro.net.channel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .drbg import HmacDrbg
+from .hkdf import hkdf
+from ..errors import CryptoError
+
+# RFC 3526, group 14 (2048-bit MODP).
+MODP_2048_P = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1"
+    "29024E088A67CC74020BBEA63B139B22514A08798E3404DD"
+    "EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245"
+    "E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3D"
+    "C2007CB8A163BF0598DA48361C55D39A69163FA8FD24CF5F"
+    "83655D23DCA3AD961C62F356208552BB9ED529077096966D"
+    "670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9"
+    "DE2BCBF6955817183995497CEA956AE515D2261898FA0510"
+    "15728E5A8AACAA68FFFFFFFFFFFFFFFF",
+    16,
+)
+MODP_2048_G = 2
+_PRIVATE_BITS = 256
+
+
+@dataclass(frozen=True)
+class DhKeyPair:
+    """An ephemeral DH key pair; ``public = g^private mod p``."""
+
+    private: int
+    public: int
+
+
+def generate_keypair(drbg: HmacDrbg) -> DhKeyPair:
+    """Sample a 256-bit private exponent and compute the public value."""
+    private = int.from_bytes(drbg.generate(_PRIVATE_BITS // 8), "big") | 1
+    public = pow(MODP_2048_G, private, MODP_2048_P)
+    return DhKeyPair(private=private, public=public)
+
+
+def _validate_public(public: int) -> None:
+    if not (2 <= public <= MODP_2048_P - 2):
+        raise CryptoError("DH public value out of range")
+
+
+def shared_secret(own: DhKeyPair, peer_public: int) -> bytes:
+    """Raw shared secret ``peer^private mod p`` as fixed-width bytes."""
+    _validate_public(peer_public)
+    secret = pow(peer_public, own.private, MODP_2048_P)
+    if secret in (1, MODP_2048_P - 1):
+        raise CryptoError("degenerate DH shared secret")
+    return secret.to_bytes((MODP_2048_P.bit_length() + 7) // 8, "big")
+
+
+def derive_session_keys(own: DhKeyPair, peer_public: int, transcript: bytes) -> tuple[bytes, bytes]:
+    """Derive the (client→server, server→client) AES-128 session keys.
+
+    Both sides bind the keys to the handshake ``transcript`` (the two
+    public values plus the attestation reports) so a man-in-the-middle who
+    substitutes a public value ends up with mismatching keys.
+    """
+    ikm = shared_secret(own, peer_public)
+    okm = hkdf(ikm, salt=b"speed/channel", info=transcript, length=32)
+    return okm[:16], okm[16:]

@@ -1,0 +1,46 @@
+"""Hash and MAC primitives used throughout SPEED.
+
+The paper instantiates its collision-resistant ``Hash(·)`` with SHA-256
+from the SGX SDK.  We use the interpreter's built-in SHA-256 (stdlib
+``hashlib``) — the algorithm is identical, and the SGX-specific *cost* of
+hashing inside an enclave is accounted separately by the cost model in
+:mod:`repro.sgx.cost_model`.
+
+``tagged_hash`` provides the domain-separated multi-input hash the paper
+writes as ``Hash(func, m)`` and ``Hash(func, m, r)``: each component is
+length-prefixed so distinct component tuples can never collide by
+concatenation ambiguity (e.g. ``("ab","c")`` vs ``("a","bc")``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _hmac
+
+DIGEST_SIZE = 32
+
+
+def sha256(data: bytes) -> bytes:
+    """Plain SHA-256 digest."""
+    return hashlib.sha256(data).digest()
+
+
+def tagged_hash(domain: bytes, *parts: bytes) -> bytes:
+    """Domain-separated hash of a tuple of byte strings.
+
+    Layout: ``SHA256(len(domain) || domain || len(p1) || p1 || ...)`` with
+    8-byte big-endian length prefixes.  This is the concrete realisation of
+    the paper's ``Hash(func, m)`` / ``Hash(func, m, r)``.
+    """
+    h = hashlib.sha256()
+    h.update(len(domain).to_bytes(8, "big"))
+    h.update(domain)
+    for part in parts:
+        h.update(len(part).to_bytes(8, "big"))
+        h.update(part)
+    return h.digest()
+
+
+def hmac_sha256(key: bytes, data: bytes) -> bytes:
+    """HMAC-SHA-256, used for attestation reports and sealing MACs."""
+    return _hmac.new(key, data, hashlib.sha256).digest()

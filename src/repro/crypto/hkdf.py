@@ -1,0 +1,37 @@
+"""HKDF (RFC 5869) key derivation over HMAC-SHA-256.
+
+Used to derive secure-channel session keys from the Diffie-Hellman shared
+secret during the DedupRuntime ↔ ResultStore handshake, and to derive
+sealing keys from the simulated platform root key.
+"""
+
+from __future__ import annotations
+
+from .hashes import DIGEST_SIZE, hmac_sha256
+from ..errors import CryptoError
+
+
+def hkdf_extract(salt: bytes, ikm: bytes) -> bytes:
+    """HKDF-Extract: PRK = HMAC(salt, IKM)."""
+    if not salt:
+        salt = b"\x00" * DIGEST_SIZE
+    return hmac_sha256(salt, ikm)
+
+
+def hkdf_expand(prk: bytes, info: bytes, length: int) -> bytes:
+    """HKDF-Expand: derive ``length`` bytes of output keying material."""
+    if length <= 0 or length > 255 * DIGEST_SIZE:
+        raise CryptoError(f"invalid HKDF output length {length}")
+    okm = b""
+    block = b""
+    counter = 1
+    while len(okm) < length:
+        block = hmac_sha256(prk, block + info + bytes([counter]))
+        okm += block
+        counter += 1
+    return okm[:length]
+
+
+def hkdf(ikm: bytes, salt: bytes = b"", info: bytes = b"", length: int = 32) -> bytes:
+    """One-shot extract-then-expand."""
+    return hkdf_expand(hkdf_extract(salt, ikm), info, length)

@@ -1,0 +1,96 @@
+"""Message-locked encryption primitives (Bellare-Keelveedhi-Ristenpart).
+
+The paper builds its cross-application result protection on RCE
+(randomized convergent encryption), the most efficient MLE construction
+(§II-D, §III-C).  This module provides the *generic* MLE schemes over
+plain messages; the computation-specific variant — where the key material
+is locked to ``(func, m)`` instead of the message and hardened with the
+store-kept challenge ``r`` — lives in :mod:`repro.core.scheme`.
+
+Schemes
+-------
+``ConvergentEncryption``  (CE):  ``k = H(m)``; deterministic ciphertext.
+``RandomizedConvergentEncryption`` (RCE): fresh random ``k`` encrypts
+``m``; ``k`` is wrapped with the one-time pad ``H(m)``; the dedup tag is
+``H(H(m))`` so the tag reveals nothing beyond equality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .drbg import HmacDrbg
+from .gcm import open_, seal
+from .hashes import tagged_hash
+from ..errors import CryptoError
+
+KEY_SIZE = 16
+IV_SIZE = 12
+
+
+def _xor(a: bytes, b: bytes) -> bytes:
+    if len(a) != len(b):
+        raise CryptoError("XOR operands must have equal length")
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+@dataclass(frozen=True)
+class MleCiphertext:
+    """An MLE ciphertext: dedup tag, wrapped key, and sealed payload."""
+
+    tag: bytes
+    wrapped_key: bytes  # empty for plain CE
+    sealed: bytes  # iv || gcm tag || ciphertext
+
+
+class ConvergentEncryption:
+    """Deterministic MLE: the key is the hash of the message itself."""
+
+    def key(self, message: bytes) -> bytes:
+        return tagged_hash(b"mle/ce/key", message)[:KEY_SIZE]
+
+    def tag(self, message: bytes) -> bytes:
+        return tagged_hash(b"mle/ce/tag", message)
+
+    def encrypt(self, message: bytes) -> MleCiphertext:
+        k = self.key(message)
+        # Deterministic IV derived from the message keeps CE convergent.
+        iv = tagged_hash(b"mle/ce/iv", message)[:IV_SIZE]
+        return MleCiphertext(tag=self.tag(message), wrapped_key=b"", sealed=seal(k, iv, message))
+
+    def decrypt(self, ct: MleCiphertext, message_hint: bytes) -> bytes:
+        """CE decryption requires re-deriving the key from the message (or
+        an out-of-band copy of the key); callers that own the message use
+        it as the hint."""
+        return open_(self.key(message_hint), ct.sealed)
+
+
+class RandomizedConvergentEncryption:
+    """RCE: randomized ciphertexts with deterministic tags (paper §II-D).
+
+    ``encrypt`` picks a fresh ``k``, seals the message under it, and wraps
+    ``k`` with the message-derived one-time pad ``H(m)``; anyone who owns
+    ``m`` can unwrap.  The tag is a hash of the message-derived key so the
+    server can deduplicate without learning ``m``.
+    """
+
+    def __init__(self, drbg: HmacDrbg):
+        self._drbg = drbg
+
+    def message_key(self, message: bytes) -> bytes:
+        return tagged_hash(b"mle/rce/mkey", message)[:KEY_SIZE]
+
+    def tag(self, message: bytes) -> bytes:
+        return tagged_hash(b"mle/rce/tag", self.message_key(message))
+
+    def encrypt(self, message: bytes) -> MleCiphertext:
+        k = self._drbg.generate(KEY_SIZE)
+        iv = self._drbg.generate(IV_SIZE)
+        wrapped = _xor(k, self.message_key(message))
+        return MleCiphertext(tag=self.tag(message), wrapped_key=wrapped, sealed=seal(k, iv, message))
+
+    def decrypt(self, ct: MleCiphertext, message: bytes) -> bytes:
+        """Unwrap with the message-derived pad and open the sealed payload;
+        raises IntegrityError if the caller does not actually own ``m``."""
+        k = _xor(ct.wrapped_key, self.message_key(message))
+        return open_(k, ct.sealed)

@@ -1,0 +1,112 @@
+"""One-call wiring of a full SPEED deployment.
+
+Experiments, examples, and tests all need the same setup: a simulated
+SGX machine, a ResultStore reachable over the loopback network, and one
+or more SGX-enabled applications whose enclaves link trusted libraries
+and carry a DedupRuntime.  :class:`Deployment` assembles exactly that
+topology (Fig. 1 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .core.deduplicable import Deduplicable
+from .core.description import FunctionDescription, TrustedLibraryRegistry
+from .core.runtime import DedupRuntime, RuntimeConfig
+from .core.serialization import Parser
+from .errors import SpeedError
+from .net.transport import FaultInjector, Network
+from .sgx.attestation import AttestationService
+from .sgx.cost_model import CostParams
+from .sgx.enclave import Enclave
+from .sgx.platform import SgxPlatform
+from .store.resultstore import ResultStore, StoreConfig
+
+
+@dataclass
+class Application:
+    """One SGX-enabled application: its enclave plus its DedupRuntime."""
+
+    name: str
+    enclave: Enclave
+    runtime: DedupRuntime
+
+    def deduplicable(
+        self,
+        description: FunctionDescription,
+        input_parser: Parser | None = None,
+        result_parser: Parser | None = None,
+        native_factor: float = 1.0,
+    ) -> Deduplicable:
+        """Create the Deduplicable version of a marked function."""
+        return Deduplicable(
+            self.runtime, description,
+            input_parser=input_parser,
+            result_parser=result_parser,
+            native_factor=native_factor,
+        )
+
+
+class Deployment:
+    """A simulated machine running one ResultStore and N applications."""
+
+    def __init__(
+        self,
+        seed: bytes = b"speed-deployment",
+        machine: str = "machine-0",
+        store_config: StoreConfig | None = None,
+        cost_params: CostParams | None = None,
+        epc_usable_bytes: int | None = None,
+        fault_injector: FaultInjector | None = None,
+        attestation_service: AttestationService | None = None,
+    ):
+        self.attestation = attestation_service or AttestationService()
+        platform_kwargs = {}
+        if epc_usable_bytes is not None:
+            platform_kwargs["epc_usable_bytes"] = epc_usable_bytes
+        self.platform = SgxPlatform(
+            seed=seed,
+            name=machine,
+            params=cost_params,
+            attestation_service=self.attestation,
+            **platform_kwargs,
+        )
+        self.network = Network(fault_injector=fault_injector)
+        self.store = ResultStore(
+            self.platform, self.network, address=f"resultstore@{machine}",
+            config=store_config, seed=seed + b"/store",
+        )
+        self._apps: dict[str, Application] = {}
+
+    @property
+    def clock(self):
+        return self.platform.clock
+
+    def create_application(
+        self,
+        name: str,
+        libraries: TrustedLibraryRegistry,
+        runtime_config: RuntimeConfig | None = None,
+    ) -> Application:
+        """Launch an application enclave and connect it to the store."""
+        if name in self._apps:
+            raise SpeedError(f"application {name!r} already exists")
+        code_identity = b"speed/app/" + name.encode() + b"/" + libraries.code_identity()
+        enclave = self.platform.create_enclave(name, code_identity)
+        client = self.store.connect(
+            client_address=f"{name}@{self.platform.name}",
+            app_enclave=enclave if self.store.config.use_sgx else None,
+        )
+        config = runtime_config or RuntimeConfig(app_id=name)
+        runtime = DedupRuntime(enclave, client, libraries, config=config)
+        app = Application(name=name, enclave=enclave, runtime=runtime)
+        self._apps[name] = app
+        return app
+
+    def applications(self) -> list[Application]:
+        return list(self._apps.values())
+
+    def flush_all_puts(self) -> int:
+        """Drain every application's asynchronous PUT queue."""
+        return sum(app.runtime.flush_puts() for app in self._apps.values())

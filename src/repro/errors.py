@@ -1,0 +1,73 @@
+"""Exception hierarchy for the SPEED reproduction.
+
+Every error raised by this library derives from :class:`SpeedError`, so a
+caller can catch one type at an application boundary.  Subsystems define
+narrower types here (rather than locally) to avoid import cycles between
+the crypto, SGX-simulator, network, store, and runtime packages.
+"""
+
+from __future__ import annotations
+
+
+class SpeedError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class CryptoError(SpeedError):
+    """A cryptographic operation failed (bad key/IV size, internal error)."""
+
+
+class IntegrityError(CryptoError):
+    """An authenticated-decryption or MAC check failed.
+
+    Corresponds to the ``⊥`` symbol in Fig. 3 of the paper: the attempted
+    decryption did not pass the authenticity check.
+    """
+
+
+class EnclaveError(SpeedError):
+    """Violation of the simulated SGX enclave semantics."""
+
+
+class EnclaveMemoryError(EnclaveError):
+    """The enclave ran out of (simulated) EPC and paging is disabled."""
+
+
+class AttestationError(EnclaveError):
+    """Local or remote attestation failed (bad measurement or MAC)."""
+
+
+class SealingError(EnclaveError):
+    """Unsealing failed: wrong enclave identity or corrupted blob."""
+
+
+class TransportError(SpeedError):
+    """The simulated transport could not deliver a message."""
+
+
+class ChannelError(SpeedError):
+    """Secure-channel handshake or record protection failed."""
+
+
+class ProtocolError(SpeedError):
+    """A malformed or unexpected wire message was received."""
+
+
+class SerializationError(SpeedError):
+    """A value could not be serialized or deserialized by a parser."""
+
+
+class StoreError(SpeedError):
+    """The encrypted ResultStore rejected or could not serve a request."""
+
+
+class QuotaExceededError(StoreError):
+    """An application exceeded its PUT quota (DoS mitigation, paper III-D)."""
+
+
+class DedupError(SpeedError):
+    """The DedupRuntime could not complete a deduplicated call."""
+
+
+class VerificationError(DedupError):
+    """The Fig. 3 verification protocol rejected a stored result."""

@@ -1,0 +1,112 @@
+"""Binary field codec used by every wire message and parser.
+
+SPEED requires a *uniform serialization interface* so DedupRuntime and
+ResultStore stay function-agnostic (§II-C, §IV-B).  This module is that
+interface's lowest layer: a small, explicit, length-prefixed binary
+format (no pickle — the store is untrusted and must never be able to make
+an application deserialize arbitrary objects).
+
+Layout primitives: ``u8``, ``u32``/``u64`` big-endian, ``bool`` as one
+byte, and ``bytes`` with a ``u32`` length prefix.
+"""
+
+from __future__ import annotations
+
+from ..errors import SerializationError
+
+_U32_MAX = (1 << 32) - 1
+_U64_MAX = (1 << 64) - 1
+
+
+class FieldWriter:
+    """Appends typed fields to a growing buffer."""
+
+    def __init__(self):
+        self._chunks: list[bytes] = []
+
+    def u8(self, value: int) -> "FieldWriter":
+        if not 0 <= value <= 0xFF:
+            raise SerializationError(f"u8 out of range: {value}")
+        self._chunks.append(bytes([value]))
+        return self
+
+    def u32(self, value: int) -> "FieldWriter":
+        if not 0 <= value <= _U32_MAX:
+            raise SerializationError(f"u32 out of range: {value}")
+        self._chunks.append(value.to_bytes(4, "big"))
+        return self
+
+    def u64(self, value: int) -> "FieldWriter":
+        if not 0 <= value <= _U64_MAX:
+            raise SerializationError(f"u64 out of range: {value}")
+        self._chunks.append(value.to_bytes(8, "big"))
+        return self
+
+    def boolean(self, value: bool) -> "FieldWriter":
+        self._chunks.append(b"\x01" if value else b"\x00")
+        return self
+
+    def blob(self, value: bytes) -> "FieldWriter":
+        if len(value) > _U32_MAX:
+            raise SerializationError("blob too large for u32 length prefix")
+        self._chunks.append(len(value).to_bytes(4, "big"))
+        self._chunks.append(bytes(value))
+        return self
+
+    def text(self, value: str) -> "FieldWriter":
+        return self.blob(value.encode("utf-8"))
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._chunks)
+
+
+class FieldReader:
+    """Consumes typed fields from a buffer; raises on truncation."""
+
+    def __init__(self, data: bytes):
+        self._data = data
+        self._pos = 0
+
+    def _take(self, n: int) -> bytes:
+        if self._pos + n > len(self._data):
+            raise SerializationError(
+                f"truncated message: wanted {n} bytes at offset {self._pos}, "
+                f"have {len(self._data) - self._pos}"
+            )
+        out = self._data[self._pos:self._pos + n]
+        self._pos += n
+        return out
+
+    def u8(self) -> int:
+        return self._take(1)[0]
+
+    def u32(self) -> int:
+        return int.from_bytes(self._take(4), "big")
+
+    def u64(self) -> int:
+        return int.from_bytes(self._take(8), "big")
+
+    def boolean(self) -> bool:
+        flag = self._take(1)[0]
+        if flag not in (0, 1):
+            raise SerializationError(f"invalid boolean byte: {flag}")
+        return flag == 1
+
+    def blob(self) -> bytes:
+        return self._take(self.u32())
+
+    def text(self) -> str:
+        try:
+            return self.blob().decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise SerializationError("invalid UTF-8 in text field") from exc
+
+    def expect_end(self) -> None:
+        if self._pos != len(self._data):
+            raise SerializationError(
+                f"{len(self._data) - self._pos} trailing bytes after message"
+            )
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._pos

@@ -1,0 +1,217 @@
+"""Wire messages exchanged between DedupRuntime and ResultStore.
+
+These are the ``XXX_REQUEST`` / ``XXX_RESPONSE`` structures of §IV-B,
+implemented "in a function-agnostic way with uniform serialization"
+(§II-C): tags, challenges, wrapped keys, and sealed results are opaque
+byte strings at this layer.
+
+``SYNC_*`` messages implement the master-ResultStore replication the
+paper sketches in the §IV-B remark.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .framing import FieldReader, FieldWriter
+from ..errors import ProtocolError
+
+
+class MessageType(enum.IntEnum):
+    GET_REQUEST = 1
+    GET_RESPONSE = 2
+    PUT_REQUEST = 3
+    PUT_RESPONSE = 4
+    SYNC_REQUEST = 5
+    SYNC_RESPONSE = 6
+    ERROR = 7
+
+
+@dataclass(frozen=True)
+class GetRequest:
+    """Duplicate check: does the store hold a result for ``tag``?"""
+
+    tag: bytes
+    app_id: str = ""
+
+    TYPE = MessageType.GET_REQUEST
+
+    def encode_body(self, w: FieldWriter) -> None:
+        w.blob(self.tag).text(self.app_id)
+
+    @classmethod
+    def decode_body(cls, r: FieldReader) -> "GetRequest":
+        return cls(tag=r.blob(), app_id=r.text())
+
+
+@dataclass(frozen=True)
+class GetResponse:
+    """Store's answer: ``found`` plus ``(r, [k], [res])`` when positive
+    (Algorithm 2, line 3)."""
+
+    found: bool
+    challenge: bytes = b""
+    wrapped_key: bytes = b""
+    sealed_result: bytes = b""
+
+    TYPE = MessageType.GET_RESPONSE
+
+    def encode_body(self, w: FieldWriter) -> None:
+        w.boolean(self.found).blob(self.challenge).blob(self.wrapped_key).blob(self.sealed_result)
+
+    @classmethod
+    def decode_body(cls, r: FieldReader) -> "GetResponse":
+        return cls(
+            found=r.boolean(),
+            challenge=r.blob(),
+            wrapped_key=r.blob(),
+            sealed_result=r.blob(),
+        )
+
+
+@dataclass(frozen=True)
+class PutRequest:
+    """Store an initial computation's ``(r, [k], [res])`` under ``tag``
+    (Algorithm 1, line 10)."""
+
+    tag: bytes
+    challenge: bytes
+    wrapped_key: bytes
+    sealed_result: bytes
+    app_id: str = ""
+
+    TYPE = MessageType.PUT_REQUEST
+
+    def encode_body(self, w: FieldWriter) -> None:
+        w.blob(self.tag).blob(self.challenge).blob(self.wrapped_key)
+        w.blob(self.sealed_result).text(self.app_id)
+
+    @classmethod
+    def decode_body(cls, r: FieldReader) -> "PutRequest":
+        return cls(
+            tag=r.blob(),
+            challenge=r.blob(),
+            wrapped_key=r.blob(),
+            sealed_result=r.blob(),
+            app_id=r.text(),
+        )
+
+
+@dataclass(frozen=True)
+class PutResponse:
+    accepted: bool
+    reason: str = ""
+
+    TYPE = MessageType.PUT_RESPONSE
+
+    def encode_body(self, w: FieldWriter) -> None:
+        w.boolean(self.accepted).text(self.reason)
+
+    @classmethod
+    def decode_body(cls, r: FieldReader) -> "PutResponse":
+        return cls(accepted=r.boolean(), reason=r.text())
+
+
+@dataclass(frozen=True)
+class SyncRequest:
+    """Master-store pull: request entries hotter than ``min_hits`` that
+    the requester does not hold yet."""
+
+    known_tags: tuple[bytes, ...] = ()
+    min_hits: int = 1
+
+    TYPE = MessageType.SYNC_REQUEST
+
+    def encode_body(self, w: FieldWriter) -> None:
+        w.u32(len(self.known_tags))
+        for t in self.known_tags:
+            w.blob(t)
+        w.u32(self.min_hits)
+
+    @classmethod
+    def decode_body(cls, r: FieldReader) -> "SyncRequest":
+        count = r.u32()
+        tags = tuple(r.blob() for _ in range(count))
+        return cls(known_tags=tags, min_hits=r.u32())
+
+
+@dataclass(frozen=True)
+class SyncResponse:
+    """A batch of replicated entries: (tag, r, [k], [res]) tuples."""
+
+    entries: tuple[tuple[bytes, bytes, bytes, bytes], ...] = field(default=())
+
+    TYPE = MessageType.SYNC_RESPONSE
+
+    def encode_body(self, w: FieldWriter) -> None:
+        w.u32(len(self.entries))
+        for tag, challenge, wrapped_key, sealed in self.entries:
+            w.blob(tag).blob(challenge).blob(wrapped_key).blob(sealed)
+
+    @classmethod
+    def decode_body(cls, r: FieldReader) -> "SyncResponse":
+        count = r.u32()
+        entries = tuple(
+            (r.blob(), r.blob(), r.blob(), r.blob()) for _ in range(count)
+        )
+        return cls(entries=entries)
+
+
+@dataclass(frozen=True)
+class ErrorMessage:
+    code: int
+    detail: str = ""
+
+    TYPE = MessageType.ERROR
+
+    def encode_body(self, w: FieldWriter) -> None:
+        w.u32(self.code).text(self.detail)
+
+    @classmethod
+    def decode_body(cls, r: FieldReader) -> "ErrorMessage":
+        return cls(code=r.u32(), detail=r.text())
+
+
+_MESSAGE_CLASSES = {
+    cls.TYPE: cls
+    for cls in (
+        GetRequest,
+        GetResponse,
+        PutRequest,
+        PutResponse,
+        SyncRequest,
+        SyncResponse,
+        ErrorMessage,
+    )
+}
+
+Message = (
+    GetRequest
+    | GetResponse
+    | PutRequest
+    | PutResponse
+    | SyncRequest
+    | SyncResponse
+    | ErrorMessage
+)
+
+
+def encode_message(msg: Message) -> bytes:
+    """Serialize a message to ``type_byte || body``."""
+    w = FieldWriter()
+    w.u8(int(msg.TYPE))
+    msg.encode_body(w)
+    return w.getvalue()
+
+
+def decode_message(data: bytes) -> Message:
+    """Parse a message; raises ProtocolError on unknown type or garbage."""
+    r = FieldReader(data)
+    try:
+        mtype = MessageType(r.u8())
+    except ValueError as exc:
+        raise ProtocolError(f"unknown message type in {data[:8]!r}") from exc
+    msg = _MESSAGE_CLASSES[mtype].decode_body(r)
+    r.expect_end()
+    return msg

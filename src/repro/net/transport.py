@@ -1,0 +1,117 @@
+"""In-process loopback transport standing in for the paper's sockets.
+
+The paper deploys the ResultStore "at the same machine of the outsourced
+applications" (§IV-B remark) and talks to it over a local socket with
+synchronous GETs and asynchronous PUTs.  This transport reproduces that
+topology deterministically: named endpoints on a shared network object,
+FIFO delivery, and per-message cost charged to the *sender's* platform
+clock (wire time + syscall overhead are sender-side in our accounting).
+
+An optional :class:`FaultInjector` drops or corrupts messages, used by
+the failure-injection tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import TransportError
+from ..sgx.cost_model import SimClock
+
+
+@dataclass
+class FaultInjector:
+    """Deterministic fault plan: drop or corrupt the Nth message."""
+
+    drop_indices: set[int] = field(default_factory=set)
+    corrupt_indices: set[int] = field(default_factory=set)
+    _counter: int = field(default=0, init=False)
+
+    def apply(self, payload: bytes) -> bytes | None:
+        """Returns the (possibly corrupted) payload, or None to drop."""
+        index = self._counter
+        self._counter += 1
+        if index in self.drop_indices:
+            return None
+        if index in self.corrupt_indices and payload:
+            return payload[:-1] + bytes([payload[-1] ^ 0xFF])
+        return payload
+
+
+class Endpoint:
+    """One addressable mailbox on a network."""
+
+    def __init__(self, network: "Network", address: str, clock: SimClock):
+        self.network = network
+        self.address = address
+        self.clock = clock
+        self._inbox: deque[tuple[str, bytes]] = deque()
+
+    def send(self, dest: str, payload: bytes) -> None:
+        self.network.deliver(self.address, dest, payload)
+
+    def recv(self) -> tuple[str, bytes]:
+        """Pop the next (source, payload); raises if the inbox is empty —
+        the simulation is synchronous, so an empty inbox is a logic bug."""
+        if not self._inbox:
+            raise TransportError(f"endpoint {self.address!r} has no pending messages")
+        return self._inbox.popleft()
+
+    def pending(self) -> int:
+        return len(self._inbox)
+
+    def _push(self, source: str, payload: bytes) -> None:
+        self._inbox.append((source, payload))
+
+
+class Network:
+    """A set of endpoints with FIFO loopback delivery."""
+
+    def __init__(self, fault_injector: FaultInjector | None = None):
+        self._endpoints: dict[str, Endpoint] = {}
+        self._fault_injector = fault_injector
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        self._taps: list[Callable[[str, str, bytes], None]] = []
+        self._reactors: dict[str, object] = {}
+
+    def endpoint(self, address: str, clock: SimClock) -> Endpoint:
+        if address in self._endpoints:
+            raise TransportError(f"address {address!r} already registered")
+        ep = Endpoint(self, address, clock)
+        self._endpoints[address] = ep
+        return ep
+
+    def add_tap(self, tap: Callable[[str, str, bytes], None]) -> None:
+        """Register a passive observer (the honest-but-curious adversary in
+        the security tests watches the wire through a tap)."""
+        self._taps.append(tap)
+
+    def deliver(self, source: str, dest: str, payload: bytes) -> None:
+        sender = self._endpoints.get(source)
+        receiver = self._endpoints.get(dest)
+        if sender is None or receiver is None:
+            raise TransportError(f"unknown endpoint in {source!r} -> {dest!r}")
+        sender.clock.charge_network(len(payload))
+        self.messages_sent += 1
+        self.bytes_sent += len(payload)
+        for tap in self._taps:
+            tap(source, dest, payload)
+        if self._fault_injector is not None:
+            mutated = self._fault_injector.apply(payload)
+            if mutated is None:
+                return  # dropped on the wire
+            payload = mutated
+        receiver._push(source, payload)
+        reactor = self._reactors.get(dest)
+        if reactor is not None:
+            reactor.pump()
+
+    def set_reactor(self, address: str, reactor) -> None:
+        """Attach a server reactor: its ``pump()`` runs on each delivery,
+        modelling a service process that drains its socket as data lands."""
+        if address not in self._endpoints:
+            raise TransportError(f"cannot attach reactor to unknown address {address!r}")
+        self._reactors[address] = reactor

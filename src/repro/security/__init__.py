@@ -1,0 +1,21 @@
+"""Adversary simulations backing the §III-D security analysis tests."""
+
+from .adversary import (
+    BruteForceAdversary,
+    CachePoisoningAdversary,
+    ForgingAttempt,
+    PoisoningReport,
+    QueryForgingAdversary,
+    WireObservation,
+    WireTapAdversary,
+)
+
+__all__ = [
+    "BruteForceAdversary",
+    "CachePoisoningAdversary",
+    "ForgingAttempt",
+    "PoisoningReport",
+    "QueryForgingAdversary",
+    "WireObservation",
+    "WireTapAdversary",
+]

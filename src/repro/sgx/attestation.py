@@ -1,0 +1,145 @@
+"""Local and remote attestation for the simulated SGX platform.
+
+The paper assumes "the integrity of an application is correctly verified
+before actually running with hardware enclaves ... by the attestation
+mechanism of Intel SGX" (§II-B), in both its intra-platform (local) and
+remote forms.  We reproduce both:
+
+* **Local attestation** — an enclave produces a *report* targeted at
+  another enclave on the same platform; the report is MACed with a key
+  derived from the platform root and the target's MRENCLAVE, so only the
+  target can verify it (mirroring EREPORT/EGETKEY).
+* **Remote attestation** — a platform's quoting identity signs the report
+  into a *quote*; an :class:`AttestationService` (standing in for Intel's
+  IAS/EPID infrastructure) verifies quotes from registered platforms.
+
+MACs stand in for the asymmetric signatures of real SGX; the trust
+topology (who can forge what) is identical for our threat model because
+the signing keys never leave the simulated hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .measurement import Measurement
+from ..crypto.constant_time import bytes_eq
+from ..crypto.hashes import hmac_sha256, tagged_hash
+from ..errors import AttestationError
+
+REPORT_DATA_SIZE = 64
+
+
+def _pad_report_data(data: bytes) -> bytes:
+    if len(data) > REPORT_DATA_SIZE:
+        raise AttestationError(f"report data exceeds {REPORT_DATA_SIZE} bytes")
+    return data + b"\x00" * (REPORT_DATA_SIZE - len(data))
+
+
+@dataclass(frozen=True)
+class Report:
+    """A local-attestation report (EREPORT output)."""
+
+    source: Measurement
+    target_mrenclave: bytes
+    report_data: bytes
+    mac: bytes
+
+    def body(self) -> bytes:
+        return tagged_hash(
+            b"sgx/report-body",
+            self.source.mrenclave,
+            self.source.mrsigner,
+            self.target_mrenclave,
+            self.report_data,
+        )
+
+
+def make_report(
+    report_key_root: bytes,
+    source: Measurement,
+    target_mrenclave: bytes,
+    report_data: bytes,
+) -> Report:
+    """Create a report MACed with the target's report key."""
+    data = _pad_report_data(report_data)
+    partial = Report(source=source, target_mrenclave=target_mrenclave, report_data=data, mac=b"")
+    report_key = hmac_sha256(report_key_root, b"report-key" + target_mrenclave)
+    return Report(
+        source=source,
+        target_mrenclave=target_mrenclave,
+        report_data=data,
+        mac=hmac_sha256(report_key, partial.body()),
+    )
+
+
+def verify_report(report_key_root: bytes, own_mrenclave: bytes, report: Report) -> None:
+    """Verify a report addressed to ``own_mrenclave``; raise on failure."""
+    if report.target_mrenclave != own_mrenclave:
+        raise AttestationError("report was not targeted at this enclave")
+    report_key = hmac_sha256(report_key_root, b"report-key" + report.target_mrenclave)
+    expected = hmac_sha256(report_key, report.body())
+    if not bytes_eq(expected, report.mac):
+        raise AttestationError("report MAC verification failed")
+
+
+@dataclass(frozen=True)
+class Quote:
+    """A remote-attestation quote (signed report)."""
+
+    platform_id: bytes
+    source: Measurement
+    report_data: bytes
+    signature: bytes
+
+    def body(self) -> bytes:
+        return tagged_hash(
+            b"sgx/quote-body",
+            self.platform_id,
+            self.source.mrenclave,
+            self.source.mrsigner,
+            self.report_data,
+        )
+
+
+class AttestationService:
+    """Stand-in for the Intel Attestation Service.
+
+    Platforms register their (simulated) EPID keys at provisioning time;
+    relying parties submit quotes for verification.  One service instance
+    models one deployment spanning several machines (used by the master
+    ResultStore synchronisation in :mod:`repro.store.sync`).
+    """
+
+    def __init__(self):
+        self._platform_keys: dict[bytes, bytes] = {}
+
+    def provision(self, platform_id: bytes, attestation_key: bytes) -> None:
+        if platform_id in self._platform_keys:
+            raise AttestationError("platform already provisioned")
+        self._platform_keys[platform_id] = attestation_key
+
+    def sign_quote(
+        self, platform_id: bytes, source: Measurement, report_data: bytes
+    ) -> Quote:
+        key = self._platform_keys.get(platform_id)
+        if key is None:
+            raise AttestationError("unknown platform")
+        data = _pad_report_data(report_data)
+        partial = Quote(platform_id=platform_id, source=source, report_data=data, signature=b"")
+        return Quote(
+            platform_id=platform_id,
+            source=source,
+            report_data=data,
+            signature=hmac_sha256(key, partial.body()),
+        )
+
+    def verify_quote(self, quote: Quote) -> Measurement:
+        """Verify a quote; returns the attested measurement on success."""
+        key = self._platform_keys.get(quote.platform_id)
+        if key is None:
+            raise AttestationError("quote from unprovisioned platform")
+        expected = hmac_sha256(key, quote.body())
+        if not bytes_eq(expected, quote.signature):
+            raise AttestationError("quote signature verification failed")
+        return quote.source

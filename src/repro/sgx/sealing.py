@@ -1,0 +1,67 @@
+"""Data sealing for the simulated SGX platform.
+
+Sealing lets an enclave persist secrets outside the EPC: the data is
+AEAD-protected under a key derived from the platform's sealing fabric and
+the enclave's identity.  Two key policies exist, as on real hardware:
+
+* ``MRENCLAVE`` — only the *exact same* enclave build can unseal;
+* ``MRSIGNER`` — any enclave from the same signer can unseal (used for
+  upgradable services such as the ResultStore's persisted dictionary).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .measurement import Measurement
+from ..crypto import gcm
+from ..crypto.hashes import hmac_sha256
+from ..errors import IntegrityError, SealingError
+
+
+class SealPolicy(enum.Enum):
+    MRENCLAVE = "mrenclave"
+    MRSIGNER = "mrsigner"
+
+
+@dataclass(frozen=True)
+class SealedBlob:
+    """A sealed secret: policy label + AEAD blob (iv || tag || ct)."""
+
+    policy: SealPolicy
+    payload: bytes
+
+
+def derive_seal_key(
+    fabric_key: bytes, measurement: Measurement, policy: SealPolicy
+) -> bytes:
+    """Derive the 16-byte sealing key for an enclave identity + policy."""
+    identity = (
+        measurement.mrenclave if policy is SealPolicy.MRENCLAVE else measurement.mrsigner
+    )
+    return hmac_sha256(fabric_key, b"seal/" + policy.value.encode() + identity)[:16]
+
+
+def seal_data(
+    fabric_key: bytes,
+    measurement: Measurement,
+    data: bytes,
+    policy: SealPolicy,
+    iv: bytes,
+) -> SealedBlob:
+    """Seal ``data`` to the given enclave identity."""
+    key = derive_seal_key(fabric_key, measurement, policy)
+    aad = b"speed/seal/" + policy.value.encode()
+    return SealedBlob(policy=policy, payload=gcm.seal(key, iv, data, aad))
+
+
+def unseal_data(fabric_key: bytes, measurement: Measurement, blob: SealedBlob) -> bytes:
+    """Unseal a blob; raises :class:`SealingError` if this enclave's
+    identity does not match the sealing identity or the blob was altered."""
+    key = derive_seal_key(fabric_key, measurement, blob.policy)
+    aad = b"speed/seal/" + blob.policy.value.encode()
+    try:
+        return gcm.open_(key, blob.payload, aad)
+    except IntegrityError as exc:
+        raise SealingError("unsealing failed: wrong identity or corrupt blob") from exc

@@ -1,0 +1,115 @@
+"""ResultStore persistence across restarts, via SGX sealing.
+
+The paper's ResultStore keeps its metadata dictionary in enclave memory;
+a machine reboot or service upgrade would discard every cached result.
+Real deployments persist state with the sealing facility the SDK
+provides (§II-D "hardware enclaves"), which is exactly what this module
+does:
+
+* :func:`snapshot_store` — inside the store enclave, serialize the
+  dictionary (entries + their ciphertext blobs) and seal it under the
+  **MRSIGNER** policy, so an upgraded store build from the same vendor
+  can still restore it.
+* :func:`restore_store` — unseal inside the (possibly new) store enclave
+  and repopulate the dictionary and blob arena.
+
+The sealed image is a single opaque blob the untrusted host may keep on
+disk; tampering is detected by the seal's AEAD, and a blob from a
+foreign signer fails to unseal at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .metadata import MetadataEntry, blob_digest
+from .resultstore import ResultStore
+from ..errors import StoreError
+from ..net.framing import FieldReader, FieldWriter
+from ..sgx.sealing import SealedBlob, SealPolicy
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RestoreReport:
+    """Outcome of a restore."""
+
+    entries_restored: int
+    entries_skipped: int  # duplicates already present
+
+
+def _serialize_entries(store: ResultStore) -> bytes:
+    writer = FieldWriter()
+    writer.u32(_FORMAT_VERSION)
+    entries = store._dict.entries()
+    writer.u32(len(entries))
+    for entry in entries:
+        sealed_result = store.blobstore.get(entry.blob_ref)
+        writer.blob(entry.tag)
+        writer.blob(entry.challenge)
+        writer.blob(entry.wrapped_key)
+        writer.blob(sealed_result)
+        writer.text(entry.app_id)
+        writer.u64(entry.hits)
+    return writer.getvalue()
+
+
+def _deserialize_entries(data: bytes):
+    reader = FieldReader(data)
+    version = reader.u32()
+    if version != _FORMAT_VERSION:
+        raise StoreError(f"unsupported snapshot version {version}")
+    count = reader.u32()
+    for _ in range(count):
+        yield (
+            reader.blob(),   # tag
+            reader.blob(),   # challenge
+            reader.blob(),   # wrapped key
+            reader.blob(),   # sealed result
+            reader.text(),   # app id
+            reader.u64(),    # hits
+        )
+
+
+def snapshot_store(store: ResultStore) -> SealedBlob:
+    """Seal the store's full state for persistence (MRSIGNER policy)."""
+    if store.enclave is None:
+        raise StoreError("persistence requires an SGX-mode store")
+    with store.enclave.ecall("snapshot"):
+        payload = _serialize_entries(store)
+        return store.enclave.seal(payload, SealPolicy.MRSIGNER)
+
+
+def restore_store(store: ResultStore, blob: SealedBlob) -> RestoreReport:
+    """Unseal a snapshot into a (typically fresh) store.
+
+    Raises :class:`~repro.errors.SealingError` if the snapshot was sealed
+    by a different vendor's enclave or was modified at rest.
+    """
+    if store.enclave is None:
+        raise StoreError("persistence requires an SGX-mode store")
+    restored = 0
+    skipped = 0
+    with store.enclave.ecall("restore", in_bytes=len(blob.payload)):
+        payload = store.enclave.unseal(blob)
+        for tag, challenge, wrapped_key, sealed_result, app_id, hits in (
+            _deserialize_entries(payload)
+        ):
+            if store.contains(tag):
+                skipped += 1
+                continue
+            ref = store.blobstore.put(sealed_result)
+            entry = MetadataEntry(
+                tag=tag,
+                challenge=challenge,
+                wrapped_key=wrapped_key,
+                blob_ref=ref,
+                blob_digest=blob_digest(sealed_result),
+                size=len(sealed_result),
+                app_id=app_id,
+                hits=hits,
+            )
+            store._dict.put(entry, touch=store._touch)
+            restored += 1
+    return RestoreReport(entries_restored=restored, entries_skipped=skipped)

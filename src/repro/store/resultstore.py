@@ -1,0 +1,370 @@
+"""The encrypted ResultStore service (paper §IV-B).
+
+The main body runs outside the enclave: it owns the network endpoint and
+the untrusted blob arena.  Each request is delegated to the store enclave
+(one ECALL per request), where the channel record is opened, the request
+parsed, and the enclave-protected metadata dictionary accessed; the reply
+is protected before control returns to the host.  A ``use_sgx=False``
+variant runs the identical logic without an enclave — the "w/o SGX"
+series of the paper's Fig. 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .authorization import AuthorizationPolicy
+from .blobstore import BlobStore
+from .eviction import EvictionPolicy, make_policy
+from .metadata import MetadataDict, MetadataEntry, blob_digest
+from .oblivious import ObliviousMetadataDict
+from .quota import QuotaManager, QuotaPolicy
+from ..crypto.drbg import HmacDrbg
+from ..crypto.hashes import DIGEST_SIZE
+from ..errors import ProtocolError, QuotaExceededError, StoreError
+from ..net.channel import ChannelEndpoint, NullChannelEndpoint, establish
+from ..net.messages import (
+    ErrorMessage,
+    GetRequest,
+    GetResponse,
+    Message,
+    PutRequest,
+    PutResponse,
+    SyncRequest,
+    SyncResponse,
+    decode_message,
+    encode_message,
+)
+from ..net.rpc import RpcClient
+from ..net.transport import Network
+from ..sgx.enclave import Enclave
+from ..sgx.platform import SgxPlatform
+
+STORE_CODE_IDENTITY = b"speed/resultstore/enclave-v1"
+STORE_SIGNER = b"speed-store"
+WRAPPED_KEY_SIZE = 16
+CHALLENGE_SIZE = 32
+
+
+@dataclass(frozen=True)
+class StoreConfig:
+    """Deployment knobs for one ResultStore instance."""
+
+    capacity_bytes: int | None = None
+    capacity_entries: int | None = None
+    eviction: str = "lru"
+    quota: QuotaPolicy | None = None
+    use_sgx: bool = True
+    verify_blob_digest: bool = True
+    # Controlled deduplication (§III-D discussion): when set, only
+    # applications whose attested measurement the policy admits may
+    # connect.  None = open admission, the paper's base design.
+    authorization: "AuthorizationPolicy | None" = None
+    # Ablation A3 (DESIGN.md): keep result ciphertexts in enclave memory
+    # instead of outside.  The paper rejects this design because the EPC
+    # is tiny; setting True shows why (page-fault storms under load).
+    blobs_in_epc: bool = False
+    # Paper SS III-D discussion / future work: hide the metadata access
+    # pattern behind Path ORAM (ablation A6 measures the overhead).
+    oblivious_metadata: bool = False
+    oblivious_capacity: int = 4096
+
+
+@dataclass
+class StoreStats:
+    """Operational counters surfaced to experiments."""
+
+    gets: int = 0
+    hits: int = 0
+    puts: int = 0
+    puts_duplicate: int = 0
+    puts_rejected: int = 0
+    evictions: int = 0
+    tamper_detected: int = 0
+
+    def hit_rate(self) -> float:
+        return self.hits / self.gets if self.gets else 0.0
+
+
+def plain_channel_pair(clock, seed: bytes) -> tuple[ChannelEndpoint, ChannelEndpoint]:
+    """Session-key channel without attestation (tests and tooling)."""
+    drbg = HmacDrbg(seed, b"store/plain-channel")
+    k_c2s, k_s2c = drbg.generate(16), drbg.generate(16)
+    client = ChannelEndpoint(clock, send_key=k_c2s, recv_key=k_s2c, label=0)
+    server = ChannelEndpoint(clock, send_key=k_s2c, recv_key=k_c2s, label=1)
+    return client, server
+
+
+def null_channel_pair() -> tuple[NullChannelEndpoint, NullChannelEndpoint]:
+    """Unprotected endpoints for the paper's "without SGX" comparison."""
+    return NullChannelEndpoint(), NullChannelEndpoint()
+
+
+class ResultStore:
+    """One deployed ResultStore reachable at a network address."""
+
+    def __init__(
+        self,
+        platform: SgxPlatform,
+        network: Network,
+        address: str = "resultstore",
+        config: StoreConfig | None = None,
+        seed: bytes = b"resultstore-seed",
+    ):
+        self.platform = platform
+        self.network = network
+        self.address = address
+        self.config = config or StoreConfig()
+        self.endpoint = network.endpoint(address, platform.clock)
+        self.enclave: Enclave | None = None
+        if self.config.use_sgx:
+            self.enclave = platform.create_enclave(
+                f"resultstore@{address}", STORE_CODE_IDENTITY, signer=STORE_SIGNER
+            )
+        if self.config.oblivious_metadata:
+            self._dict: MetadataDict | ObliviousMetadataDict = ObliviousMetadataDict(
+                capacity=self.config.oblivious_capacity,
+                clock=platform.clock,
+                seed=seed + b"/oram",
+            )
+        else:
+            self._dict = MetadataDict()
+        self._blobs = BlobStore()
+        self._policy: EvictionPolicy = make_policy(self.config.eviction)
+        self._quota = (
+            QuotaManager(self.config.quota, platform.clock) if self.config.quota else None
+        )
+        self._channels: dict[str, ChannelEndpoint] = {}
+        self._seed = seed
+        self._conn_counter = 0
+        # blobs_in_epc bookkeeping: blob_ref -> (enclave heap offset, size).
+        self._epc_blob_extents: dict[int, tuple[int, int]] = {}
+        self._epc_blob_cursor = 0
+        self.stats = StoreStats()
+        network.set_reactor(address, self)
+
+    # -- connection management --------------------------------------------
+    def connect(self, client_address: str, app_enclave: Enclave | None = None) -> RpcClient:
+        """Establish a secure channel for one application and return the
+        RPC client its DedupRuntime will use.
+
+        With SGX the channel rides on local attestation between the app
+        enclave and the store enclave; without SGX (Fig. 6 comparison) a
+        pre-provisioned session channel is used.
+        """
+        endpoint = self.network.endpoint(client_address, self.platform.clock)
+        self._conn_counter += 1
+        if self.config.use_sgx:
+            if app_enclave is None:
+                raise StoreError("SGX-mode connections require the application enclave")
+            established = establish(app_enclave, self.enclave)
+            if self.config.authorization is not None:
+                # Controlled deduplication: admit by attested identity.
+                self.config.authorization.check(established.client_measurement)
+            client_chan, server_chan = established.client, established.server
+        else:
+            if self.config.authorization is not None:
+                raise StoreError(
+                    "authorization requires attested (SGX-mode) connections"
+                )
+            # Fig. 6 "w/o SGX": the paper runs the same operations fully
+            # outside enclaves, so no protected channel exists.
+            client_chan, server_chan = null_channel_pair()
+        self._channels[client_address] = server_chan
+        return RpcClient(endpoint, client_chan, self.address)
+
+    # -- reactor -------------------------------------------------------------
+    def pump(self) -> None:
+        """Serve all pending requests (invoked by the network on delivery)."""
+        while self.endpoint.pending():
+            source, record = self.endpoint.recv()
+            channel = self._channels.get(source)
+            if channel is None:
+                raise StoreError(f"request from unconnected client {source!r}")
+            if self.enclave is not None:
+                with self.enclave.ecall("serve_request", in_bytes=len(record)):
+                    reply = self._process(channel, record)
+            else:
+                reply = self._process(channel, record)
+            self.endpoint.send(source, reply)
+
+    def _process(self, channel: ChannelEndpoint, record: bytes) -> bytes:
+        try:
+            request = decode_message(channel.unprotect(record))
+        except Exception as exc:
+            response: Message = ErrorMessage(code=400, detail=str(exc))
+        else:
+            try:
+                response = self._dispatch(request)
+            except QuotaExceededError as exc:
+                response = PutResponse(accepted=False, reason=str(exc))
+            except Exception as exc:
+                response = ErrorMessage(code=500, detail=str(exc))
+        return channel.protect(encode_message(response))
+
+    def _dispatch(self, request: Message) -> Message:
+        if isinstance(request, GetRequest):
+            return self._handle_get(request)
+        if isinstance(request, PutRequest):
+            return self._handle_put(request)
+        if isinstance(request, SyncRequest):
+            return self._handle_sync(request)
+        raise ProtocolError(f"unexpected message type {type(request).__name__}")
+
+    # -- touch helper ----------------------------------------------------------
+    def _touch(self, region: str, offset: int, n_bytes: int) -> None:
+        if self.enclave is not None:
+            self.enclave.touch(region, offset, n_bytes)
+
+    # -- GET -----------------------------------------------------------------
+    def _handle_get(self, request: GetRequest) -> GetResponse:
+        self.stats.gets += 1
+        if len(request.tag) != DIGEST_SIZE:
+            raise ProtocolError(f"tag must be {DIGEST_SIZE} bytes")
+        entry = self._dict.get(request.tag, touch=self._touch)
+        if entry is None:
+            return GetResponse(found=False)
+        sealed = self._blobs.get(entry.blob_ref)
+        if self.config.blobs_in_epc:
+            extent = self._epc_blob_extents.get(entry.blob_ref)
+            if extent is not None:
+                self._touch("store/blobs", extent[0], extent[1])
+        else:
+            # Copying the ciphertext across the enclave boundary.
+            self.platform.clock.charge_marshal(len(sealed))
+        if self.config.verify_blob_digest:
+            self.platform.clock.charge_hash(len(sealed))
+            if blob_digest(sealed) != entry.blob_digest:
+                # Untrusted memory was modified: drop the poisoned entry and
+                # let the application recompute (fail-safe, §III-D).
+                self.stats.tamper_detected += 1
+                self._evict_entry(entry)
+                return GetResponse(found=False)
+        self.stats.hits += 1
+        return GetResponse(
+            found=True,
+            challenge=entry.challenge,
+            wrapped_key=entry.wrapped_key,
+            sealed_result=sealed,
+        )
+
+    # -- PUT -----------------------------------------------------------------
+    def _handle_put(self, request: PutRequest) -> PutResponse:
+        self.stats.puts += 1
+        if len(request.tag) != DIGEST_SIZE:
+            raise ProtocolError(f"tag must be {DIGEST_SIZE} bytes")
+        # Empty challenge/wrapped key = the single-key scheme of §III-B;
+        # the cross-application scheme always sends both.
+        if len(request.challenge) not in (0, CHALLENGE_SIZE):
+            raise ProtocolError(f"challenge must be empty or {CHALLENGE_SIZE} bytes")
+        if len(request.wrapped_key) not in (0, WRAPPED_KEY_SIZE):
+            raise ProtocolError(f"wrapped key must be empty or {WRAPPED_KEY_SIZE} bytes")
+        if request.tag in self._dict:
+            # Deterministic tags mean one ciphertext version suffices
+            # (§IV-B remark); the first stored version wins.
+            self.stats.puts_duplicate += 1
+            return PutResponse(accepted=True, reason="already stored")
+        size = len(request.sealed_result)
+        if self._quota is not None:
+            self._quota.admit_put(request.app_id, size)
+        self._make_room(size)
+        self.platform.clock.charge_hash(size)  # blob digest
+        ref = self._blobs.put(request.sealed_result)
+        if self.config.blobs_in_epc:
+            self._epc_blob_extents[ref] = (self._epc_blob_cursor, size)
+            self._touch("store/blobs", self._epc_blob_cursor, size)
+            self._epc_blob_cursor += size
+        else:
+            self.platform.clock.charge_marshal(size)  # ciphertext leaves the enclave
+        entry = MetadataEntry(
+            tag=request.tag,
+            challenge=request.challenge,
+            wrapped_key=request.wrapped_key,
+            blob_ref=ref,
+            blob_digest=blob_digest(request.sealed_result),
+            size=size,
+            app_id=request.app_id,
+        )
+        self._dict.put(entry, touch=self._touch)
+        return PutResponse(accepted=True)
+
+    def _make_room(self, incoming: int) -> None:
+        cfg = self.config
+        while (
+            cfg.capacity_entries is not None and len(self._dict) >= cfg.capacity_entries
+        ) or (
+            cfg.capacity_bytes is not None
+            and self._dict.total_bytes() + incoming > cfg.capacity_bytes
+        ):
+            entries = self._dict.entries()
+            if not entries:
+                raise StoreError("capacity too small for a single entry")
+            self._evict_entry(self._policy.select_victim(entries))
+            self.stats.evictions += 1
+
+    def _evict_entry(self, entry: MetadataEntry) -> None:
+        self._dict.remove(entry.tag)
+        self._blobs.delete(entry.blob_ref)
+        if self._quota is not None:
+            self._quota.release(entry.app_id, entry.size)
+
+    # -- SYNC (master-store replication, §IV-B remark) -------------------------
+    def _handle_sync(self, request: SyncRequest) -> SyncResponse:
+        known = set(request.known_tags)
+        entries = []
+        for entry in self._dict.entries():
+            if entry.tag in known or entry.hits < request.min_hits:
+                continue
+            sealed = self._blobs.get(entry.blob_ref)
+            self.platform.clock.charge_marshal(len(sealed))
+            entries.append((entry.tag, entry.challenge, entry.wrapped_key, sealed))
+        return SyncResponse(entries=tuple(entries))
+
+    def ingest_entry(
+        self, tag: bytes, challenge: bytes, wrapped_key: bytes, sealed_result: bytes
+    ) -> bool:
+        """Directly insert a replicated entry (sync path, already
+        authenticated by the sync channel); returns False on duplicate."""
+        if self.enclave is not None and not self.enclave.inside:
+            with self.enclave.ecall("ingest_entry", in_bytes=len(sealed_result)):
+                return self.ingest_entry(tag, challenge, wrapped_key, sealed_result)
+        if tag in self._dict:
+            return False
+        size = len(sealed_result)
+        self._make_room(size)
+        ref = self._blobs.put(sealed_result)
+        self._dict.put(
+            MetadataEntry(
+                tag=tag,
+                challenge=challenge,
+                wrapped_key=wrapped_key,
+                blob_ref=ref,
+                blob_digest=blob_digest(sealed_result),
+                size=size,
+                app_id="sync",
+            ),
+            touch=self._touch,
+        )
+        return True
+
+    # -- introspection -----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._dict)
+
+    def contains(self, tag: bytes) -> bool:
+        return tag in self._dict
+
+    def entry_hits(self, tag: bytes) -> int:
+        entry = self._dict.peek(tag)
+        return entry.hits if entry else 0
+
+    @property
+    def blobstore(self) -> BlobStore:
+        """Untrusted memory — exposed for adversarial tests."""
+        return self._blobs
+
+    def blob_ref_of(self, tag: bytes) -> int:
+        entry = self._dict.peek(tag)
+        if entry is None:
+            raise StoreError("unknown tag")
+        return entry.blob_ref

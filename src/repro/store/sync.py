@@ -1,0 +1,129 @@
+"""Master-ResultStore replication across machines (paper §IV-B remark).
+
+"We can also deploy a master ResultStore on a dedicated server, which
+periodically synchronizes the popular (i.e., frequently appeared) results
+from different machines. ... this will not cause redundancy at the master
+ResultStore [because] the tags of underlying computations are
+deterministic and only one version of result ciphertext needs to be
+stored."
+
+The replication link crosses machines, so it authenticates with *remote*
+attestation: each store enclave produces a quote over its sync DH public
+value; the shared :class:`~repro.sgx.attestation.AttestationService`
+verifies both sides before session keys are derived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .resultstore import ResultStore
+from ..crypto.dh import derive_session_keys, generate_keypair
+from ..crypto.drbg import HmacDrbg
+from ..crypto.hashes import sha256
+from ..errors import AttestationError, StoreError
+from ..net.channel import ChannelEndpoint
+from ..net.messages import SyncRequest
+from ..sgx.attestation import AttestationService
+
+
+@dataclass(frozen=True)
+class SyncReport:
+    """Outcome of one replication round."""
+
+    offered: int
+    transferred: int
+    duplicates: int
+
+
+def _attested_sync_channel(
+    service: AttestationService,
+    local: ResultStore,
+    master: ResultStore,
+) -> tuple[ChannelEndpoint, ChannelEndpoint]:
+    """Mutually attested DH between two store enclaves on different
+    machines; returns (local endpoint, master endpoint)."""
+    if local.enclave is None or master.enclave is None:
+        raise StoreError("sync requires SGX-mode stores on both sides")
+
+    with local.enclave.ecall("sync_dh_init"):
+        l_kp = generate_keypair(HmacDrbg(local.enclave.read_rand(32), b"sync/local"))
+        l_quote = local.enclave.create_quote(sha256(l_kp.public.to_bytes(256, "big")))
+
+    with master.enclave.ecall("sync_dh_respond"):
+        l_meas = service.verify_quote(l_quote)
+        if l_meas.mrsigner != master.enclave.measurement.mrsigner:
+            raise AttestationError("sync peer is not a ResultStore enclave")
+        if l_quote.report_data[:32] != sha256(l_kp.public.to_bytes(256, "big")):
+            raise AttestationError("sync DH value not bound to quote")
+        m_kp = generate_keypair(HmacDrbg(master.enclave.read_rand(32), b"sync/master"))
+        m_quote = master.enclave.create_quote(sha256(m_kp.public.to_bytes(256, "big")))
+        transcript = l_kp.public.to_bytes(256, "big") + m_kp.public.to_bytes(256, "big")
+        m_keys = derive_session_keys(m_kp, l_kp.public, transcript)
+
+    with local.enclave.ecall("sync_dh_finish"):
+        m_meas = service.verify_quote(m_quote)
+        if m_meas.mrsigner != local.enclave.measurement.mrsigner:
+            raise AttestationError("sync peer is not a ResultStore enclave")
+        if m_quote.report_data[:32] != sha256(m_kp.public.to_bytes(256, "big")):
+            raise AttestationError("sync DH value not bound to quote")
+        transcript = l_kp.public.to_bytes(256, "big") + m_kp.public.to_bytes(256, "big")
+        l_keys = derive_session_keys(l_kp, m_kp.public, transcript)
+
+    local_ep = ChannelEndpoint(local.platform.clock, send_key=l_keys[0], recv_key=l_keys[1], label=0)
+    master_ep = ChannelEndpoint(master.platform.clock, send_key=m_keys[1], recv_key=m_keys[0], label=1)
+    return local_ep, master_ep
+
+
+def replicate_popular(
+    service: AttestationService,
+    source: ResultStore,
+    master: ResultStore,
+    min_hits: int = 1,
+) -> SyncReport:
+    """Push results with ≥ ``min_hits`` hits from ``source`` to ``master``.
+
+    The channel handshake authenticates both enclaves; the entries travel
+    AEAD-protected; the master drops tags it already holds, so repeated
+    rounds and multiple sources never create duplicate ciphertexts.
+    """
+    local_ep, master_ep = _attested_sync_channel(service, source, master)
+
+    with source.enclave.ecall("sync_collect"):
+        batch = source._handle_sync(  # same code path as the wire handler
+            SyncRequest(known_tags=(), min_hits=min_hits)
+        )
+        payload = local_ep.protect(_encode_entries(batch.entries))
+
+    source.platform.clock.charge_network(len(payload))
+
+    transferred = 0
+    duplicates = 0
+    with master.enclave.ecall("sync_ingest", in_bytes=len(payload)):
+        entries = _decode_entries(master_ep.unprotect(payload))
+        for tag, challenge, wrapped_key, sealed in entries:
+            if master.ingest_entry(tag, challenge, wrapped_key, sealed):
+                transferred += 1
+            else:
+                duplicates += 1
+    return SyncReport(offered=len(batch.entries), transferred=transferred, duplicates=duplicates)
+
+
+def _encode_entries(entries) -> bytes:
+    from ..net.framing import FieldWriter
+
+    w = FieldWriter()
+    w.u32(len(entries))
+    for tag, challenge, wrapped_key, sealed in entries:
+        w.blob(tag).blob(challenge).blob(wrapped_key).blob(sealed)
+    return w.getvalue()
+
+
+def _decode_entries(data: bytes):
+    from ..net.framing import FieldReader
+
+    r = FieldReader(data)
+    count = r.u32()
+    entries = [(r.blob(), r.blob(), r.blob(), r.blob()) for _ in range(count)]
+    r.expect_end()
+    return entries

@@ -1,0 +1,24 @@
+"""Deterministic synthetic workloads standing in for the paper's datasets.
+
+Each generator documents which dataset it substitutes and preserves the
+property the experiment depends on (sizes, structure, and above all the
+duplicate fraction that computation deduplication exploits).
+"""
+
+from .images import image_stream, synthetic_image
+from .packets import packet_trace
+from .rules import PLANTED_CONTENTS, generate_rules
+from .text import synthetic_text, text_corpus
+from .webpages import synthetic_webpage, webpage_stream
+
+__all__ = [
+    "PLANTED_CONTENTS",
+    "generate_rules",
+    "image_stream",
+    "packet_trace",
+    "synthetic_image",
+    "synthetic_text",
+    "synthetic_webpage",
+    "text_corpus",
+    "webpage_stream",
+]

@@ -1,0 +1,70 @@
+"""Synthetic image workload (substitute for the paper's Internet images).
+
+The paper's Case 1 runs SIFT over "different sized images from the
+Internet".  We generate deterministic grayscale images with blob, edge,
+and texture structure (so SIFT finds real keypoints) and a stream with a
+controllable duplicate fraction (the quantity deduplication exploits).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SpeedError
+
+
+def synthetic_image(size: int, seed: int = 0) -> np.ndarray:
+    """One ``size``x``size`` float64 grayscale image in [0, 1]."""
+    if size < 32:
+        raise SpeedError("images below 32px have no usable scale space")
+    rng = np.random.default_rng(seed)
+    yy, xx = np.mgrid[0:size, 0:size].astype(np.float64)
+    image = np.zeros((size, size), dtype=np.float64)
+
+    # Gaussian blobs at random positions/scales give corner-like features.
+    n_blobs = max(24, size // 4)
+    for _ in range(n_blobs):
+        cy, cx = rng.uniform(0.05 * size, 0.95 * size, 2)
+        radius = rng.uniform(size / 96, size / 12)
+        amplitude = rng.uniform(0.3, 1.0) * rng.choice([-1.0, 1.0])
+        image += amplitude * np.exp(-((yy - cy) ** 2 + (xx - cx) ** 2) / (2 * radius**2))
+
+    # Rectangles create strong edges.
+    for _ in range(max(10, size // 12)):
+        y0, x0 = rng.integers(0, size - size // 8, 2)
+        h, w = rng.integers(size // 24, size // 6, 2)
+        image[y0:y0 + h, x0:x0 + w] += rng.uniform(-0.7, 0.7)
+
+    # Oriented sinusoidal texture plus fine-grained noise.
+    for _ in range(3):
+        fy, fx = rng.uniform(0.05, 0.4, 2)
+        phase = rng.uniform(0, 2 * np.pi)
+        image += 0.15 * np.sin(2 * np.pi * (fy * yy + fx * xx) + phase)
+    image += 0.08 * rng.standard_normal((size, size))
+
+    image -= image.min()
+    peak = image.max()
+    if peak > 0:
+        image /= peak
+    # 8-bit grayscale, like a decoded photograph.
+    return np.round(image * 255.0).astype(np.uint8)
+
+
+def image_stream(
+    count: int,
+    size: int,
+    duplicate_fraction: float = 0.5,
+    seed: int = 0,
+) -> list[np.ndarray]:
+    """A stream of images in which ``duplicate_fraction`` are repeats of
+    earlier ones (drawn uniformly from the unique pool)."""
+    if not 0.0 <= duplicate_fraction < 1.0:
+        raise SpeedError("duplicate_fraction must be in [0, 1)")
+    rng = np.random.default_rng(seed ^ 0x5EED)
+    n_unique = max(1, round(count * (1.0 - duplicate_fraction)))
+    unique = [synthetic_image(size, seed=seed + i) for i in range(n_unique)]
+    stream = list(unique)
+    while len(stream) < count:
+        stream.append(unique[int(rng.integers(0, n_unique))])
+    rng.shuffle(stream)
+    return stream[:count]

@@ -1,0 +1,77 @@
+"""Synthetic Snort-like rule generator (substitute for the Snort rules).
+
+The paper's Case 3 uses "over 3,700 patterns from Snort rules".  Real
+Snort rules combine literal ``content`` strings (hex or keyword) with an
+optional ``pcre`` clause; this generator reproduces that mix with fixed
+keyword/protocol pools and deterministic seeding.  A small fraction of
+rules is planted to actually fire on the synthetic traffic (see
+:mod:`repro.workloads.packets`), matching IDS reality where most rules
+never trigger.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..apps.pattern.ruleset import Rule
+
+_KEYWORDS = [
+    b"cmd.exe", b"/etc/passwd", b"SELECT", b"UNION", b"<script>", b"powershell",
+    b"wget ", b"curl ", b"base64,", b"eval(", b"../..", b"\\x90\\x90", b"admin",
+    b"login", b"passwd=", b"token=", b"sessionid", b"shellcode", b"DROP TABLE",
+    b"xp_cmdshell", b"AUTH PLAIN", b"USER anonymous", b"PASS ", b"PUT /",
+]
+_PCRE_TEMPLATES = [
+    r"User-Agent: [a-z]{4,12}bot",
+    r"GET /[a-z0-9]{8,16}\.php\?id=\d+",
+    r"(admin|root|guest):[^\s]{4,16}",
+    r"\x00\x01[\x02-\x7f]{4}",
+    r"Host: [a-z0-9.-]+\.(ru|cn|tk)",
+    r"cmd=([a-z]+;){2,8}",
+    r"[0-9]{1,3}\.[0-9]{1,3}\.[0-9]{1,3}\.[0-9]{1,3}:\d{2,5}",
+    r"password=\w{1,16}&",
+]
+# Content strings deliberately present in the synthetic traffic so that a
+# realistic minority of rules fires.
+PLANTED_CONTENTS = [b"MALWARE-BEACON", b"EXFIL-CHUNK", b"CVE-2019-0001", b"EVILBOT"]
+
+
+def _hex_content(rng: np.random.Generator) -> bytes:
+    length = int(rng.integers(4, 12))
+    return bytes(int(b) for b in rng.integers(0, 256, length))
+
+
+def generate_rules(count: int = 3700, seed: int = 0) -> list[Rule]:
+    """Deterministically generate ``count`` rules."""
+    rng = np.random.default_rng(seed)
+    rules: list[Rule] = []
+    for rule_id in range(1, count + 1):
+        roll = rng.random()
+        contents: list[bytes] = []
+        pcre: str | None = None
+        if rule_id <= len(PLANTED_CONTENTS) * 4:
+            # Planted rules: guaranteed to match some synthetic packets.
+            contents = [PLANTED_CONTENTS[rule_id % len(PLANTED_CONTENTS)]]
+        elif roll < 0.55:
+            # Keyword-content rules (possibly multiple contents).
+            n = int(rng.integers(1, 3))
+            picks = rng.choice(len(_KEYWORDS), size=n, replace=False)
+            contents = [_KEYWORDS[p] for p in picks]
+            # Salt one content so most rules are unique byte strings.
+            contents[0] = contents[0] + b"/" + str(int(rng.integers(0, 10**6))).encode()
+        elif roll < 0.8:
+            contents = [_hex_content(rng)]
+        else:
+            template = _PCRE_TEMPLATES[int(rng.integers(0, len(_PCRE_TEMPLATES)))]
+            pcre = template
+            if rng.random() < 0.5:
+                contents = [_KEYWORDS[int(rng.integers(0, len(_KEYWORDS)))]]
+        rules.append(
+            Rule(
+                rule_id=rule_id,
+                message=f"synthetic rule {rule_id}",
+                contents=tuple(contents),
+                pcre=pcre,
+            )
+        )
+    return rules

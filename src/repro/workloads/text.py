@@ -1,0 +1,64 @@
+"""Synthetic text workload (substitute for the Boost-library text files).
+
+The paper's Case 2 compresses "different sized text files from the Boost
+Library".  We synthesise English-like prose from a fixed vocabulary with
+a Zipf frequency profile and sentence/paragraph structure — compressible
+in the same regime as source-tree documentation (ratios around 0.3-0.5
+under our codec), and byte-for-byte reproducible from the seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_VOCABULARY = (
+    "the of and to in a is that it for as with was on are be this by from "
+    "or an have not they which one had you were all their there can more "
+    "has but some what when out other into time only could these two may "
+    "then do first any my now such like our over man me even most made "
+    "after also did many before must through years where much your way "
+    "system data result function enclave secure compute memory store key "
+    "cache page table thread process network packet byte code library "
+    "value input output state buffer size block stream file record index"
+).split()
+
+
+def _zipf_weights(n: int) -> np.ndarray:
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = 1.0 / ranks
+    return weights / weights.sum()
+
+
+def synthetic_text(n_bytes: int, seed: int = 0) -> bytes:
+    """ASCII prose of (at least) ``n_bytes`` bytes, truncated exactly."""
+    rng = np.random.default_rng(seed)
+    weights = _zipf_weights(len(_VOCABULARY))
+    pieces: list[str] = []
+    total = 0
+    while total < n_bytes:
+        sentence_len = int(rng.integers(6, 18))
+        words = rng.choice(len(_VOCABULARY), size=sentence_len, p=weights)
+        sentence = " ".join(_VOCABULARY[w] for w in words)
+        sentence = sentence[0].upper() + sentence[1:] + ". "
+        if rng.random() < 0.1:
+            sentence += "\n\n"
+        pieces.append(sentence)
+        total += len(sentence)
+    return "".join(pieces).encode("ascii")[:n_bytes]
+
+
+def text_corpus(
+    count: int,
+    n_bytes: int,
+    duplicate_fraction: float = 0.5,
+    seed: int = 0,
+) -> list[bytes]:
+    """A stream of documents with a controllable duplicate fraction."""
+    rng = np.random.default_rng(seed ^ 0x7E47)
+    n_unique = max(1, round(count * (1.0 - duplicate_fraction)))
+    unique = [synthetic_text(n_bytes, seed=seed + i) for i in range(n_unique)]
+    stream = list(unique)
+    while len(stream) < count:
+        stream.append(unique[int(rng.integers(0, n_unique))])
+    rng.shuffle(stream)
+    return stream[:count]

@@ -1,0 +1,51 @@
+"""Synthetic web-page generator (substitute for the CommonCrawl WET set).
+
+The paper's Case 4 word-counts "300,000 web pages from the CommonCrawl
+dataset".  We synthesise pages with title/heading/paragraph structure,
+light markup (exercising the BoW tokenizer's stripping path), a Zipf
+vocabulary, and a crawl-like duplicate fraction (mirrors, unchanged
+re-crawls) controlled per stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .text import _VOCABULARY, _zipf_weights
+
+
+def synthetic_webpage(n_words: int = 400, seed: int = 0) -> str:
+    """One page of roughly ``n_words`` words with light HTML structure."""
+    rng = np.random.default_rng(seed)
+    weights = _zipf_weights(len(_VOCABULARY))
+
+    def words(n: int) -> str:
+        picks = rng.choice(len(_VOCABULARY), size=n, p=weights)
+        return " ".join(_VOCABULARY[w] for w in picks)
+
+    lines = [f"<title>{words(int(rng.integers(3, 8)))}</title>"]
+    remaining = n_words
+    while remaining > 0:
+        if rng.random() < 0.15:
+            lines.append(f"<h2>{words(int(rng.integers(2, 6)))}</h2>")
+        paragraph_len = int(rng.integers(30, 80))
+        lines.append(f"<p>{words(min(paragraph_len, remaining))}</p>")
+        remaining -= paragraph_len
+    return "\n".join(lines)
+
+
+def webpage_stream(
+    count: int,
+    n_words: int = 400,
+    duplicate_fraction: float = 0.5,
+    seed: int = 0,
+) -> list[str]:
+    """A crawl of ``count`` pages with repeated (re-crawled) pages."""
+    rng = np.random.default_rng(seed ^ 0xCAFE)
+    n_unique = max(1, round(count * (1.0 - duplicate_fraction)))
+    unique = [synthetic_webpage(n_words, seed=seed + i) for i in range(n_unique)]
+    stream = list(unique)
+    while len(stream) < count:
+        stream.append(unique[int(rng.integers(0, n_unique))])
+    rng.shuffle(stream)
+    return stream[:count]

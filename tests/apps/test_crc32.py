@@ -1,0 +1,36 @@
+"""CRC-32: pinned to the IEEE/zlib definition via the stdlib."""
+
+import binascii
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.compress import crc32, deflate, inflate
+from repro.errors import SpeedError
+
+
+class TestCrc32:
+    def test_known_vector(self):
+        assert crc32(b"123456789") == 0xCBF43926
+
+    def test_empty(self):
+        assert crc32(b"") == 0
+
+    @given(st.binary(max_size=512))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_stdlib(self, data):
+        assert crc32(data) == binascii.crc32(data)
+
+    @given(st.binary(max_size=128), st.binary(max_size=128))
+    @settings(max_examples=30, deadline=None)
+    def test_incremental(self, a, b):
+        assert crc32(b, crc32(a)) == crc32(a + b)
+
+
+class TestContainerCrc:
+    def test_crc_in_container_detects_corruption(self):
+        blob = bytearray(deflate(b"payload " * 100))
+        blob[14] ^= 0x01  # flip a bit in the stored CRC
+        with pytest.raises(SpeedError, match="CRC-32|length|Huffman|stream"):
+            inflate(bytes(blob))

@@ -1,0 +1,38 @@
+"""Shared fixtures for the SPEED reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Deployment, FunctionDescription, TrustedLibrary, TrustedLibraryRegistry
+
+
+def double_bytes(data: bytes) -> bytes:
+    """A trivial deterministic trusted-library function for tests."""
+    return data + data
+
+
+def make_libs() -> TrustedLibraryRegistry:
+    libs = TrustedLibraryRegistry()
+    libs.register(
+        TrustedLibrary("testlib", "1.0").add("bytes double(bytes)", double_bytes)
+    )
+    return libs
+
+
+DOUBLE_DESC = FunctionDescription("testlib", "1.0", "bytes double(bytes)")
+
+
+@pytest.fixture
+def deployment() -> Deployment:
+    return Deployment(seed=b"test-deployment")
+
+
+@pytest.fixture
+def app(deployment):
+    return deployment.create_application("test-app", make_libs())
+
+
+@pytest.fixture
+def dedup_double(app):
+    return app.deduplicable(DOUBLE_DESC)

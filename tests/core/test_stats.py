@@ -1,0 +1,40 @@
+"""Runtime statistics bookkeeping."""
+
+from repro.core.stats import CallRecord, RuntimeStats
+
+
+def record(hit: bool, wall=0.1, sim=0.01) -> CallRecord:
+    return CallRecord(
+        description="f", hit=hit, input_bytes=10, result_bytes=20,
+        wall_seconds=wall, sim_seconds=sim,
+    )
+
+
+class TestRuntimeStats:
+    def test_empty(self):
+        stats = RuntimeStats()
+        assert stats.hit_rate() == 0.0
+        assert stats.total_wall_seconds() == 0.0
+
+    def test_counting(self):
+        stats = RuntimeStats()
+        stats.record_call(record(True))
+        stats.record_call(record(False))
+        stats.record_call(record(True))
+        assert stats.calls == 3
+        assert stats.hits == 2
+        assert stats.misses == 1
+        assert stats.hit_rate() == 2 / 3
+
+    def test_time_totals(self):
+        stats = RuntimeStats()
+        stats.record_call(record(True, wall=0.5, sim=0.05))
+        stats.record_call(record(False, wall=1.5, sim=0.15))
+        assert stats.total_wall_seconds() == 2.0
+        assert abs(stats.total_sim_seconds() - 0.2) < 1e-12
+
+    def test_records_preserved_in_order(self):
+        stats = RuntimeStats()
+        stats.record_call(record(False))
+        stats.record_call(record(True))
+        assert [r.hit for r in stats.records] == [False, True]

@@ -1,0 +1,54 @@
+"""Finite-field DH: agreement, validation, transcript binding."""
+
+import pytest
+
+from repro.crypto.dh import (
+    MODP_2048_P,
+    derive_session_keys,
+    generate_keypair,
+    shared_secret,
+)
+from repro.crypto.drbg import HmacDrbg
+from repro.errors import CryptoError
+
+
+class TestAgreement:
+    def test_both_sides_agree(self):
+        a = generate_keypair(HmacDrbg(b"alice"))
+        b = generate_keypair(HmacDrbg(b"bob"))
+        assert shared_secret(a, b.public) == shared_secret(b, a.public)
+
+    def test_different_peers_different_secrets(self):
+        a = generate_keypair(HmacDrbg(b"alice"))
+        b = generate_keypair(HmacDrbg(b"bob"))
+        c = generate_keypair(HmacDrbg(b"carol"))
+        assert shared_secret(a, b.public) != shared_secret(a, c.public)
+
+    def test_session_keys_symmetric(self):
+        a = generate_keypair(HmacDrbg(b"alice"))
+        b = generate_keypair(HmacDrbg(b"bob"))
+        transcript = b"handshake-transcript"
+        ka = derive_session_keys(a, b.public, transcript)
+        kb = derive_session_keys(b, a.public, transcript)
+        assert ka == kb
+        assert len(ka[0]) == len(ka[1]) == 16
+        assert ka[0] != ka[1]
+
+    def test_transcript_binding(self):
+        a = generate_keypair(HmacDrbg(b"alice"))
+        b = generate_keypair(HmacDrbg(b"bob"))
+        assert derive_session_keys(a, b.public, b"t1") != derive_session_keys(
+            a, b.public, b"t2"
+        )
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [0, 1, MODP_2048_P - 1, MODP_2048_P, MODP_2048_P + 5])
+    def test_rejects_degenerate_public_values(self, bad):
+        own = generate_keypair(HmacDrbg(b"x"))
+        with pytest.raises(CryptoError):
+            shared_secret(own, bad)
+
+    def test_public_in_range(self):
+        kp = generate_keypair(HmacDrbg(b"y"))
+        assert 2 <= kp.public <= MODP_2048_P - 2

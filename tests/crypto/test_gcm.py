@@ -1,0 +1,127 @@
+"""AES-GCM: NIST vectors, GF(2^128) algebra, tamper detection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.gcm import AesGcm, gf_mult, open_, seal, _build_ghash_table
+from repro.errors import CryptoError, IntegrityError
+
+
+class TestNistVectors:
+    def test_case1_empty(self):
+        _, tag = AesGcm(b"\x00" * 16).encrypt(b"\x00" * 12, b"")
+        assert tag.hex() == "58e2fccefa7e3061367f1d57a4e7455a"
+
+    def test_case2_one_block(self):
+        ct, tag = AesGcm(b"\x00" * 16).encrypt(b"\x00" * 12, b"\x00" * 16)
+        assert ct.hex() == "0388dace60b6a392f328c2b971b2fe78"
+        assert tag.hex() == "ab6e47d42cec13bdf53a67b21257bddf"
+
+    def test_case4_with_aad(self):
+        key = bytes.fromhex("feffe9928665731c6d6a8f9467308308")
+        iv = bytes.fromhex("cafebabefacedbaddecaf888")
+        pt = bytes.fromhex(
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+            "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39"
+        )
+        aad = bytes.fromhex("feedfacedeadbeeffeedfacedeadbeefabaddad2")
+        ct, tag = AesGcm(key).encrypt(iv, pt, aad)
+        assert tag.hex() == "5bc94fbc3221a5db94fae95ae7121a47"
+        assert AesGcm(key).decrypt(iv, ct, tag, aad) == pt
+
+    def test_long_iv_path(self):
+        # Non-12-byte IVs go through the GHASH J0 derivation.
+        g = AesGcm(b"\x01" * 16)
+        ct, tag = g.encrypt(b"\x02" * 20, b"payload")
+        assert g.decrypt(b"\x02" * 20, ct, tag) == b"payload"
+
+
+class TestGhashAlgebra:
+    H = int.from_bytes(bytes.fromhex("66e94bd4ef8a2c3b884cfa59ca342b2e"), "big")
+
+    def test_identity_element(self):
+        one = 1 << 127
+        assert gf_mult(self.H, one) == self.H
+
+    def test_commutative(self):
+        a, b = 0x1234567890ABCDEF << 64, 0xFEDCBA0987654321
+        assert gf_mult(a, b) == gf_mult(b, a)
+
+    def test_distributive(self):
+        a, b, c = (0x1111 << 100), (0x2222 << 50), 0x3333
+        assert gf_mult(a ^ b, c) == gf_mult(a, c) ^ gf_mult(b, c)
+
+    def test_table_agrees_with_bitwise_mult(self):
+        table = _build_ghash_table(self.H)
+        for x in (1, 0xDEADBEEF, (1 << 127) | 0xABCD, (0x77 << 120) | (0x55 << 8)):
+            via_table = 0
+            for i in range(16):
+                via_table ^= table[i][(x >> (8 * (15 - i))) & 0xFF]
+            assert via_table == gf_mult(x, self.H)
+
+
+class TestTamperDetection:
+    KEY = b"k" * 16
+    IV = b"i" * 12
+
+    def _encrypt(self, pt=b"secret result bytes", aad=b"tag-binding"):
+        return AesGcm(self.KEY).encrypt(self.IV, pt, aad)
+
+    def test_ciphertext_flip_detected(self):
+        ct, tag = self._encrypt()
+        bad = ct[:-1] + bytes([ct[-1] ^ 1])
+        with pytest.raises(IntegrityError):
+            AesGcm(self.KEY).decrypt(self.IV, bad, tag, b"tag-binding")
+
+    def test_tag_flip_detected(self):
+        ct, tag = self._encrypt()
+        bad = tag[:-1] + bytes([tag[-1] ^ 1])
+        with pytest.raises(IntegrityError):
+            AesGcm(self.KEY).decrypt(self.IV, ct, bad, b"tag-binding")
+
+    def test_wrong_aad_detected(self):
+        ct, tag = self._encrypt()
+        with pytest.raises(IntegrityError):
+            AesGcm(self.KEY).decrypt(self.IV, ct, tag, b"other-binding")
+
+    def test_wrong_iv_detected(self):
+        ct, tag = self._encrypt()
+        with pytest.raises(IntegrityError):
+            AesGcm(self.KEY).decrypt(b"j" * 12, ct, tag, b"tag-binding")
+
+    def test_wrong_key_detected(self):
+        ct, tag = self._encrypt()
+        with pytest.raises(IntegrityError):
+            AesGcm(b"x" * 16).decrypt(self.IV, ct, tag, b"tag-binding")
+
+    def test_truncated_tag_rejected(self):
+        ct, tag = self._encrypt()
+        with pytest.raises(IntegrityError):
+            AesGcm(self.KEY).decrypt(self.IV, ct, tag[:12], b"tag-binding")
+
+    def test_empty_iv_rejected(self):
+        with pytest.raises(CryptoError):
+            AesGcm(self.KEY).encrypt(b"", b"data")
+
+
+class TestSealOpen:
+    @given(st.binary(max_size=2048), st.binary(max_size=64))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip(self, plaintext, aad):
+        blob = seal(b"k" * 16, b"i" * 12, plaintext, aad)
+        assert open_(b"k" * 16, blob, aad) == plaintext
+
+    def test_blob_layout(self):
+        blob = seal(b"k" * 16, b"i" * 12, b"abc")
+        assert blob[:12] == b"i" * 12
+        assert len(blob) == 12 + 16 + 3
+
+    def test_short_blob_rejected(self):
+        with pytest.raises(IntegrityError):
+            open_(b"k" * 16, b"too-short")
+
+    def test_randomised_ivs_give_distinct_ciphertexts(self):
+        a = seal(b"k" * 16, b"i" * 12, b"same message")
+        b = seal(b"k" * 16, b"j" * 12, b"same message")
+        assert a[28:] != b[28:]

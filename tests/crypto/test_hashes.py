@@ -1,0 +1,46 @@
+"""SHA-256 helpers: vectors and the domain-separated multi-input hash."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.hashes import hmac_sha256, sha256, tagged_hash
+
+
+class TestSha256:
+    def test_empty_vector(self):
+        assert sha256(b"").hex() == (
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        )
+
+    def test_abc_vector(self):
+        assert sha256(b"abc").hex() == (
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        )
+
+
+class TestHmac:
+    def test_rfc4231_case2(self):
+        mac = hmac_sha256(b"Jefe", b"what do ya want for nothing?")
+        assert mac.hex() == (
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        )
+
+
+class TestTaggedHash:
+    def test_deterministic(self):
+        assert tagged_hash(b"d", b"a", b"b") == tagged_hash(b"d", b"a", b"b")
+
+    def test_domain_separation(self):
+        assert tagged_hash(b"d1", b"a") != tagged_hash(b"d2", b"a")
+
+    def test_component_boundaries_matter(self):
+        # ("ab", "c") must not collide with ("a", "bc").
+        assert tagged_hash(b"d", b"ab", b"c") != tagged_hash(b"d", b"a", b"bc")
+
+    def test_arity_matters(self):
+        assert tagged_hash(b"d", b"a") != tagged_hash(b"d", b"a", b"")
+
+    @given(st.lists(st.binary(max_size=32), min_size=1, max_size=4))
+    @settings(max_examples=50, deadline=None)
+    def test_always_32_bytes(self, parts):
+        assert len(tagged_hash(b"domain", *parts)) == 32

@@ -1,0 +1,45 @@
+"""HKDF against the RFC 5869 test vectors."""
+
+import pytest
+
+from repro.crypto.hkdf import hkdf, hkdf_expand, hkdf_extract
+from repro.errors import CryptoError
+
+
+class TestRfc5869:
+    def test_case1(self):
+        ikm = bytes.fromhex("0b" * 22)
+        salt = bytes.fromhex("000102030405060708090a0b0c")
+        info = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9")
+        prk = hkdf_extract(salt, ikm)
+        assert prk.hex() == (
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        )
+        okm = hkdf_expand(prk, info, 42)
+        assert okm.hex() == (
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865"
+        )
+
+    def test_case3_empty_salt_and_info(self):
+        prk = hkdf_extract(b"", bytes.fromhex("0b" * 22))
+        okm = hkdf_expand(prk, b"", 42)
+        assert okm.hex() == (
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8"
+        )
+
+
+class TestApi:
+    def test_one_shot_matches_two_step(self):
+        assert hkdf(b"ikm", b"salt", b"info", 32) == hkdf_expand(
+            hkdf_extract(b"salt", b"ikm"), b"info", 32
+        )
+
+    def test_distinct_infos_give_distinct_keys(self):
+        assert hkdf(b"ikm", info=b"a") != hkdf(b"ikm", info=b"b")
+
+    @pytest.mark.parametrize("length", [0, -1, 255 * 32 + 1])
+    def test_invalid_lengths(self, length):
+        with pytest.raises(CryptoError):
+            hkdf_expand(b"\x00" * 32, b"", length)

@@ -1,0 +1,78 @@
+"""Binary codec: roundtrips, truncation, bounds."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SerializationError
+from repro.net.framing import FieldReader, FieldWriter
+
+
+class TestRoundtrip:
+    def test_mixed_fields(self):
+        w = FieldWriter()
+        w.u8(7).u32(1234).u64(2**40).boolean(True).blob(b"payload").text("héllo")
+        r = FieldReader(w.getvalue())
+        assert r.u8() == 7
+        assert r.u32() == 1234
+        assert r.u64() == 2**40
+        assert r.boolean() is True
+        assert r.blob() == b"payload"
+        assert r.text() == "héllo"
+        r.expect_end()
+
+    @given(st.lists(st.binary(max_size=100), max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_blob_sequences(self, blobs):
+        w = FieldWriter()
+        for b in blobs:
+            w.blob(b)
+        r = FieldReader(w.getvalue())
+        assert [r.blob() for _ in blobs] == blobs
+        r.expect_end()
+
+    def test_empty_blob(self):
+        w = FieldWriter()
+        w.blob(b"")
+        r = FieldReader(w.getvalue())
+        assert r.blob() == b""
+
+
+class TestErrors:
+    def test_truncated_read(self):
+        with pytest.raises(SerializationError):
+            FieldReader(b"\x00\x01").u32()
+
+    def test_truncated_blob_body(self):
+        w = FieldWriter()
+        w.blob(b"abcdef")
+        data = w.getvalue()[:-2]
+        with pytest.raises(SerializationError):
+            FieldReader(data).blob()
+
+    def test_trailing_bytes_detected(self):
+        with pytest.raises(SerializationError):
+            FieldReader(b"\x01\x02").expect_end()
+
+    def test_invalid_boolean(self):
+        with pytest.raises(SerializationError):
+            FieldReader(b"\x02").boolean()
+
+    def test_invalid_utf8(self):
+        w = FieldWriter()
+        w.blob(b"\xff\xfe")
+        with pytest.raises(SerializationError):
+            FieldReader(w.getvalue()).text()
+
+    @pytest.mark.parametrize("value,write", [
+        (-1, "u8"), (256, "u8"), (-1, "u32"), (2**32, "u32"), (2**64, "u64"),
+    ])
+    def test_out_of_range_writes(self, value, write):
+        with pytest.raises(SerializationError):
+            getattr(FieldWriter(), write)(value)
+
+    def test_remaining_counts_down(self):
+        r = FieldReader(b"\x01\x02\x03")
+        assert r.remaining == 3
+        r.u8()
+        assert r.remaining == 2

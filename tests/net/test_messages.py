@@ -1,0 +1,67 @@
+"""Wire messages: exhaustive roundtrips and protocol violations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolError
+from repro.net.messages import (
+    ErrorMessage,
+    GetRequest,
+    GetResponse,
+    PutRequest,
+    PutResponse,
+    SyncRequest,
+    SyncResponse,
+    decode_message,
+    encode_message,
+)
+
+EXAMPLES = [
+    GetRequest(tag=b"\x01" * 32, app_id="scanner"),
+    GetRequest(tag=b"", app_id=""),
+    GetResponse(found=False),
+    GetResponse(found=True, challenge=b"r" * 32, wrapped_key=b"k" * 16,
+                sealed_result=b"ciphertext"),
+    PutRequest(tag=b"\x02" * 32, challenge=b"r" * 32, wrapped_key=b"k" * 16,
+               sealed_result=b"x" * 100, app_id="app"),
+    PutResponse(accepted=True),
+    PutResponse(accepted=False, reason="quota exceeded"),
+    SyncRequest(known_tags=(b"\x03" * 32, b"\x04" * 32), min_hits=5),
+    SyncRequest(),
+    SyncResponse(entries=((b"t" * 32, b"r" * 32, b"k" * 16, b"blob"),)),
+    SyncResponse(),
+    ErrorMessage(code=500, detail="boom"),
+]
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("msg", EXAMPLES, ids=lambda m: type(m).__name__)
+    def test_encode_decode(self, msg):
+        assert decode_message(encode_message(msg)) == msg
+
+    @given(st.binary(max_size=64), st.text(max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_get_request_any_payload(self, tag, app_id):
+        msg = GetRequest(tag=tag, app_id=app_id)
+        assert decode_message(encode_message(msg)) == msg
+
+
+class TestViolations:
+    def test_unknown_type_byte(self):
+        with pytest.raises(ProtocolError):
+            decode_message(b"\xfa\x00\x00")
+
+    def test_empty_message(self):
+        with pytest.raises(Exception):
+            decode_message(b"")
+
+    def test_trailing_garbage_rejected(self):
+        data = encode_message(PutResponse(accepted=True)) + b"extra"
+        with pytest.raises(Exception):
+            decode_message(data)
+
+    def test_truncated_body_rejected(self):
+        data = encode_message(EXAMPLES[3])[:-3]
+        with pytest.raises(Exception):
+            decode_message(data)

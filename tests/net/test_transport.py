@@ -1,0 +1,110 @@
+"""Loopback transport: delivery, taps, fault injection, reactors."""
+
+import pytest
+
+from repro.errors import TransportError
+from repro.net.transport import FaultInjector, Network
+from repro.sgx.cost_model import SimClock
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+class TestDelivery:
+    def test_fifo_order(self, clock):
+        net = Network()
+        a = net.endpoint("a", clock)
+        b = net.endpoint("b", clock)
+        a.send("b", b"first")
+        a.send("b", b"second")
+        assert b.recv() == ("a", b"first")
+        assert b.recv() == ("a", b"second")
+
+    def test_empty_inbox_raises(self, clock):
+        net = Network()
+        a = net.endpoint("a", clock)
+        with pytest.raises(TransportError):
+            a.recv()
+
+    def test_unknown_destination(self, clock):
+        net = Network()
+        a = net.endpoint("a", clock)
+        with pytest.raises(TransportError):
+            a.send("ghost", b"payload")
+
+    def test_duplicate_address_rejected(self, clock):
+        net = Network()
+        net.endpoint("a", clock)
+        with pytest.raises(TransportError):
+            net.endpoint("a", clock)
+
+    def test_send_charges_sender_clock(self, clock):
+        net = Network()
+        a = net.endpoint("a", clock)
+        net.endpoint("b", clock)
+        a.send("b", b"x" * 100)
+        expected = clock.params.net_fixed_cycles + 100 * clock.params.net_cycles_per_byte
+        assert clock.cycles == pytest.approx(expected)
+
+    def test_counters(self, clock):
+        net = Network()
+        a = net.endpoint("a", clock)
+        net.endpoint("b", clock)
+        a.send("b", b"12345")
+        assert net.messages_sent == 1
+        assert net.bytes_sent == 5
+
+
+class TestTaps:
+    def test_tap_sees_everything(self, clock):
+        net = Network()
+        seen = []
+        net.add_tap(lambda s, d, p: seen.append((s, d, p)))
+        a = net.endpoint("a", clock)
+        net.endpoint("b", clock)
+        a.send("b", b"observed")
+        assert seen == [("a", "b", b"observed")]
+
+
+class TestFaultInjection:
+    def test_drop(self, clock):
+        net = Network(fault_injector=FaultInjector(drop_indices={0}))
+        a = net.endpoint("a", clock)
+        b = net.endpoint("b", clock)
+        a.send("b", b"lost")
+        a.send("b", b"kept")
+        assert b.pending() == 1
+        assert b.recv() == ("a", b"kept")
+
+    def test_corrupt(self, clock):
+        net = Network(fault_injector=FaultInjector(corrupt_indices={0}))
+        a = net.endpoint("a", clock)
+        b = net.endpoint("b", clock)
+        a.send("b", b"data")
+        _, payload = b.recv()
+        assert payload != b"data"
+        assert len(payload) == 4
+
+
+class TestReactor:
+    def test_reactor_runs_on_delivery(self, clock):
+        net = Network()
+        a = net.endpoint("a", clock)
+        b = net.endpoint("b", clock)
+
+        class Echo:
+            def pump(self):
+                while b.pending():
+                    source, payload = b.recv()
+                    b.send(source, payload[::-1])
+
+        net.set_reactor("b", Echo())
+        a.send("b", b"ping")
+        assert a.recv() == ("b", b"gnip")
+
+    def test_reactor_unknown_address(self, clock):
+        net = Network()
+        with pytest.raises(TransportError):
+            net.set_reactor("ghost", object())

@@ -1,0 +1,97 @@
+"""§III-D: cache poisoning is detected; applications never consume
+poisoned results."""
+
+from repro import Deployment
+from repro.core.tag import derive_tag
+from repro.core.serialization import AnyParser, default_registry
+from repro.security import CachePoisoningAdversary
+from repro.store.resultstore import StoreConfig
+from tests.conftest import DOUBLE_DESC, double_bytes, make_libs
+
+
+def fill_store(deployment, app, dedup, inputs):
+    for data in inputs:
+        dedup(data)
+        app.runtime.flush_puts()
+
+
+class TestCachePoisoning:
+    def test_store_detects_blob_tampering(self):
+        d = Deployment(seed=b"poison-1")
+        app = d.create_application("victim", make_libs())
+        dedup = app.deduplicable(DOUBLE_DESC)
+        fill_store(d, app, dedup, [b"a", b"b", b"c"])
+        adversary = CachePoisoningAdversary(d.store)
+        tampered = adversary.tamper_all()
+        assert tampered == 3
+        # Every subsequent call detects and recomputes correctly: the
+        # store drops each poisoned entry and serves a miss.
+        for data in (b"a", b"b", b"c"):
+            assert dedup(data) == double_bytes(data)
+            app.runtime.flush_puts()
+        assert d.store.stats.tamper_detected == 3
+        assert app.runtime.stats.hits == 0
+        assert app.runtime.stats.misses == 6
+        # The re-computed results were re-stored and are usable again.
+        for data in (b"a", b"b", b"c"):
+            assert dedup(data) == double_bytes(data)
+        assert app.runtime.stats.hits == 3
+
+    def test_application_aead_is_last_line_of_defence(self):
+        # Store-side digest disabled: poisoned bytes reach the app, whose
+        # authenticated decryption rejects them (Fig. 3 "⊥ → Ret false").
+        d = Deployment(seed=b"poison-2",
+                       store_config=StoreConfig(verify_blob_digest=False))
+        app = d.create_application("victim", make_libs())
+        dedup = app.deduplicable(DOUBLE_DESC)
+        fill_store(d, app, dedup, [b"a"])
+        CachePoisoningAdversary(d.store).tamper_all()
+        assert dedup(b"a") == double_bytes(b"a")
+        assert app.runtime.stats.verification_failures == 1
+
+    def test_malicious_put_cannot_replace_existing_result(self):
+        # First-write-wins: a forged PUT under an existing tag is ignored.
+        d = Deployment(seed=b"poison-3")
+        app = d.create_application("victim", make_libs())
+        dedup = app.deduplicable(DOUBLE_DESC)
+        fill_store(d, app, dedup, [b"data"])
+
+        func_identity = app.runtime.libraries.function_identity(DOUBLE_DESC)
+        input_bytes = AnyParser(default_registry()).encode(b"data")
+        tag = derive_tag(func_identity, input_bytes)
+
+        from repro.net.messages import PutRequest
+
+        attacker_enclave = d.platform.create_enclave("attacker", b"attacker-code")
+        attacker = d.store.connect("attacker-addr", app_enclave=attacker_enclave)
+        response = attacker.call(PutRequest(
+            tag=tag, challenge=b"r" * 32, wrapped_key=b"k" * 16,
+            sealed_result=b"forged garbage", app_id="attacker",
+        ))
+        assert response.reason == "already stored"
+        # The honest application still gets its genuine result as a hit.
+        assert dedup(b"data") == double_bytes(b"data")
+        assert app.runtime.stats.verification_failures == 0
+
+    def test_preemptive_poisoning_is_rejected_by_verification(self):
+        # The attacker stores garbage under the victim's tag *before* the
+        # victim ever computes: the victim's verification protocol
+        # rejects it and the correct result is computed and returned.
+        d = Deployment(seed=b"poison-4")
+        app = d.create_application("victim", make_libs())
+        dedup = app.deduplicable(DOUBLE_DESC)
+
+        func_identity = app.runtime.libraries.function_identity(DOUBLE_DESC)
+        input_bytes = AnyParser(default_registry()).encode(b"data")
+        tag = derive_tag(func_identity, input_bytes)
+
+        from repro.net.messages import PutRequest
+
+        attacker_enclave = d.platform.create_enclave("attacker", b"attacker-code")
+        attacker = d.store.connect("attacker-addr", app_enclave=attacker_enclave)
+        attacker.call(PutRequest(
+            tag=tag, challenge=b"r" * 32, wrapped_key=b"k" * 16,
+            sealed_result=b"pre-poisoned", app_id="attacker",
+        ))
+        assert dedup(b"data") == double_bytes(b"data")
+        assert app.runtime.stats.verification_failures == 1

@@ -1,0 +1,53 @@
+"""Single point of compromise: §III-B vs §III-C.
+
+The basic single-key design falls entirely when one application leaks
+the system-wide key; the cross-application scheme confines damage to
+computations the compromised party could perform anyway.
+"""
+
+from repro.core.scheme import CrossAppScheme, SingleKeyScheme
+from repro.core.tag import derive_tag
+from repro.crypto.drbg import HmacDrbg
+from repro.errors import IntegrityError
+
+import pytest
+
+SYSTEM_KEY = b"shared-key-16byt"
+FUNC_A = b"\x01" * 32
+FUNC_B = b"\x02" * 32
+
+
+def protect_under(scheme, func, inp, result, seed):
+    tag = derive_tag(func, inp)
+    return tag, scheme.protect(func, inp, tag, result, HmacDrbg(seed).generate)
+
+
+class TestSinglePointOfCompromise:
+    def test_single_key_leak_breaks_every_application(self):
+        scheme = SingleKeyScheme(SYSTEM_KEY)
+        tag_a, prot_a = protect_under(scheme, FUNC_A, b"input-a", b"result-a", b"a")
+        tag_b, prot_b = protect_under(scheme, FUNC_B, b"input-b", b"result-b", b"b")
+        # Attacker stole SYSTEM_KEY from app A; decrypts app B's results
+        # without owning app B's function or input.
+        attacker = SingleKeyScheme(SYSTEM_KEY)
+        assert attacker.recover(b"x" * 32, b"anything", tag_b, prot_b) == b"result-b"
+        assert attacker.recover(b"y" * 32, b"whatever", tag_a, prot_a) == b"result-a"
+
+    def test_cross_app_compromise_is_contained(self):
+        scheme = CrossAppScheme()
+        # App A's full state is compromised: the attacker now owns
+        # FUNC_A and input-a — but app B's entry stays sealed.
+        tag_b, prot_b = protect_under(scheme, FUNC_B, b"input-b", b"result-b", b"b")
+        with pytest.raises(IntegrityError):
+            scheme.recover(FUNC_A, b"input-a", tag_b, prot_b)
+
+    def test_cross_app_has_no_key_to_steal(self):
+        # There is no long-term decryption key anywhere: each entry's key
+        # is wrapped under its own computation-derived pad.
+        scheme = CrossAppScheme()
+        tag1, prot1 = protect_under(scheme, FUNC_A, b"m1", b"r1", b"s1")
+        tag2, prot2 = protect_under(scheme, FUNC_A, b"m2", b"r2", b"s2")
+        # Unwrapping entry 1 (by owning m1) yields nothing for entry 2.
+        assert scheme.recover(FUNC_A, b"m1", tag1, prot1) == b"r1"
+        with pytest.raises(IntegrityError):
+            scheme.recover(FUNC_A, b"m1", tag2, prot2)

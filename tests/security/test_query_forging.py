@@ -1,0 +1,62 @@
+"""§III-D: the query-forging attack fails against the cross-app scheme.
+
+"Even if a malicious application can obtain the result ciphertext [res]
+together with [k] and r by using some short information about the
+computation (i.e., the tag t), it still cannot correctly decrypt them
+unless it indeed performs the same computation."
+"""
+
+from repro.core.scheme import CrossAppScheme
+from repro.core.tag import derive_tag
+from repro.crypto.drbg import HmacDrbg
+from repro.security import QueryForgingAdversary
+
+FUNC = b"\xaa" * 32
+INPUT = b"the victim's input data"
+RESULT = b"the victim's computed result"
+
+
+def stolen_material():
+    """Everything the store-compromising adversary obtains for one entry."""
+    scheme = CrossAppScheme()
+    tag = derive_tag(FUNC, INPUT)
+    protected = scheme.protect(FUNC, INPUT, tag, RESULT, HmacDrbg(b"victim").generate)
+    return tag, protected
+
+
+class TestQueryForging:
+    def test_dictionary_without_true_pair_fails(self):
+        tag, stolen = stolen_material()
+        adversary = QueryForgingAdversary()
+        guesses = [
+            (FUNC, b"wrong input %d" % i) for i in range(50)
+        ] + [
+            (bytes([i]) * 32, INPUT) for i in range(50)  # right input, wrong func
+        ]
+        attempt = adversary.attack(tag, stolen, guesses)
+        assert not attempt.succeeded
+        assert attempt.guesses_tried == 100
+
+    def test_owner_in_dictionary_means_attacker_could_compute_anyway(self):
+        # The inherent MLE bound: if the adversary owns (func, m) it can
+        # decrypt — but then it could have performed the computation
+        # itself, so nothing is lost (§III-D).
+        tag, stolen = stolen_material()
+        attempt = QueryForgingAdversary().attack(
+            tag, stolen, [(FUNC, b"guess"), (FUNC, INPUT)]
+        )
+        assert attempt.succeeded
+        assert attempt.recovered == RESULT
+        assert attempt.guesses_tried == 2
+
+    def test_tag_leak_reveals_only_equality(self):
+        # Two entries for different computations leak nothing that links
+        # them: tags and ciphertexts are unrelated strings.
+        tag1, stolen1 = stolen_material()
+        scheme = CrossAppScheme()
+        tag2 = derive_tag(FUNC, b"other input")
+        stolen2 = scheme.protect(FUNC, b"other input", tag2,
+                                 RESULT, HmacDrbg(b"x").generate)
+        assert tag1 != tag2
+        assert stolen1.sealed_result != stolen2.sealed_result
+        assert len(tag1) == len(tag2)  # fixed-size: size leaks nothing

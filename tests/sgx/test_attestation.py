@@ -1,0 +1,127 @@
+"""Local and remote attestation semantics."""
+
+import pytest
+
+from repro.errors import AttestationError, EnclaveError
+from repro.sgx.attestation import AttestationService, make_report, verify_report
+from repro.sgx.measurement import measure_code
+from repro.sgx.platform import SgxPlatform
+
+
+@pytest.fixture
+def service():
+    return AttestationService()
+
+
+@pytest.fixture
+def platform(service):
+    return SgxPlatform(seed=b"attest-tests", attestation_service=service)
+
+
+class TestLocalAttestation:
+    def test_report_roundtrip(self, platform):
+        a = platform.create_enclave("a", b"code-a")
+        b = platform.create_enclave("b", b"code-b")
+        with a.ecall():
+            report = a.create_report(b.measurement, b"hello")
+        with b.ecall():
+            peer = b.verify_peer_report(report)
+        assert peer == a.measurement
+
+    def test_wrong_target_rejected(self, platform):
+        a = platform.create_enclave("a", b"code-a")
+        b = platform.create_enclave("b", b"code-b")
+        c = platform.create_enclave("c", b"code-c")
+        with a.ecall():
+            report = a.create_report(b.measurement)
+        with c.ecall():
+            with pytest.raises(AttestationError):
+                c.verify_peer_report(report)
+
+    def test_tampered_mac_rejected(self):
+        meas = measure_code(b"code")
+        report = make_report(b"\x01" * 32, meas, meas.mrenclave, b"data")
+        bad = type(report)(
+            source=report.source,
+            target_mrenclave=report.target_mrenclave,
+            report_data=report.report_data,
+            mac=bytes(32),
+        )
+        with pytest.raises(AttestationError):
+            verify_report(b"\x01" * 32, meas.mrenclave, bad)
+
+    def test_cross_platform_report_fails(self, service):
+        p1 = SgxPlatform(seed=b"p1", attestation_service=service)
+        p2 = SgxPlatform(seed=b"p2", attestation_service=service)
+        a = p1.create_enclave("a", b"code")
+        b = p2.create_enclave("b", b"code")
+        with a.ecall():
+            report = a.create_report(b.measurement)
+        with b.ecall():
+            with pytest.raises(AttestationError):
+                b.verify_peer_report(report)  # different report-key roots
+
+    def test_oversized_report_data_rejected(self, platform):
+        a = platform.create_enclave("a", b"code-a")
+        b = platform.create_enclave("b", b"code-b")
+        with a.ecall():
+            with pytest.raises(AttestationError):
+                a.create_report(b.measurement, b"x" * 65)
+
+
+class TestRemoteAttestation:
+    def test_quote_roundtrip(self, platform, service):
+        e = platform.create_enclave("a", b"code-a")
+        with e.ecall():
+            quote = e.create_quote(b"bound-data")
+        assert service.verify_quote(quote) == e.measurement
+
+    def test_forged_signature_rejected(self, platform, service):
+        e = platform.create_enclave("a", b"code-a")
+        with e.ecall():
+            quote = e.create_quote()
+        forged = type(quote)(
+            platform_id=quote.platform_id,
+            source=quote.source,
+            report_data=quote.report_data,
+            signature=bytes(32),
+        )
+        with pytest.raises(AttestationError):
+            service.verify_quote(forged)
+
+    def test_unprovisioned_platform_rejected(self, service):
+        lone = SgxPlatform(seed=b"lone")  # no attestation service
+        e = lone.create_enclave("a", b"code")
+        with e.ecall():
+            with pytest.raises(EnclaveError):
+                e.create_quote()
+
+    def test_unknown_platform_quote_rejected(self, service):
+        other_service = AttestationService()
+        p = SgxPlatform(seed=b"p", attestation_service=other_service)
+        e = p.create_enclave("a", b"code")
+        with e.ecall():
+            quote = e.create_quote()
+        with pytest.raises(AttestationError):
+            service.verify_quote(quote)
+
+    def test_double_provision_rejected(self, service, platform):
+        with pytest.raises(AttestationError):
+            service.provision(platform.platform_id, b"whatever")
+
+
+class TestMeasurement:
+    def test_same_code_same_measurement(self):
+        assert measure_code(b"code") == measure_code(b"code")
+
+    def test_different_code_differs(self):
+        assert measure_code(b"code-a").mrenclave != measure_code(b"code-b").mrenclave
+
+    def test_signer_independent_of_code(self):
+        assert measure_code(b"a", b"s").mrsigner == measure_code(b"b", b"s").mrsigner
+
+    def test_bad_digest_length_rejected(self):
+        from repro.sgx.measurement import Measurement
+
+        with pytest.raises(ValueError):
+            Measurement(mrenclave=b"short", mrsigner=b"\x00" * 32)

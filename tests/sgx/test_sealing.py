@@ -1,0 +1,69 @@
+"""Sealing module unit tests (policy key derivation, blob integrity)."""
+
+import pytest
+
+from repro.errors import SealingError
+from repro.sgx.measurement import measure_code
+from repro.sgx.sealing import (
+    SealPolicy,
+    derive_seal_key,
+    seal_data,
+    unseal_data,
+)
+
+FABRIC = b"\x42" * 32
+MEAS = measure_code(b"enclave-code", signer=b"vendor")
+IV = b"\x07" * 12
+
+
+class TestKeyDerivation:
+    def test_policies_derive_distinct_keys(self):
+        k_encl = derive_seal_key(FABRIC, MEAS, SealPolicy.MRENCLAVE)
+        k_sign = derive_seal_key(FABRIC, MEAS, SealPolicy.MRSIGNER)
+        assert k_encl != k_sign
+        assert len(k_encl) == len(k_sign) == 16
+
+    def test_mrenclave_key_tracks_code(self):
+        other = measure_code(b"different-code", signer=b"vendor")
+        assert derive_seal_key(FABRIC, MEAS, SealPolicy.MRENCLAVE) != derive_seal_key(
+            FABRIC, other, SealPolicy.MRENCLAVE
+        )
+
+    def test_mrsigner_key_ignores_code(self):
+        other = measure_code(b"different-code", signer=b"vendor")
+        assert derive_seal_key(FABRIC, MEAS, SealPolicy.MRSIGNER) == derive_seal_key(
+            FABRIC, other, SealPolicy.MRSIGNER
+        )
+
+    def test_fabric_key_matters(self):
+        assert derive_seal_key(FABRIC, MEAS, SealPolicy.MRENCLAVE) != derive_seal_key(
+            b"\x43" * 32, MEAS, SealPolicy.MRENCLAVE
+        )
+
+
+class TestSealUnseal:
+    def test_roundtrip(self):
+        blob = seal_data(FABRIC, MEAS, b"secret", SealPolicy.MRENCLAVE, IV)
+        assert unseal_data(FABRIC, MEAS, blob) == b"secret"
+
+    def test_policy_recorded_in_blob(self):
+        blob = seal_data(FABRIC, MEAS, b"s", SealPolicy.MRSIGNER, IV)
+        assert blob.policy is SealPolicy.MRSIGNER
+
+    def test_cross_policy_confusion_rejected(self):
+        # An attacker relabeling an MRENCLAVE blob as MRSIGNER changes
+        # the derived key AND the AAD, so unsealing fails.
+        blob = seal_data(FABRIC, MEAS, b"s", SealPolicy.MRENCLAVE, IV)
+        forged = type(blob)(policy=SealPolicy.MRSIGNER, payload=blob.payload)
+        with pytest.raises(SealingError):
+            unseal_data(FABRIC, MEAS, forged)
+
+    def test_bitflip_rejected(self):
+        blob = seal_data(FABRIC, MEAS, b"secret", SealPolicy.MRENCLAVE, IV)
+        payload = blob.payload[:-1] + bytes([blob.payload[-1] ^ 1])
+        with pytest.raises(SealingError):
+            unseal_data(FABRIC, MEAS, type(blob)(policy=blob.policy, payload=payload))
+
+    def test_empty_payload_sealable(self):
+        blob = seal_data(FABRIC, MEAS, b"", SealPolicy.MRENCLAVE, IV)
+        assert unseal_data(FABRIC, MEAS, blob) == b""

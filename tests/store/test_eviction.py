@@ -1,0 +1,51 @@
+"""Eviction policies select the right victims."""
+
+import pytest
+
+from repro.errors import StoreError
+from repro.store.eviction import FifoPolicy, LfuPolicy, LruPolicy, make_policy
+from repro.store.metadata import MetadataEntry, blob_digest
+
+
+def entry(tag, hits=0, insert_seq=0, last_access_seq=0):
+    e = MetadataEntry(
+        tag=tag, challenge=b"r" * 32, wrapped_key=b"k" * 16, blob_ref=0,
+        blob_digest=blob_digest(b""), size=1, app_id="a",
+        hits=hits, insert_seq=insert_seq, last_access_seq=last_access_seq,
+    )
+    return e
+
+
+class TestPolicies:
+    def test_lru_picks_least_recent(self):
+        entries = [entry(b"a", last_access_seq=5), entry(b"b", last_access_seq=2),
+                   entry(b"c", last_access_seq=9)]
+        assert LruPolicy().select_victim(entries).tag == b"b"
+
+    def test_lfu_picks_least_hit(self):
+        entries = [entry(b"a", hits=3), entry(b"b", hits=1), entry(b"c", hits=7)]
+        assert LfuPolicy().select_victim(entries).tag == b"b"
+
+    def test_lfu_ties_break_by_age(self):
+        entries = [entry(b"a", hits=1, insert_seq=10), entry(b"b", hits=1, insert_seq=3)]
+        assert LfuPolicy().select_victim(entries).tag == b"b"
+
+    def test_fifo_picks_oldest(self):
+        entries = [entry(b"a", insert_seq=4), entry(b"b", insert_seq=1)]
+        assert FifoPolicy().select_victim(entries).tag == b"b"
+
+    @pytest.mark.parametrize("policy", [LruPolicy(), LfuPolicy(), FifoPolicy()])
+    def test_empty_rejected(self, policy):
+        with pytest.raises(StoreError):
+            policy.select_victim([])
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [("lru", LruPolicy), ("lfu", LfuPolicy),
+                                          ("fifo", FifoPolicy)])
+    def test_make_policy(self, name, cls):
+        assert isinstance(make_policy(name), cls)
+
+    def test_unknown_policy(self):
+        with pytest.raises(StoreError):
+            make_policy("magic")

@@ -1,0 +1,77 @@
+"""Master-store replication over remote attestation."""
+
+import pytest
+
+from repro import Deployment
+from repro.crypto.hashes import sha256
+from repro.errors import StoreError
+from repro.net.messages import GetRequest, PutRequest
+from repro.sgx.attestation import AttestationService
+from repro.store.resultstore import StoreConfig
+from repro.store.sync import replicate_popular
+
+
+def two_machines(store_config_b=None):
+    service = AttestationService()
+    a = Deployment(seed=b"sync-a", machine="a", attestation_service=service)
+    b = Deployment(seed=b"sync-b", machine="b", attestation_service=service,
+                   store_config=store_config_b)
+    return service, a, b
+
+
+def fill(deployment, n, prefix=b"entry", hit=True):
+    enclave = deployment.platform.create_enclave("filler", b"filler-code")
+    client = deployment.store.connect("filler-addr", app_enclave=enclave)
+    tags = []
+    for i in range(n):
+        tag = sha256(prefix + bytes([i]))
+        tags.append(tag)
+        client.call(PutRequest(tag=tag, challenge=b"r" * 32, wrapped_key=b"k" * 16,
+                               sealed_result=b"blob-%d" % i, app_id="filler"))
+        if hit:
+            client.call(GetRequest(tag=tag))
+    return tags
+
+
+class TestReplication:
+    def test_popular_entries_transfer(self):
+        service, a, b = two_machines()
+        tags = fill(a, 3)
+        report = replicate_popular(service, a.store, b.store, min_hits=1)
+        assert report.transferred == 3
+        assert all(b.store.contains(t) for t in tags)
+
+    def test_unpopular_entries_stay(self):
+        service, a, b = two_machines()
+        fill(a, 2, hit=False)  # never re-read: hits == 0
+        report = replicate_popular(service, a.store, b.store, min_hits=1)
+        assert report.transferred == 0
+
+    def test_idempotent_no_redundancy(self):
+        service, a, b = two_machines()
+        fill(a, 3)
+        replicate_popular(service, a.store, b.store)
+        second = replicate_popular(service, a.store, b.store)
+        assert second.transferred == 0
+        assert second.duplicates == 3  # deterministic tags dedupe at master
+
+    def test_multiple_sources_dedupe_at_master(self):
+        service = AttestationService()
+        a = Deployment(seed=b"m-a", machine="a", attestation_service=service)
+        b = Deployment(seed=b"m-b", machine="b", attestation_service=service)
+        master = Deployment(seed=b"m-m", machine="m", attestation_service=service)
+        fill(a, 2, prefix=b"shared")
+        fill(b, 2, prefix=b"shared")  # same tags computed independently
+        r1 = replicate_popular(service, a.store, master.store)
+        r2 = replicate_popular(service, b.store, master.store)
+        assert r1.transferred == 2
+        assert r2.transferred == 0
+        assert r2.duplicates == 2
+
+    def test_requires_sgx_stores(self):
+        service = AttestationService()
+        a = Deployment(seed=b"x-a", machine="a", attestation_service=service)
+        b = Deployment(seed=b"x-b", machine="b", attestation_service=service,
+                       store_config=StoreConfig(use_sgx=False))
+        with pytest.raises(StoreError):
+            replicate_popular(service, a.store, b.store)

@@ -1,0 +1,135 @@
+"""Workload generators: determinism, duplicate fractions, structure."""
+
+import numpy as np
+import pytest
+
+from repro.apps.pattern import CompiledRuleset
+from repro.errors import SpeedError
+from repro.workloads import (
+    PLANTED_CONTENTS,
+    generate_rules,
+    image_stream,
+    packet_trace,
+    synthetic_image,
+    synthetic_text,
+    synthetic_webpage,
+    text_corpus,
+    webpage_stream,
+)
+
+
+def duplicate_fraction(items) -> float:
+    keys = [bytes(i) if isinstance(i, (bytes, bytearray)) else
+            (i.tobytes() if isinstance(i, np.ndarray) else i.encode()) for i in items]
+    return 1.0 - len(set(keys)) / len(keys)
+
+
+class TestImages:
+    def test_deterministic(self):
+        assert np.array_equal(synthetic_image(64, seed=1), synthetic_image(64, seed=1))
+
+    def test_seeds_differ(self):
+        assert not np.array_equal(synthetic_image(64, seed=1), synthetic_image(64, seed=2))
+
+    def test_uint8_range(self):
+        img = synthetic_image(64, seed=3)
+        assert img.dtype == np.uint8
+        assert img.min() == 0 and img.max() == 255
+
+    def test_too_small_rejected(self):
+        with pytest.raises(SpeedError):
+            synthetic_image(16)
+
+    def test_stream_duplicate_fraction(self):
+        stream = image_stream(count=40, size=32, duplicate_fraction=0.5, seed=1)
+        assert len(stream) == 40
+        assert duplicate_fraction(stream) == pytest.approx(0.5, abs=0.1)
+
+    def test_stream_rejects_bad_fraction(self):
+        with pytest.raises(SpeedError):
+            image_stream(10, 32, duplicate_fraction=1.0)
+
+
+class TestText:
+    def test_exact_size(self):
+        assert len(synthetic_text(12345, seed=1)) == 12345
+
+    def test_deterministic(self):
+        assert synthetic_text(1000, seed=5) == synthetic_text(1000, seed=5)
+
+    def test_ascii_prose(self):
+        text = synthetic_text(2000, seed=1)
+        text.decode("ascii")
+        assert b". " in text
+
+    def test_corpus_duplicates(self):
+        corpus = text_corpus(count=30, n_bytes=500, duplicate_fraction=0.4, seed=2)
+        assert duplicate_fraction(corpus) == pytest.approx(0.4, abs=0.12)
+
+
+class TestRules:
+    def test_count_and_determinism(self):
+        rules = generate_rules(500, seed=3)
+        assert len(rules) == 500
+        again = generate_rules(500, seed=3)
+        assert [r.contents for r in rules] == [r.contents for r in again]
+        assert [r.pcre for r in rules] == [r.pcre for r in again]
+
+    def test_all_rules_compile(self):
+        CompiledRuleset(generate_rules(500, seed=4))
+
+    def test_mix_of_rule_kinds(self):
+        rules = generate_rules(1000, seed=5)
+        with_pcre = sum(1 for r in rules if r.pcre)
+        content_only = sum(1 for r in rules if r.contents and not r.pcre)
+        assert with_pcre > 50
+        assert content_only > 400
+
+    def test_unique_ids(self):
+        rules = generate_rules(200, seed=6)
+        assert len({r.rule_id for r in rules}) == 200
+
+
+class TestPackets:
+    def test_deterministic(self):
+        assert packet_trace(20, seed=7) == packet_trace(20, seed=7)
+
+    def test_duplicate_fraction(self):
+        trace = packet_trace(100, duplicate_fraction=0.6, seed=8)
+        assert duplicate_fraction(trace) == pytest.approx(0.6, abs=0.12)
+
+    def test_malicious_packets_trigger_planted_rules(self):
+        trace = packet_trace(
+            60, duplicate_fraction=0.0, malicious_fraction=0.5, seed=9
+        )
+        planted = sum(
+            1 for p in trace if any(marker in p for marker in PLANTED_CONTENTS)
+        )
+        assert planted > 10
+        ruleset = CompiledRuleset(generate_rules(100, seed=9))
+        alerts = sum(len(ruleset.scan(p)) for p in trace)
+        assert alerts > 0
+
+    def test_payload_sizes_vary(self):
+        trace = packet_trace(50, payload_size=512, duplicate_fraction=0.0, seed=10)
+        sizes = {len(p) for p in trace}
+        assert len(sizes) > 10
+
+
+class TestWebpages:
+    def test_deterministic(self):
+        assert synthetic_webpage(200, seed=1) == synthetic_webpage(200, seed=1)
+
+    def test_has_markup_structure(self):
+        page = synthetic_webpage(300, seed=2)
+        assert page.startswith("<title>")
+        assert "<p>" in page
+
+    def test_word_budget(self):
+        page = synthetic_webpage(500, seed=3)
+        words = len(page.split())
+        assert 400 <= words <= 700
+
+    def test_stream_duplicates(self):
+        stream = webpage_stream(count=20, n_words=100, duplicate_fraction=0.5, seed=4)
+        assert duplicate_fraction(stream) == pytest.approx(0.5, abs=0.15)
