@@ -1,0 +1,19 @@
+#!/bin/sh
+# Repo check: lint (when ruff is available) + the tier-1 test suite.
+#
+#   ./check.sh            # lint + tests
+#   ./check.sh --no-lint  # tests only
+set -eu
+cd "$(dirname "$0")"
+
+if [ "${1:-}" != "--no-lint" ]; then
+    if command -v ruff >/dev/null 2>&1; then
+        echo "== ruff =="
+        ruff check src tests
+    else
+        echo "== ruff not installed; skipping lint =="
+    fi
+fi
+
+echo "== tier-1 tests =="
+PYTHONPATH=src python -m pytest -x -q

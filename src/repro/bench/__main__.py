@@ -1,6 +1,7 @@
 """CLI entry point: ``python -m repro.bench <experiment> [--quick] [--csv DIR]``.
 
-Experiments: fig5a fig5b fig5c fig5d table1 fig6 a1 a2 a3 a4 a5 a6 e9 e10 all
+Experiments: fig5a fig5b fig5c fig5d table1 fig6 a1 a2 a3 a4 a5 a6 a7 e9 e10
+batch all
 """
 
 from __future__ import annotations
@@ -10,7 +11,7 @@ import pathlib
 import sys
 
 from . import harness
-from .export import write_csv
+from .export import write_csv, write_json
 
 
 def _runners(quick: bool) -> dict[str, tuple]:
@@ -105,13 +106,25 @@ def _runners(quick: bool) -> dict[str, tuple]:
             ),
             harness.print_duplication_sweep, None,
         ),
+        "batch": (
+            lambda: harness.run_batch(
+                **(dict(batch_sizes=[1, 4, 16], ops=32, calls=8,
+                        text_bytes=4 * harness.KB) if quick else {})
+            ),
+            harness.print_batch, None,
+        ),
     }
 
 
 EXPERIMENTS = list(_runners(False))
 
 
-def run_experiment(name: str, quick: bool, csv_dir: str | None = None) -> str:
+def run_experiment(
+    name: str,
+    quick: bool,
+    csv_dir: str | None = None,
+    json_path: str | None = None,
+) -> str:
     registry = _runners(quick)
     if name not in registry:
         raise ValueError(f"unknown experiment {name!r}")
@@ -119,6 +132,12 @@ def run_experiment(name: str, quick: bool, csv_dir: str | None = None) -> str:
     rows = runner()
     if csv_dir is not None:
         write_csv(rows, pathlib.Path(csv_dir) / f"{name}.csv")
+    if json_path is None and name == "batch":
+        # The batching sweep always leaves a machine-readable artifact so
+        # its acceptance numbers can be checked without re-running.
+        json_path = f"BENCH_{name}.json"
+    if json_path is not None:
+        write_json(rows, json_path)
     if title is not None:
         return printer(title, rows)
     return printer(rows)
@@ -133,11 +152,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--quick", action="store_true", help="reduced sizes/trials")
     parser.add_argument("--csv", metavar="DIR", default=None,
                         help="also write <experiment>.csv files into DIR")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write rows as JSON to PATH (the batch "
+                             "experiment writes BENCH_batch.json by default)")
     args = parser.parse_args(argv)
 
     names = EXPERIMENTS if args.experiment == "all" else [args.experiment]
     for name in names:
-        print(run_experiment(name, args.quick, args.csv))
+        print(run_experiment(name, args.quick, args.csv, args.json))
         print()
     return 0
 

@@ -63,3 +63,35 @@ def write_csv(rows: Sequence, path: str | pathlib.Path) -> pathlib.Path:
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(rows_to_csv(rows))
     return path
+
+
+def _json_cell(value) -> object:
+    if isinstance(value, float):
+        return float(f"{value:.9g}")
+    if isinstance(value, bytes):
+        return value.hex()
+    if isinstance(value, dict):
+        return {k: _json_cell(v) for k, v in sorted(value.items())}
+    return value
+
+
+def rows_to_records(rows: Sequence) -> list[dict]:
+    """Render dataclass rows as JSON-ready dicts (fields + derived
+    properties).  Numbers stay numbers; bytes become hex strings."""
+    if not rows:
+        return []
+    first = rows[0]
+    if not dataclasses.is_dataclass(first):
+        raise TypeError(f"expected dataclass rows, got {type(first).__name__}")
+    names = [f.name for f in dataclasses.fields(first)] + _property_names(first)
+    return [{name: _json_cell(getattr(row, name)) for name in names} for row in rows]
+
+
+def write_json(rows: Sequence, path: str | pathlib.Path) -> pathlib.Path:
+    """Write rows to ``path`` as a JSON array of objects; returns it."""
+    import json
+
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(rows_to_records(rows), indent=2) + "\n")
+    return path

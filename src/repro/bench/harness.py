@@ -13,7 +13,7 @@ virtual clock (the series whose *shape* should match the paper);
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dataclass_replace
 from typing import Any, Callable
 
 from .reporting import format_table, human_size
@@ -907,6 +907,235 @@ def print_duplication_sweep(rows: list[DuplicationRow]) -> str:
         [[f"{r.duplicate_fraction:.0%}", r.calls, f"{r.hit_rate:.0%}",
           r.sim_total_s, r.sim_baseline_s, r.speedup] for r in rows],
     )
+
+
+# ---------------------------------------------------------------------------
+# Batch — amortizing transitions/records across calls (the batched pipeline)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class BatchRow:
+    """One (phase, batch size) cell of the batching sweep.
+
+    ``transitions`` counts enclave boundary crossings entered across the
+    whole deployment (application + store enclaves); ``channel_records``
+    counts records the client sealed.  ``identical`` is True when the
+    phase's results matched the sequential reference bit-for-bit (always
+    True for the store-level phases, which assert their responses).
+    """
+
+    phase: str
+    batch_size: int
+    ops: int
+    size_bytes: int
+    transitions: int
+    channel_records: int
+    sim_total_s: float
+    wall_total_s: float
+    identical: bool = True
+
+    @property
+    def transitions_per_call(self) -> float:
+        return self.transitions / self.ops
+
+    @property
+    def records_per_call(self) -> float:
+        return self.channel_records / self.ops
+
+    @property
+    def sim_ops_per_s(self) -> float:
+        return self.ops / self.sim_total_s if self.sim_total_s else float("inf")
+
+    @property
+    def wall_ops_per_s(self) -> float:
+        return self.ops / self.wall_total_s if self.wall_total_s else float("inf")
+
+
+def _chunks(seq: list, size: int) -> list[list]:
+    return [seq[i:i + size] for i in range(0, len(seq), size)]
+
+
+def run_batch_store(
+    batch_sizes: list[int] | None = None,
+    ops: int = 128,
+    size_bytes: int = 1 * KB,
+    seed: int = 53,
+) -> list[BatchRow]:
+    """Fig. 6 regime, batched: ``ops`` PUTs then ``ops`` GETs against the
+    SGX-backed store, issued in batches of each sweep size.  Batch size 1
+    uses the plain per-item wire path, so it is the unbatched baseline."""
+    batch_sizes = batch_sizes or [1, 4, 16, 64, 128]
+    rows = []
+    for batch in batch_sizes:
+        d = Deployment(
+            seed=b"batch-store" + batch.to_bytes(4, "big"),
+            store_config=StoreConfig(use_sgx=True),
+        )
+        enclave = d.platform.create_enclave("batch-client", b"batch-client-code")
+        client = d.store.connect("batch-client-addr", app_enclave=enclave)
+        drbg = HmacDrbg(seed.to_bytes(4, "big"), b"batch")
+        base = drbg.generate(4096)
+        puts = []
+        for i in range(ops):
+            tag = sha256(b"batch-tag" + batch.to_bytes(4, "big") + i.to_bytes(4, "big"))
+            body = (base * (size_bytes // len(base) + 1))[:size_bytes - 8] + i.to_bytes(8, "big")
+            puts.append(PutRequest(
+                tag=tag,
+                challenge=drbg.generate(CHALLENGE_SIZE),
+                wrapped_key=drbg.generate(KEY_SIZE),
+                sealed_result=body,
+                app_id="batch",
+            ))
+
+        def transitions() -> int:
+            return enclave.transition_count + d.store.enclave.transition_count
+
+        def sweep(phase: str, requests: list, check) -> BatchRow:
+            trans0, rec0 = transitions(), client.records_sent
+            wall0, sim0 = time.perf_counter(), d.clock.snapshot()
+            for chunk in _chunks(requests, batch):
+                if len(chunk) == 1:
+                    check(client.call(chunk[0]))
+                else:
+                    for response in client.call_batch(chunk):
+                        check(response)
+            return BatchRow(
+                phase=phase,
+                batch_size=batch,
+                ops=len(requests),
+                size_bytes=size_bytes,
+                transitions=transitions() - trans0,
+                channel_records=client.records_sent - rec0,
+                sim_total_s=d.clock.since(sim0) / d.clock.params.cpu_freq_hz,
+                wall_total_s=time.perf_counter() - wall0,
+            )
+
+        rows.append(sweep("put", puts, lambda r: None))
+        gets = [GetRequest(tag=p.tag, app_id="batch") for p in puts]
+
+        def check_found(response) -> None:
+            assert response.found
+
+        rows.append(sweep("get", gets, check_found))
+    return rows
+
+
+def run_batch_execute(
+    batch_sizes: list[int] | None = None,
+    calls: int = 24,
+    text_bytes: int = 8 * KB,
+    duplicate_fraction: float = 0.5,
+    seed: int = 59,
+) -> list[BatchRow]:
+    """Fig. 5-style rerun through :meth:`DedupRuntime.execute_many`.
+
+    A sequential reference processes the corpus one :meth:`execute` at a
+    time; the batched runs chunk the same corpus through ``execute_many``
+    (with the L1 cache serving intra-batch duplicates) and must produce
+    bit-identical results."""
+    from ..core.description import TrustedLibraryRegistry
+    from ..workloads import text_corpus
+
+    batch_sizes = batch_sizes or [8, 24]
+    corpus = text_corpus(calls, text_bytes, duplicate_fraction=duplicate_fraction,
+                         seed=seed)
+
+    def fresh_app(tag: bytes, config: RuntimeConfig):
+        case = compress_case_study()
+        libs = TrustedLibraryRegistry()
+        case.register_into(libs)
+        d = Deployment(seed=b"batch-exec" + tag)
+        return case, d, d.create_application("batch-app", libs, config)
+
+    def measure(app, d, body) -> tuple[BatchRow, list]:
+        trans0 = app.enclave.transition_count + d.store.enclave.transition_count
+        rec0 = app.runtime.client.records_sent
+        wall0, sim0 = time.perf_counter(), d.clock.snapshot()
+        results = body()
+        trans1 = app.enclave.transition_count + d.store.enclave.transition_count
+        return BatchRow(
+            phase="",
+            batch_size=0,
+            ops=len(corpus),
+            size_bytes=text_bytes,
+            transitions=trans1 - trans0,
+            channel_records=app.runtime.client.records_sent - rec0,
+            sim_total_s=d.clock.since(sim0) / d.clock.params.cpu_freq_hz,
+            wall_total_s=time.perf_counter() - wall0,
+        ), results
+
+    # Sequential reference: one execute per document, flushing between.
+    case, d_seq, app_seq = fresh_app(b"/seq", RuntimeConfig(app_id="batch-app"))
+    dedup = case.deduplicable(app_seq)
+
+    def run_seq() -> list:
+        out = []
+        for doc in corpus:
+            out.append(dedup(doc))
+            app_seq.runtime.flush_puts()
+        return out
+
+    row, reference = measure(app_seq, d_seq, run_seq)
+    rows = [dataclass_replace(row, phase="execute-seq", batch_size=1)]
+
+    for batch in sorted({b for b in batch_sizes if 1 < b <= calls} | {calls}):
+        case_b, d_b, app_b = fresh_app(
+            b"/b" + batch.to_bytes(4, "big"),
+            RuntimeConfig(app_id="batch-app", l1_cache_entries=4 * calls),
+        )
+
+        def run_batched() -> list:
+            out = []
+            for chunk in _chunks(corpus, batch):
+                out.extend(app_b.runtime.execute_many(
+                    case_b.description, chunk,
+                    input_parser=case_b.input_parser,
+                    result_parser=case_b.result_parser,
+                    native_factor=case_b.native_factor,
+                ))
+                app_b.runtime.flush_puts()
+            return out
+
+        row, results = measure(app_b, d_b, run_batched)
+        rows.append(dataclass_replace(
+            row, phase="execute-batch", batch_size=batch,
+            identical=results == reference,
+        ))
+    return rows
+
+
+def run_batch(
+    batch_sizes: list[int] | None = None,
+    ops: int = 128,
+    size_bytes: int = 1 * KB,
+    calls: int = 24,
+    text_bytes: int = 8 * KB,
+    seed: int = 53,
+) -> list[BatchRow]:
+    """The full batching experiment: store-level GET/PUT sweep plus the
+    ``execute_many`` end-to-end rerun."""
+    rows = run_batch_store(batch_sizes=batch_sizes, ops=ops,
+                           size_bytes=size_bytes, seed=seed)
+    exec_sizes = None
+    if batch_sizes is not None:
+        exec_sizes = [b for b in batch_sizes if 1 < b <= calls]
+    rows += run_batch_execute(batch_sizes=exec_sizes, calls=calls,
+                              text_bytes=text_bytes, seed=seed + 6)
+    return rows
+
+
+def print_batch(rows: list[BatchRow]) -> str:
+    headers = ["phase", "batch", "ops", "size", "trans/call", "rec/call",
+               "sim ops/s", "wall ops/s", "identical"]
+    table = [
+        [
+            r.phase, r.batch_size, r.ops, human_size(r.size_bytes),
+            r.transitions_per_call, r.records_per_call,
+            r.sim_ops_per_s, r.wall_ops_per_s,
+            "yes" if r.identical else "NO",
+        ]
+        for r in rows
+    ]
+    return format_table("Batch: amortized transitions and records", headers, table)
 
 
 # ---------------------------------------------------------------------------

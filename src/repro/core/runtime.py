@@ -17,15 +17,29 @@ control flow exactly:
    default ("the remaining PUT operations can be processed in a
    separated thread", §V-B); ``flush_puts`` drains it off the critical
    path.
+
+Two optimizations amortize the fixed per-call costs without touching the
+per-item semantics above:
+
+- :meth:`DedupRuntime.execute_many` runs a whole batch under **one**
+  ECALL, ships all duplicate checks as one batched OCALL/channel record,
+  and queues all PUTs together.  Each item still follows Algorithm 1 or
+  2 individually and gets its own :class:`CallRecord`.
+- An optional in-enclave **L1 cache** of verified results
+  (:class:`L1ResultCache`) short-circuits the store round-trip for tags
+  this enclave has already verified or computed, at the price of EPC
+  pressure charged through the paging model.
 """
 
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Iterator, Sequence
 
 from .adaptive import AdaptiveDedupPolicy
+from .cache import L1ResultCache
 from .description import FunctionDescription, TrustedLibraryRegistry
 from .scheme import CrossAppScheme, ProtectedResult, ResultScheme
 from .serialization import AnyParser, Parser, ParserRegistry, default_registry
@@ -33,7 +47,15 @@ from .stats import CallRecord, RuntimeStats
 from .tag import derive_tag
 from .verification import verify_and_recover
 from ..errors import DedupError
-from ..net.messages import GetRequest, GetResponse, PutRequest, PutResponse
+from ..net.messages import (
+    BatchPutResponse,
+    ErrorMessage,
+    GetRequest,
+    GetResponse,
+    Message,
+    PutRequest,
+    PutResponse,
+)
 from ..net.rpc import RpcClient
 from ..sgx.enclave import Enclave
 
@@ -51,6 +73,30 @@ class RuntimeConfig:
     # The paper's future-work extension (§VII): learn per function
     # whether deduplication pays off and suppress it when it does not.
     adaptive: AdaptiveDedupPolicy | None = None
+    # In-enclave L1 tag→result cache.  0 disables it (the default: the
+    # cache trades EPC pressure for round-trips, which only pays off for
+    # workloads with repeated tags).
+    l1_cache_entries: int = 0
+    l1_cache_bytes: int | None = None
+
+
+@dataclass
+class _BatchItem:
+    """Per-input bookkeeping while a batch moves through the pipeline."""
+
+    input_value: Any
+    input_bytes: bytes = b""
+    tag: bytes = b""
+    attempt_dedup: bool = False
+    hit: bool = False
+    l1_hit: bool = False
+    result_value: Any = None
+    result_len: int = 0
+    compute_sim: float = 0.0
+    # Costs attributable to this item alone; batch-shared costs (ECALL,
+    # batched OCALLs, channel records) are split evenly afterwards.
+    direct_wall: float = 0.0
+    direct_sim: float = 0.0
 
 
 class DedupRuntime:
@@ -72,8 +118,17 @@ class DedupRuntime:
         self.clock = enclave.platform.clock
         self.stats = RuntimeStats()
         self._pending_puts: list[PutRequest] = []
+        # Correlation id -> number of PUT items awaiting a response.
+        self._inflight_puts: dict[int, int] = {}
+        self.l1_cache: L1ResultCache | None = None
+        if self.config.l1_cache_entries > 0:
+            self.l1_cache = L1ResultCache(
+                enclave,
+                max_entries=self.config.l1_cache_entries,
+                max_bytes=self.config.l1_cache_bytes,
+            )
 
-    # -- public entry point -------------------------------------------------
+    # -- public entry points --------------------------------------------------
     def execute(
         self,
         description: FunctionDescription,
@@ -97,6 +152,7 @@ class DedupRuntime:
 
             result_value = None
             hit = False
+            l1_hit = False
             result_len = 0
 
             attempt_dedup = self.config.dedup_enabled
@@ -105,7 +161,14 @@ class DedupRuntime:
                 attempt_dedup = adaptive.should_attempt_dedup(func_identity)
             compute_sim_seconds = 0.0
 
-            if attempt_dedup:
+            if attempt_dedup and self.l1_cache is not None:
+                cached = self.l1_cache.get(tag)
+                if cached is not None:
+                    hit = l1_hit = True
+                    result_len = len(cached)
+                    result_value = result_parser.decode(cached)
+
+            if attempt_dedup and not hit:
                 response = self._get(tag, len(input_bytes))
                 if response.found:
                     protected = ProtectedResult(
@@ -121,6 +184,8 @@ class DedupRuntime:
                         hit = True
                         result_len = len(outcome.result_bytes)
                         result_value = result_parser.decode(outcome.result_bytes)
+                        if self.l1_cache is not None:
+                            self.l1_cache.put(tag, outcome.result_bytes)
                     else:
                         self.stats.verification_failures += 1
 
@@ -148,9 +213,208 @@ class DedupRuntime:
                 result_bytes=result_len,
                 wall_seconds=wall,
                 sim_seconds=sim,
+                l1_hit=l1_hit,
             )
         )
         return result_value
+
+    def execute_many(
+        self,
+        description: FunctionDescription,
+        inputs: Sequence[Any],
+        input_parser: Parser | None = None,
+        result_parser: Parser | None = None,
+        unpack_args: bool = False,
+        native_factor: float = 1.0,
+    ) -> list[Any]:
+        """Run a batch of deduplicated computations in one enclave entry.
+
+        Semantics per item are identical to :meth:`execute` — every input
+        follows Algorithm 1 or Algorithm 2 on its own and yields its own
+        :class:`CallRecord` — but the fixed costs are paid once per
+        batch: one ECALL, one batched GET OCALL under one channel record,
+        and (in synchronous-PUT mode) one batched PUT OCALL.  Costs that
+        cannot be attributed to a single item are split evenly across the
+        batch's records, so per-batch sums match the totals.
+        """
+        inputs = list(inputs)
+        if not inputs:
+            return []
+        input_parser = input_parser or AnyParser(self.parsers)
+        result_parser = result_parser or AnyParser(self.parsers)
+        n = len(inputs)
+        items = [_BatchItem(input_value=value) for value in inputs]
+        adaptive = self.config.adaptive
+        wall_start = time.perf_counter()
+        sim_start = self.clock.snapshot()
+
+        with self.enclave.ecall("dedup_execute_batch"):
+            func = self.libraries.lookup(description)
+            func_identity = self.libraries.function_identity(description)
+
+            # Stage 1: derive every tag; serve what the L1 already holds.
+            for item in items:
+                with self._item_meter(item):
+                    item.input_bytes = input_parser.encode(item.input_value)
+                    item.tag = derive_tag(func_identity, item.input_bytes, self.clock)
+                    attempt = self.config.dedup_enabled
+                    if attempt and adaptive is not None:
+                        attempt = adaptive.should_attempt_dedup(func_identity)
+                    item.attempt_dedup = attempt
+                    if attempt and self.l1_cache is not None:
+                        cached = self.l1_cache.get(item.tag)
+                        if cached is not None:
+                            item.hit = item.l1_hit = True
+                            item.result_len = len(cached)
+                            item.result_value = result_parser.decode(cached)
+
+            # Stage 2: one multi-tag duplicate check for everything the
+            # L1 could not answer (Algorithm 2, lines 2-3, batched).
+            lookups = [i for i in items if i.attempt_dedup and not i.hit]
+            if lookups:
+                requests = [
+                    GetRequest(tag=i.tag, app_id=self.config.app_id) for i in lookups
+                ]
+                payload = sum(len(i.tag) + 64 for i in lookups)
+                with self.enclave.ocall("batch_get_request", in_bytes=payload):
+                    responses = self.client.call_batch(requests)
+                for item, response in zip(lookups, responses):
+                    if not isinstance(response, GetResponse):
+                        raise DedupError(
+                            f"store answered GET with {type(response).__name__}"
+                        )
+                    if not response.found:
+                        continue
+                    with self._item_meter(item):
+                        self._verify_batch_hit(
+                            item, response, func_identity, result_parser
+                        )
+
+            # Stage 3: compute the misses in input order (Algorithm 1).
+            sync_puts: list[PutRequest] = []
+            for item in items:
+                if item.hit:
+                    continue
+                with self._item_meter(item):
+                    self._compute_batch_item(
+                        item, func, func_identity, result_parser,
+                        unpack_args, native_factor, sync_puts,
+                    )
+
+            # Stage 4: ship all synchronous PUTs as one record/OCALL.
+            if sync_puts:
+                payload = sum(len(p.sealed_result) + 128 for p in sync_puts)
+                with self.enclave.ocall("batch_put_request", in_bytes=payload):
+                    responses = self.client.call_batch(sync_puts)
+                self.stats.puts_sent += len(sync_puts)
+                for response in responses:
+                    if isinstance(response, PutResponse) and response.accepted:
+                        self.stats.puts_accepted += 1
+                    else:
+                        self.stats.puts_rejected += 1
+
+        total_wall = time.perf_counter() - wall_start
+        total_sim = self.clock.since(sim_start) / self.clock.params.cpu_freq_hz
+        shared_wall = max(0.0, total_wall - sum(i.direct_wall for i in items)) / n
+        shared_sim = max(0.0, total_sim - sum(i.direct_sim for i in items)) / n
+
+        self.stats.batches += 1
+        results: list[Any] = []
+        for item in items:
+            sim = item.direct_sim + shared_sim
+            wall = item.direct_wall + shared_wall
+            if adaptive is not None and self.config.dedup_enabled:
+                if item.hit:
+                    adaptive.observe_hit(func_identity, sim)
+                elif item.attempt_dedup:
+                    adaptive.observe_miss(func_identity, sim, item.compute_sim)
+                else:
+                    adaptive.observe_plain_compute(func_identity, item.compute_sim)
+            self.stats.record_call(
+                CallRecord(
+                    description=str(description),
+                    hit=item.hit,
+                    input_bytes=len(item.input_bytes),
+                    result_bytes=item.result_len,
+                    wall_seconds=wall,
+                    sim_seconds=sim,
+                    l1_hit=item.l1_hit,
+                    batch_size=n,
+                )
+            )
+            results.append(item.result_value)
+        return results
+
+    # -- batch helpers --------------------------------------------------------
+    @contextmanager
+    def _item_meter(self, item: _BatchItem) -> Iterator[None]:
+        """Accumulate one item's directly-attributable wall/sim costs."""
+        wall0 = time.perf_counter()
+        sim0 = self.clock.snapshot()
+        try:
+            yield
+        finally:
+            item.direct_wall += time.perf_counter() - wall0
+            item.direct_sim += self.clock.since(sim0) / self.clock.params.cpu_freq_hz
+
+    def _verify_batch_hit(
+        self,
+        item: _BatchItem,
+        response: GetResponse,
+        func_identity: bytes,
+        result_parser: Parser,
+    ) -> None:
+        protected = ProtectedResult(
+            challenge=response.challenge,
+            wrapped_key=response.wrapped_key,
+            sealed_result=response.sealed_result,
+        )
+        outcome = verify_and_recover(
+            self.config.scheme, func_identity, item.input_bytes, item.tag,
+            protected, self.clock,
+        )
+        if outcome.ok:
+            item.hit = True
+            item.result_len = len(outcome.result_bytes)
+            item.result_value = result_parser.decode(outcome.result_bytes)
+            if self.l1_cache is not None:
+                self.l1_cache.put(item.tag, outcome.result_bytes)
+        else:
+            self.stats.verification_failures += 1
+
+    def _compute_batch_item(
+        self,
+        item: _BatchItem,
+        func: Callable,
+        func_identity: bytes,
+        result_parser: Parser,
+        unpack_args: bool,
+        native_factor: float,
+        sync_puts: list[PutRequest],
+    ) -> None:
+        if item.attempt_dedup and self.l1_cache is not None:
+            # An earlier miss in this very batch may have computed the
+            # same tag already — mirror the sequential-with-cache order.
+            cached = self.l1_cache.get(item.tag)
+            if cached is not None:
+                item.hit = item.l1_hit = True
+                item.result_len = len(cached)
+                item.result_value = result_parser.decode(cached)
+                return
+        item.result_value, item.compute_sim = self._compute_raw(
+            func, item.input_value, unpack_args, native_factor
+        )
+        result_bytes = result_parser.encode(item.result_value)
+        item.result_len = len(result_bytes)
+        if not (self.config.dedup_enabled and item.attempt_dedup):
+            return
+        if self.l1_cache is not None:
+            self.l1_cache.put(item.tag, result_bytes)
+        put = self._protect_put(func_identity, item.input_bytes, item.tag, result_bytes)
+        if self.config.async_put:
+            self._pending_puts.append(put)
+        else:
+            sync_puts.append(put)
 
     # -- GET (Algorithm 2, lines 2-3) ----------------------------------------
     def _get(self, tag: bytes, input_len: int) -> GetResponse:
@@ -162,6 +426,41 @@ class DedupRuntime:
         return response
 
     # -- fresh computation + PUT (Algorithm 1, lines 4-10) --------------------
+    def _compute_raw(
+        self,
+        func: Callable,
+        input_value: Any,
+        unpack_args: bool,
+        native_factor: float,
+    ) -> tuple[Any, float]:
+        compute_start = time.perf_counter()
+        if unpack_args:
+            result_value = func(*input_value)
+        else:
+            result_value = func(input_value)
+        compute_wall = time.perf_counter() - compute_start
+        self.clock.charge_compute(compute_wall, native_factor)
+        return result_value, compute_wall / native_factor
+
+    def _protect_put(
+        self,
+        func_identity: bytes,
+        input_bytes: bytes,
+        tag: bytes,
+        result_bytes: bytes,
+    ) -> PutRequest:
+        protected = self.config.scheme.protect(
+            func_identity, input_bytes, tag, result_bytes,
+            rand=self.enclave.read_rand, clock=self.clock,
+        )
+        return PutRequest(
+            tag=tag,
+            challenge=protected.challenge,
+            wrapped_key=protected.wrapped_key,
+            sealed_result=protected.sealed_result,
+            app_id=self.config.app_id,
+        )
+
     def _compute_and_put(
         self,
         func: Callable,
@@ -175,28 +474,14 @@ class DedupRuntime:
         native_factor: float,
         store_result: bool = True,
     ) -> tuple[Any, int, float]:
-        compute_start = time.perf_counter()
-        if unpack_args:
-            result_value = func(*input_value)
-        else:
-            result_value = func(input_value)
-        compute_wall = time.perf_counter() - compute_start
-        self.clock.charge_compute(compute_wall, native_factor)
-        compute_sim = compute_wall / native_factor
-
+        result_value, compute_sim = self._compute_raw(
+            func, input_value, unpack_args, native_factor
+        )
         result_bytes = result_parser.encode(result_value)
         if self.config.dedup_enabled and store_result:
-            protected = self.config.scheme.protect(
-                func_identity, input_bytes, tag, result_bytes,
-                rand=self.enclave.read_rand, clock=self.clock,
-            )
-            put = PutRequest(
-                tag=tag,
-                challenge=protected.challenge,
-                wrapped_key=protected.wrapped_key,
-                sealed_result=protected.sealed_result,
-                app_id=self.config.app_id,
-            )
+            if self.l1_cache is not None:
+                self.l1_cache.put(tag, result_bytes)
+            put = self._protect_put(func_identity, input_bytes, tag, result_bytes)
             if self.config.async_put:
                 self._pending_puts.append(put)
             else:
@@ -219,21 +504,59 @@ class DedupRuntime:
 
         Called off the latency-critical path — e.g. between requests or
         from the host loop.  Queued PUTs were already protected inside
-        the enclave; only untrusted sending remains.
+        the enclave; only untrusted sending remains.  Two or more queued
+        PUTs travel as one batched channel record.
+
+        Accounting is explicit: a drained response is attributed to a
+        flushed PUT only when its correlation id matches one we sent.
+        Each such PUT lands in exactly one of ``puts_accepted``,
+        ``puts_rejected`` (the store said no), or ``puts_failed`` (the
+        store answered with an error, e.g. the record was corrupted in
+        transit).  PUTs whose response never arrived — dropped replies,
+        or errors the server could not correlate — stay visible in
+        :attr:`puts_unacknowledged` instead of being miscounted.
         """
-        flushed = 0
-        for put in self._pending_puts:
-            self.client.send_oneway(put)
-            self.stats.puts_sent += 1
-            flushed += 1
-        self._pending_puts.clear()
-        for response in self.client.drain_responses():
-            if isinstance(response, PutResponse) and response.accepted:
-                self.stats.puts_accepted += 1
+        puts = self._pending_puts
+        self._pending_puts = []
+        if len(puts) == 1:
+            request_id = self.client.send_oneway(puts[0])
+            self._inflight_puts[request_id] = 1
+        elif puts:
+            request_id = self.client.send_oneway_batch(puts)
+            self._inflight_puts[request_id] = len(puts)
+        self.stats.puts_sent += len(puts)
+        self._account_put_responses(self.client.drain_responses())
+        return len(puts)
+
+    def _account_put_responses(self, responses: Sequence[Message]) -> None:
+        for response in responses:
+            count = self._inflight_puts.pop(response.request_id, None)
+            if count is None:
+                # Not a reply to any PUT we are waiting on (e.g. an
+                # uncorrelated decode error): the affected PUTs remain
+                # in puts_unacknowledged rather than being guessed at.
+                continue
+            if isinstance(response, PutResponse):
+                if response.accepted:
+                    self.stats.puts_accepted += 1
+                else:
+                    self.stats.puts_rejected += 1
+            elif isinstance(response, BatchPutResponse):
+                for item in response.items:
+                    if item.accepted:
+                        self.stats.puts_accepted += 1
+                    else:
+                        self.stats.puts_rejected += 1
+            elif isinstance(response, ErrorMessage):
+                self.stats.puts_failed += count
             else:
-                self.stats.puts_rejected += 1
-        return flushed
+                self.stats.puts_failed += count
 
     @property
     def pending_put_count(self) -> int:
         return len(self._pending_puts)
+
+    @property
+    def puts_unacknowledged(self) -> int:
+        """Flushed PUTs whose response has not been drained (or was lost)."""
+        return sum(self._inflight_puts.values())

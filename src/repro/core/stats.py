@@ -13,7 +13,15 @@ from dataclasses import dataclass, field
 
 @dataclass(frozen=True)
 class CallRecord:
-    """One deduplicated function call."""
+    """One deduplicated function call.
+
+    For calls executed through :meth:`DedupRuntime.execute_many`, costs
+    shared by the whole batch (the single ECALL, the batched OCALL, the
+    one channel record) are split evenly across the batch's records, so
+    summing ``sim_seconds`` over a batch still equals the batch's total.
+    ``l1_hit`` marks hits served from the in-enclave L1 cache without any
+    store round-trip.
+    """
 
     description: str
     hit: bool
@@ -21,19 +29,33 @@ class CallRecord:
     result_bytes: int
     wall_seconds: float
     sim_seconds: float
+    l1_hit: bool = False
+    batch_size: int = 1
 
 
 @dataclass
 class RuntimeStats:
-    """Counters for one DedupRuntime instance."""
+    """Counters for one DedupRuntime instance.
+
+    PUT accounting is explicit: every flushed PUT ends up in exactly one
+    of ``puts_accepted`` (store said yes), ``puts_rejected`` (store said
+    no — duplicate-rejection, quota, malformed), or ``puts_failed`` (the
+    reply was an error message, e.g. the record was corrupted in
+    transit).  PUTs whose response never arrived are *not* silently
+    counted anywhere — they remain visible as
+    :attr:`DedupRuntime.puts_unacknowledged`.
+    """
 
     calls: int = 0
     hits: int = 0
     misses: int = 0
+    l1_hits: int = 0
+    batches: int = 0
     verification_failures: int = 0
     puts_sent: int = 0
     puts_accepted: int = 0
     puts_rejected: int = 0
+    puts_failed: int = 0
     records: list[CallRecord] = field(default_factory=list)
 
     def record_call(self, record: CallRecord) -> None:
@@ -42,6 +64,8 @@ class RuntimeStats:
             self.hits += 1
         else:
             self.misses += 1
+        if record.l1_hit:
+            self.l1_hits += 1
         self.records.append(record)
 
     def hit_rate(self) -> float:

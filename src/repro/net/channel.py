@@ -46,6 +46,11 @@ class ChannelEndpoint:
         self._send_seq = 0
         self._recv_seq = 0
 
+    @property
+    def records_protected(self) -> int:
+        """Number of records sealed on this endpoint so far."""
+        return self._send_seq
+
     def _iv(self, label: int, seq: int) -> bytes:
         return bytes([label, 0, 0, 0]) + seq.to_bytes(8, "big")
 

@@ -7,15 +7,31 @@ byte strings at this layer.
 
 ``SYNC_*`` messages implement the master-ResultStore replication the
 paper sketches in the §IV-B remark.
+
+Every message carries a ``request_id`` in its header: servers echo the
+requester's id into the response so that a client multiplexing
+synchronous calls and one-way sends on one endpoint can match each
+response to its request.  The id is transport bookkeeping, not message
+content — it is excluded from equality.
+
+``BATCH_*`` messages carry many GET/PUT items under one header (and
+therefore one channel record and one server-side ECALL): the batched
+hot path that amortizes per-message overhead across items.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 from dataclasses import dataclass, field
 
 from .framing import FieldReader, FieldWriter
 from ..errors import ProtocolError
+
+# Upper bound on items per batch message; a decoded count beyond this is
+# a protocol violation (defends the store against resource-exhaustion
+# payloads that claim absurd item counts).
+MAX_BATCH_ITEMS = 65536
 
 
 class MessageType(enum.IntEnum):
@@ -26,6 +42,10 @@ class MessageType(enum.IntEnum):
     SYNC_REQUEST = 5
     SYNC_RESPONSE = 6
     ERROR = 7
+    BATCH_GET_REQUEST = 8
+    BATCH_GET_RESPONSE = 9
+    BATCH_PUT_REQUEST = 10
+    BATCH_PUT_RESPONSE = 11
 
 
 @dataclass(frozen=True)
@@ -34,6 +54,7 @@ class GetRequest:
 
     tag: bytes
     app_id: str = ""
+    request_id: int = field(default=0, compare=False)
 
     TYPE = MessageType.GET_REQUEST
 
@@ -54,6 +75,7 @@ class GetResponse:
     challenge: bytes = b""
     wrapped_key: bytes = b""
     sealed_result: bytes = b""
+    request_id: int = field(default=0, compare=False)
 
     TYPE = MessageType.GET_RESPONSE
 
@@ -80,6 +102,7 @@ class PutRequest:
     wrapped_key: bytes
     sealed_result: bytes
     app_id: str = ""
+    request_id: int = field(default=0, compare=False)
 
     TYPE = MessageType.PUT_REQUEST
 
@@ -102,6 +125,7 @@ class PutRequest:
 class PutResponse:
     accepted: bool
     reason: str = ""
+    request_id: int = field(default=0, compare=False)
 
     TYPE = MessageType.PUT_RESPONSE
 
@@ -120,6 +144,7 @@ class SyncRequest:
 
     known_tags: tuple[bytes, ...] = ()
     min_hits: int = 1
+    request_id: int = field(default=0, compare=False)
 
     TYPE = MessageType.SYNC_REQUEST
 
@@ -141,6 +166,7 @@ class SyncResponse:
     """A batch of replicated entries: (tag, r, [k], [res]) tuples."""
 
     entries: tuple[tuple[bytes, bytes, bytes, bytes], ...] = field(default=())
+    request_id: int = field(default=0, compare=False)
 
     TYPE = MessageType.SYNC_RESPONSE
 
@@ -158,10 +184,99 @@ class SyncResponse:
         return cls(entries=entries)
 
 
+def _read_batch_count(r: FieldReader) -> int:
+    count = r.u32()
+    if count > MAX_BATCH_ITEMS:
+        raise ProtocolError(f"batch of {count} items exceeds limit {MAX_BATCH_ITEMS}")
+    return count
+
+
+@dataclass(frozen=True)
+class BatchGetRequest:
+    """Many duplicate checks under one header: one channel record, one
+    store-side ECALL, N dictionary probes."""
+
+    items: tuple[GetRequest, ...]
+    request_id: int = field(default=0, compare=False)
+
+    TYPE = MessageType.BATCH_GET_REQUEST
+
+    def encode_body(self, w: FieldWriter) -> None:
+        w.u32(len(self.items))
+        for item in self.items:
+            item.encode_body(w)
+
+    @classmethod
+    def decode_body(cls, r: FieldReader) -> "BatchGetRequest":
+        count = _read_batch_count(r)
+        return cls(items=tuple(GetRequest.decode_body(r) for _ in range(count)))
+
+
+@dataclass(frozen=True)
+class BatchGetResponse:
+    """Per-item answers, in the order of the request's items."""
+
+    items: tuple[GetResponse, ...]
+    request_id: int = field(default=0, compare=False)
+
+    TYPE = MessageType.BATCH_GET_RESPONSE
+
+    def encode_body(self, w: FieldWriter) -> None:
+        w.u32(len(self.items))
+        for item in self.items:
+            item.encode_body(w)
+
+    @classmethod
+    def decode_body(cls, r: FieldReader) -> "BatchGetResponse":
+        count = _read_batch_count(r)
+        return cls(items=tuple(GetResponse.decode_body(r) for _ in range(count)))
+
+
+@dataclass(frozen=True)
+class BatchPutRequest:
+    """Many initial-computation stores under one header."""
+
+    items: tuple[PutRequest, ...]
+    request_id: int = field(default=0, compare=False)
+
+    TYPE = MessageType.BATCH_PUT_REQUEST
+
+    def encode_body(self, w: FieldWriter) -> None:
+        w.u32(len(self.items))
+        for item in self.items:
+            item.encode_body(w)
+
+    @classmethod
+    def decode_body(cls, r: FieldReader) -> "BatchPutRequest":
+        count = _read_batch_count(r)
+        return cls(items=tuple(PutRequest.decode_body(r) for _ in range(count)))
+
+
+@dataclass(frozen=True)
+class BatchPutResponse:
+    """Per-item verdicts, in the order of the request's items."""
+
+    items: tuple[PutResponse, ...]
+    request_id: int = field(default=0, compare=False)
+
+    TYPE = MessageType.BATCH_PUT_RESPONSE
+
+    def encode_body(self, w: FieldWriter) -> None:
+        w.u32(len(self.items))
+        for item in self.items:
+            item.encode_body(w)
+
+    @classmethod
+    def decode_body(cls, r: FieldReader) -> "BatchPutResponse":
+        count = _read_batch_count(r)
+        return cls(items=tuple(PutResponse.decode_body(r) for _ in range(count)))
+
+
 @dataclass(frozen=True)
 class ErrorMessage:
     code: int
     detail: str = ""
+    request_id: int = field(default=0, compare=False)
 
     TYPE = MessageType.ERROR
 
@@ -183,6 +298,10 @@ _MESSAGE_CLASSES = {
         SyncRequest,
         SyncResponse,
         ErrorMessage,
+        BatchGetRequest,
+        BatchGetResponse,
+        BatchPutRequest,
+        BatchPutResponse,
     )
 }
 
@@ -194,13 +313,25 @@ Message = (
     | SyncRequest
     | SyncResponse
     | ErrorMessage
+    | BatchGetRequest
+    | BatchGetResponse
+    | BatchPutRequest
+    | BatchPutResponse
 )
 
 
+def with_request_id(msg: Message, request_id: int) -> Message:
+    """Return ``msg`` carrying ``request_id`` (no copy if already set)."""
+    if msg.request_id == request_id:
+        return msg
+    return dataclasses.replace(msg, request_id=request_id)
+
+
 def encode_message(msg: Message) -> bytes:
-    """Serialize a message to ``type_byte || body``."""
+    """Serialize a message to ``type_byte || request_id || body``."""
     w = FieldWriter()
     w.u8(int(msg.TYPE))
+    w.u64(msg.request_id)
     msg.encode_body(w)
     return w.getvalue()
 
@@ -212,6 +343,9 @@ def decode_message(data: bytes) -> Message:
         mtype = MessageType(r.u8())
     except ValueError as exc:
         raise ProtocolError(f"unknown message type in {data[:8]!r}") from exc
+    request_id = r.u64()
     msg = _MESSAGE_CLASSES[mtype].decode_body(r)
     r.expect_end()
+    if request_id:
+        msg = dataclasses.replace(msg, request_id=request_id)
     return msg

@@ -8,14 +8,38 @@ draining its socket.
 
 All payloads crossing this layer are channel *records* — the plaintext
 messages only ever exist inside the two enclaves.
+
+Correlation: every outgoing request carries a client-assigned
+``request_id`` which the server echoes.  A synchronous :meth:`RpcClient.call`
+therefore always receives *its own* response even when replies to earlier
+one-way sends are still sitting in the inbox — those are buffered and
+handed out by :meth:`RpcClient.drain_responses` instead of being
+mis-delivered to the next caller.
+
+Batching: :meth:`RpcClient.call_batch` ships a uniform list of GET or PUT
+requests as one ``BATCH_*`` message, so the whole batch costs one channel
+record (one AEAD seal/open per direction) and one server-side ECALL
+instead of N of each.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Sequence
 
 from .channel import ChannelEndpoint
-from .messages import ErrorMessage, Message, decode_message, encode_message
+from .messages import (
+    BatchGetRequest,
+    BatchGetResponse,
+    BatchPutRequest,
+    BatchPutResponse,
+    ErrorMessage,
+    GetRequest,
+    Message,
+    PutRequest,
+    decode_message,
+    encode_message,
+    with_request_id,
+)
 from .transport import Endpoint
 from ..errors import ProtocolError, TransportError
 
@@ -41,16 +65,18 @@ class RpcServer:
         self.requests_served = 0
 
     def _process(self, record: bytes) -> bytes:
+        request_id = 0
         try:
             request = decode_message(self._channel.unprotect(record))
         except Exception as exc:  # channel/protocol violation
             response: Message = ErrorMessage(code=400, detail=str(exc))
         else:
+            request_id = request.request_id
             try:
                 response = self._handler(request)
             except Exception as exc:
                 response = ErrorMessage(code=500, detail=str(exc))
-        return self._channel.protect(encode_message(response))
+        return self._channel.protect(encode_message(with_request_id(response, request_id)))
 
     def pump(self) -> int:
         """Serve every pending request; returns the number served."""
@@ -75,29 +101,112 @@ class RpcClient:
         self._endpoint = endpoint
         self._channel = channel
         self._server_address = server_address
+        self._next_request_id = 1
+        # Responses addressed to one-way sends that arrived while a sync
+        # call was scanning the inbox; surfaced by drain_responses().
+        self._stray_responses: list[Message] = []
+
+    @property
+    def records_sent(self) -> int:
+        """Channel records this client has sealed (the benchmark's
+        records-per-call numerator)."""
+        return self._channel.records_protected
+
+    def _fresh_request_id(self) -> int:
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        return request_id
+
+    def _send(self, request: Message) -> None:
+        self._endpoint.send(
+            self._server_address, self._channel.protect(encode_message(request))
+        )
+
+    def _recv_one(self) -> Message:
+        _source, record = self._endpoint.recv()
+        return decode_message(self._channel.unprotect(record))
 
     def call(self, request: Message) -> Message:
-        """Send a request and block on (pop) the response."""
-        self._endpoint.send(self._server_address, self._channel.protect(encode_message(request)))
-        if not self._endpoint.pending():
-            raise TransportError("no response arrived (server reactor not attached?)")
-        _source, record = self._endpoint.recv()
-        response = decode_message(self._channel.unprotect(record))
-        if isinstance(response, ErrorMessage):
-            raise ProtocolError(f"server error {response.code}: {response.detail}")
-        return response
+        """Send a request and block on the *matching* response.
 
-    def send_oneway(self, request: Message) -> None:
-        """Fire-and-forget (used by the asynchronous PUT path); the caller
-        must later drain the response with :meth:`drain_responses`."""
-        self._endpoint.send(self._server_address, self._channel.protect(encode_message(request)))
+        Responses carrying other correlation ids (replies to earlier
+        one-way sends) are buffered for :meth:`drain_responses` rather
+        than returned here.  An uncorrelated ``ErrorMessage`` (the server
+        could not even parse the offending request, so it could not echo
+        an id) is surfaced to this caller.
+        """
+        request_id = self._fresh_request_id()
+        self._send(with_request_id(request, request_id))
+        while self._endpoint.pending():
+            response = self._recv_one()
+            if response.request_id == request_id:
+                if isinstance(response, ErrorMessage):
+                    raise ProtocolError(
+                        f"server error {response.code}: {response.detail}"
+                    )
+                return response
+            if isinstance(response, ErrorMessage) and response.request_id == 0:
+                raise ProtocolError(
+                    f"server error {response.code}: {response.detail}"
+                )
+            self._stray_responses.append(response)
+        raise TransportError("no response arrived (server reactor not attached?)")
+
+    def call_batch(self, requests: Sequence[Message]) -> list[Message]:
+        """Issue a uniform batch of GETs or PUTs under one channel record.
+
+        Returns the per-item responses in request order.  The batch is
+        protected as a single record, so the AEAD and sequencing costs of
+        the secure channel — and the store's ECALL — are paid once for
+        the whole batch instead of once per item.
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        if all(isinstance(r, GetRequest) for r in requests):
+            batch: Message = BatchGetRequest(items=tuple(requests))
+            expected: type = BatchGetResponse
+        elif all(isinstance(r, PutRequest) for r in requests):
+            batch = BatchPutRequest(items=tuple(requests))
+            expected = BatchPutResponse
+        else:
+            raise ProtocolError("call_batch needs a uniform list of GETs or PUTs")
+        response = self.call(batch)
+        if not isinstance(response, expected):
+            raise ProtocolError(
+                f"store answered batch with {type(response).__name__}"
+            )
+        if len(response.items) != len(requests):
+            raise ProtocolError(
+                f"batch response has {len(response.items)} items, "
+                f"expected {len(requests)}"
+            )
+        return list(response.items)
+
+    def send_oneway(self, request: Message) -> int:
+        """Fire-and-forget (used by the asynchronous PUT path); returns the
+        assigned correlation id so the caller can match the eventual
+        response from :meth:`drain_responses`."""
+        request_id = self._fresh_request_id()
+        self._send(with_request_id(request, request_id))
+        return request_id
+
+    def send_oneway_batch(self, requests: Sequence[PutRequest]) -> int:
+        """Fire-and-forget an entire PUT batch as one channel record."""
+        request_id = self._fresh_request_id()
+        self._send(with_request_id(BatchPutRequest(items=tuple(requests)), request_id))
+        return request_id
 
     def drain_responses(self) -> list[Message]:
-        """Collect any responses to one-way sends (off the critical path)."""
-        out: list[Message] = []
+        """Collect any responses to one-way sends (off the critical path).
+
+        Includes responses that a synchronous :meth:`call` encountered and
+        set aside while scanning for its own reply.
+        """
+        out: list[Message] = self._stray_responses
+        self._stray_responses = []
         while self._endpoint.pending():
-            _source, record = self._endpoint.recv()
-            out.append(decode_message(self._channel.unprotect(record)))
+            out.append(self._recv_one())
         return out
 
 

@@ -74,6 +74,17 @@ class Enclave:
         """True when execution is currently inside the enclave."""
         return len(self._call_stack) % 2 == 1
 
+    @property
+    def transition_count(self) -> int:
+        """Total boundary crossings entered so far (ECALLs + OCALLs).
+
+        Each counted transition also pays a second crossing on return, so
+        cycle cost is proportional to twice this number; as a *count* of
+        world switches this is the figure the batching benchmark reports
+        per call.
+        """
+        return self.ecall_count + self.ocall_count
+
     def _check_alive(self) -> None:
         if self._destroyed:
             raise EnclaveError(f"enclave {self.name!r} was destroyed")

@@ -24,6 +24,10 @@ from ..crypto.hashes import DIGEST_SIZE
 from ..errors import ProtocolError, QuotaExceededError, StoreError
 from ..net.channel import ChannelEndpoint, NullChannelEndpoint, establish
 from ..net.messages import (
+    BatchGetRequest,
+    BatchGetResponse,
+    BatchPutRequest,
+    BatchPutResponse,
     ErrorMessage,
     GetRequest,
     GetResponse,
@@ -34,6 +38,7 @@ from ..net.messages import (
     SyncResponse,
     decode_message,
     encode_message,
+    with_request_id,
 )
 from ..net.rpc import RpcClient
 from ..net.transport import Network
@@ -189,24 +194,30 @@ class ResultStore:
             self.endpoint.send(source, reply)
 
     def _process(self, channel: ChannelEndpoint, record: bytes) -> bytes:
+        request_id = 0
         try:
             request = decode_message(channel.unprotect(record))
         except Exception as exc:
             response: Message = ErrorMessage(code=400, detail=str(exc))
         else:
+            request_id = request.request_id
             try:
                 response = self._dispatch(request)
             except QuotaExceededError as exc:
                 response = PutResponse(accepted=False, reason=str(exc))
             except Exception as exc:
                 response = ErrorMessage(code=500, detail=str(exc))
-        return channel.protect(encode_message(response))
+        return channel.protect(encode_message(with_request_id(response, request_id)))
 
     def _dispatch(self, request: Message) -> Message:
         if isinstance(request, GetRequest):
             return self._handle_get(request)
         if isinstance(request, PutRequest):
             return self._handle_put(request)
+        if isinstance(request, BatchGetRequest):
+            return self._handle_batch_get(request)
+        if isinstance(request, BatchPutRequest):
+            return self._handle_batch_put(request)
         if isinstance(request, SyncRequest):
             return self._handle_sync(request)
         raise ProtocolError(f"unexpected message type {type(request).__name__}")
@@ -287,6 +298,30 @@ class ResultStore:
         )
         self._dict.put(entry, touch=self._touch)
         return PutResponse(accepted=True)
+
+    # -- batch handlers -------------------------------------------------------
+    # The whole batch is served inside the single ECALL that pump() opened
+    # for its channel record: one transition charge and one record's worth
+    # of channel crypto amortized over N dictionary probes.
+    def _handle_batch_get(self, request: BatchGetRequest) -> BatchGetResponse:
+        return BatchGetResponse(
+            items=tuple(self._handle_get(item) for item in request.items)
+        )
+
+    def _handle_batch_put(self, request: BatchPutRequest) -> BatchPutResponse:
+        # Per-item verdicts: a rejected or malformed item (over quota, bad
+        # field shape) must not poison its batch-mates, exactly as N
+        # sequential PUTs would each get their own answer.  Eviction and
+        # quota accounting run per item through the same code path.
+        results = []
+        for item in request.items:
+            try:
+                results.append(self._handle_put(item))
+            except QuotaExceededError as exc:
+                results.append(PutResponse(accepted=False, reason=str(exc)))
+            except ProtocolError as exc:
+                results.append(PutResponse(accepted=False, reason=str(exc)))
+        return BatchPutResponse(items=tuple(results))
 
     def _make_room(self, incoming: int) -> None:
         cfg = self.config

@@ -170,3 +170,44 @@ class TestAblations:
         protected = by_policy["quota: 32 entries/app"]
         assert protected.accepted_from_attacker <= 32
         assert protected.honest_entries_surviving == 10
+
+
+class TestBatch:
+    def test_batch_sweep_meets_acceptance_targets(self):
+        # The issue's acceptance bar, at batch size 64 on the Fig. 6 GET
+        # regime: >=10x fewer enclave transitions per call and >=2x the
+        # simulated throughput of the unbatched baseline.
+        rows = harness.run_batch_store(batch_sizes=[1, 64], ops=64,
+                                       size_bytes=harness.KB)
+        gets = {r.batch_size: r for r in rows if r.phase == "get"}
+        base, batched = gets[1], gets[64]
+        assert base.transitions_per_call / batched.transitions_per_call >= 10
+        assert batched.sim_ops_per_s / base.sim_ops_per_s >= 2
+        puts = {r.batch_size: r for r in rows if r.phase == "put"}
+        assert puts[64].sim_ops_per_s > puts[1].sim_ops_per_s
+
+    def test_batch_execute_matches_sequential(self):
+        rows = harness.run_batch_execute(batch_sizes=[4], calls=8,
+                                         text_bytes=4 * harness.KB)
+        assert all(r.identical for r in rows)
+        by_phase = {(r.phase, r.batch_size): r for r in rows}
+        seq = by_phase[("execute-seq", 1)]
+        best = by_phase[("execute-batch", 8)]
+        assert best.transitions_per_call < seq.transitions_per_call
+        assert best.sim_ops_per_s > seq.sim_ops_per_s
+
+    def test_print_batch_renders(self):
+        rows = harness.run_batch_store(batch_sizes=[1, 4], ops=8)
+        text = harness.print_batch(rows)
+        assert "trans/call" in text and "sim ops/s" in text
+
+    def test_batch_rows_export_to_json(self, tmp_path):
+        from repro.bench.export import write_json
+        import json
+
+        rows = harness.run_batch_store(batch_sizes=[4], ops=8)
+        path = write_json(rows, tmp_path / "BENCH_batch.json")
+        records = json.loads(path.read_text())
+        assert len(records) == len(rows)
+        assert {"phase", "batch_size", "transitions_per_call",
+                "sim_ops_per_s"} <= set(records[0])
