@@ -17,6 +17,7 @@ Quickstart::
     compressed = dedup_deflate(data)   # second call is a secure cache hit
 """
 
+from .cluster import ClusterConfig, ClusterRouter, ShardRing, StoreCluster
 from .core import (
     CrossAppScheme,
     Deduplicable,
@@ -28,7 +29,7 @@ from .core import (
     TrustedLibrary,
     TrustedLibraryRegistry,
 )
-from .deployment import Application, Deployment
+from .deployment import Application, ClusterDeployment, Deployment
 from .errors import SpeedError
 from .sgx import CostParams, SgxPlatform
 from .store import QuotaPolicy, ResultStore, StoreConfig
@@ -37,6 +38,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Application",
+    "ClusterConfig",
+    "ClusterDeployment",
+    "ClusterRouter",
     "CostParams",
     "CrossAppScheme",
     "Deduplicable",
@@ -48,6 +52,8 @@ __all__ = [
     "ResultStore",
     "RuntimeConfig",
     "SgxPlatform",
+    "ShardRing",
+    "StoreCluster",
     "SingleKeyScheme",
     "SpeedError",
     "StoreConfig",

@@ -1,7 +1,7 @@
 """CLI entry point: ``python -m repro.bench <experiment> [--quick] [--csv DIR]``.
 
 Experiments: fig5a fig5b fig5c fig5d table1 fig6 a1 a2 a3 a4 a5 a6 a7 e9 e10
-batch all
+batch cluster all
 """
 
 from __future__ import annotations
@@ -113,6 +113,12 @@ def _runners(quick: bool) -> dict[str, tuple]:
             ),
             harness.print_batch, None,
         ),
+        "cluster": (
+            lambda: harness.run_cluster(
+                **(dict(shard_counts=[1, 2, 4], ops=32) if quick else {})
+            ),
+            harness.print_cluster, None,
+        ),
     }
 
 
@@ -132,9 +138,9 @@ def run_experiment(
     rows = runner()
     if csv_dir is not None:
         write_csv(rows, pathlib.Path(csv_dir) / f"{name}.csv")
-    if json_path is None and name == "batch":
-        # The batching sweep always leaves a machine-readable artifact so
-        # its acceptance numbers can be checked without re-running.
+    if json_path is None and name in ("batch", "cluster"):
+        # These sweeps always leave a machine-readable artifact so their
+        # acceptance numbers can be checked without re-running.
         json_path = f"BENCH_{name}.json"
     if json_path is not None:
         write_json(rows, json_path)

@@ -1193,3 +1193,185 @@ def print_ablation_switchless(rows: list[SwitchlessRow]) -> str:
         ["mode", "size", "GET total sim(s)", "ops"],
         [[r.mode, human_size(r.size_bytes), r.get_total_sim_s, r.ops] for r in rows],
     )
+
+
+# ---------------------------------------------------------------------------
+# Cluster — sharded ResultStore scaling and failover
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ClusterRow:
+    phase: str            # put | get | failover-get | repair-get
+    n_shards: int
+    replication_factor: int
+    ops: int
+    size_bytes: int
+    bottleneck_sim_s: float   # busiest shard machine's clock advance
+    client_sim_s: float       # app machine's clock advance (sanity series)
+    wall_total_s: float
+    failovers: int            # router failovers during this phase
+    read_repairs: int         # read-repair PUTs queued during this phase
+    results_lost: int         # GETs that found nothing (should be 0)
+    baseline_sim_s: float = 0.0  # same-phase 1-shard bottleneck time
+
+    @property
+    def sim_ops_per_s(self) -> float:
+        if self.bottleneck_sim_s <= 0:
+            return float("inf")
+        return self.ops / self.bottleneck_sim_s
+
+    @property
+    def speedup(self) -> float:
+        """Throughput relative to the single-shard run of this phase."""
+        if self.baseline_sim_s <= 0 or self.bottleneck_sim_s <= 0:
+            return 0.0
+        return self.baseline_sim_s / self.bottleneck_sim_s
+
+
+def _cluster_payloads(ops: int, size_bytes: int, seed: int, label: bytes) -> list:
+    drbg = HmacDrbg(seed.to_bytes(4, "big"), b"cluster" + label)
+    base = drbg.generate(4096)
+    puts = []
+    for i in range(ops):
+        tag = sha256(b"cluster-tag" + label + i.to_bytes(4, "big"))
+        body = (base * (size_bytes // len(base) + 1))[:size_bytes - 8] + i.to_bytes(8, "big")
+        puts.append(PutRequest(
+            tag=tag,
+            challenge=drbg.generate(CHALLENGE_SIZE),
+            wrapped_key=drbg.generate(KEY_SIZE),
+            sealed_result=body,
+            app_id="cluster-bench",
+        ))
+    return puts
+
+
+def _cluster_phase(d, router, phase, requests, size_bytes, expect_found=False):
+    """Run one request phase and report the *store-side* bottleneck: the
+    largest clock advance across the shard machines.  Shards are
+    independent machines serving disjoint tag ranges, so the cluster
+    drains an open-loop Fig. 6 workload at the pace of its busiest
+    shard; the app machine's own advance is reported alongside (it is
+    workload-bound and flat across shard counts)."""
+    freq = d.clock.params.cpu_freq_hz
+    shard_clocks = {
+        sid: node.platform.clock for sid, node in d.cluster.shards.items()
+    }
+    shard0 = {sid: clock.snapshot() for sid, clock in shard_clocks.items()}
+    app0 = d.clock.snapshot()
+    fail0 = router.stats.failovers
+    repair0 = router.stats.read_repairs
+    lost = 0
+    wall0 = time.perf_counter()
+    for request in requests:
+        response = router.call(request)
+        if expect_found and not response.found:
+            lost += 1
+    wall = time.perf_counter() - wall0
+    bottleneck = max(
+        clock.since(shard0[sid]) for sid, clock in shard_clocks.items()
+    )
+    return ClusterRow(
+        phase=phase,
+        n_shards=len(shard_clocks),
+        replication_factor=d.cluster.config.replication_factor,
+        ops=len(requests),
+        size_bytes=size_bytes,
+        bottleneck_sim_s=bottleneck / freq,
+        client_sim_s=d.clock.since(app0) / freq,
+        wall_total_s=wall,
+        failovers=router.stats.failovers - fail0,
+        read_repairs=router.stats.read_repairs - repair0,
+        results_lost=lost,
+    )
+
+
+def run_cluster(
+    shard_counts: list[int] | None = None,
+    replication_factors: list[int] | None = None,
+    ops: int = 96,
+    size_bytes: int = 1 * KB,
+    seed: int = 61,
+) -> list[ClusterRow]:
+    """Cluster scaling sweep plus a failover run, Fig. 6 regime.
+
+    The sweep drives ``ops`` PUTs then ``ops`` GETs of all-different
+    items through a :class:`~repro.deployment.ClusterDeployment` at each
+    (shard count, replication factor); the single-shard RF-1 run *is*
+    the single-store baseline (same code path, one shard owning the
+    whole ring).  The failover run then kills one of four shards mid
+    write stream and shows reads surviving on replicas with zero loss,
+    and read-repair refilling the shard after it revives.
+    """
+    from ..deployment import ClusterDeployment
+
+    shard_counts = shard_counts or [1, 2, 4, 8]
+    replication_factors = replication_factors or [1, 2]
+    rows: list[ClusterRow] = []
+    baselines: dict[str, float] = {}
+    configs = [
+        (n, rf)
+        for rf in sorted(replication_factors)
+        for n in sorted(shard_counts)
+        if rf <= n
+    ]
+    if (1, 1) in configs:  # baseline first so later rows can reference it
+        configs.remove((1, 1))
+    configs.insert(0, (1, 1))
+
+    for n, rf in configs:
+        label = bytes([n, rf])
+        d = ClusterDeployment(
+            seed=b"bench-cluster" + label,
+            n_shards=n,
+            replication_factor=rf,
+        )
+        enclave = d.platform.create_enclave("cluster-bench", b"cluster-bench-code")
+        router = d.cluster.connect("cluster-bench", enclave)
+        puts = _cluster_payloads(ops, size_bytes, seed, label)
+        gets = [GetRequest(tag=p.tag, app_id="cluster-bench") for p in puts]
+        for phase, requests, expect in (("put", puts, False), ("get", gets, True)):
+            row = _cluster_phase(d, router, phase, requests, size_bytes,
+                                 expect_found=expect)
+            if n == 1 and rf == 1:
+                baselines[phase] = row.bottleneck_sim_s
+            rows.append(dataclass_replace(
+                row, baseline_sim_s=baselines.get(phase, 0.0)
+            ))
+
+    # Failover: 4 shards, RF 2; shard-0 dies after half the writes.
+    d = ClusterDeployment(
+        seed=b"bench-cluster-failover", n_shards=4, replication_factor=2,
+    )
+    enclave = d.platform.create_enclave("cluster-bench", b"cluster-bench-code")
+    router = d.cluster.connect("cluster-bench", enclave)
+    puts = _cluster_payloads(ops, size_bytes, seed, b"failover")
+    gets = [GetRequest(tag=p.tag, app_id="cluster-bench") for p in puts]
+    for put in puts[: ops // 2]:
+        router.call(put)
+    d.cluster.kill_shard("shard-0")
+    for put in puts[ops // 2:]:
+        router.call(put)
+    rows.append(_cluster_phase(d, router, "failover-get", gets, size_bytes,
+                               expect_found=True))
+    d.cluster.revive_shard("shard-0")
+    rows.append(_cluster_phase(d, router, "repair-get", gets, size_bytes,
+                               expect_found=True))
+    router.drain_responses()  # absorb the read-repair acks
+    return rows
+
+
+def print_cluster(rows: list[ClusterRow]) -> str:
+    headers = ["phase", "shards", "RF", "ops", "bottleneck sim(s)",
+               "sim ops/s", "speedup", "failovers", "repairs", "lost"]
+    table = [
+        [
+            r.phase, r.n_shards, r.replication_factor, r.ops,
+            r.bottleneck_sim_s, r.sim_ops_per_s,
+            f"{r.speedup:.2f}x" if r.speedup else "-",
+            r.failovers, r.read_repairs, r.results_lost,
+        ]
+        for r in rows
+    ]
+    return format_table(
+        "Cluster: sharded ResultStore throughput and failover",
+        headers, table,
+    )

@@ -1,0 +1,223 @@
+"""The server side of a sharded ResultStore deployment.
+
+The paper runs one ResultStore per machine (Fig. 1).  A
+:class:`StoreCluster` runs N of them — each shard is a full
+:class:`~repro.store.resultstore.ResultStore` on its **own** simulated
+machine (:class:`~repro.sgx.platform.SgxPlatform`), so every shard has
+its own store enclave, its own EPC budget and paging behaviour, its own
+quota pool, and its own clock.  What the shards share is the tag-space
+partition (the :class:`~repro.cluster.ring.ShardRing`) and the quoting
+infrastructure that lets applications and sibling shards attest them
+remotely.
+
+Failures are injected at the transport: killing a shard adds its address
+to the network :class:`~repro.net.transport.FaultInjector`'s dead set,
+so requests to it vanish on the wire and callers observe timeouts — the
+same observable behaviour as a crashed store process.  A revived shard
+keeps its pre-crash state (crash-pause model); entries it missed while
+dead flow back through read-repair.
+
+The ring can also grow and shrink live: :meth:`add_shard` spawns a new
+machine, splices it into the ring, and migrates the tag ranges it now
+owns from the incumbents over mutually attested store-to-store channels
+(:mod:`repro.cluster.migration`); :meth:`remove_shard` drains a leaving
+shard the same way before detaching it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .migration import MigrationReport, migrate_for_join, migrate_for_leave
+from .ring import ShardRing
+from .router import ClusterRouter
+from ..errors import SpeedError
+from ..net.transport import FaultInjector, Network
+from ..sgx.attestation import AttestationService
+from ..sgx.cost_model import CostParams
+from ..sgx.enclave import Enclave
+from ..sgx.platform import SgxPlatform
+from ..store.resultstore import ResultStore, StoreConfig
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Topology knobs for one StoreCluster."""
+
+    n_shards: int = 4
+    replication_factor: int = 2
+    vnodes: int = 32
+    # Template applied to every shard (it is frozen, so sharing is safe);
+    # each shard still gets its own QuotaManager/eviction state from it.
+    store_config: StoreConfig = field(default_factory=StoreConfig)
+    epc_usable_bytes: int | None = None
+
+
+@dataclass
+class ShardNode:
+    """One shard: its machine, its store, and its network address."""
+
+    shard_id: str
+    platform: SgxPlatform
+    store: ResultStore
+
+    @property
+    def address(self) -> str:
+        return self.store.address
+
+
+class StoreCluster:
+    """N ResultStore shards behind one consistent-hash ring."""
+
+    def __init__(
+        self,
+        network: Network,
+        attestation_service: AttestationService,
+        config: ClusterConfig | None = None,
+        seed: bytes = b"speed-cluster",
+        cost_params: CostParams | None = None,
+    ):
+        self.network = network
+        self.attestation = attestation_service
+        self.config = config or ClusterConfig()
+        if self.config.n_shards < 1:
+            raise SpeedError("a cluster needs at least one shard")
+        if not self.config.store_config.use_sgx:
+            raise SpeedError("cluster shards require SGX-mode stores")
+        self._seed = seed
+        self._cost_params = cost_params
+        self.fault: FaultInjector = network.ensure_fault_injector()
+        self.ring = ShardRing(vnodes=self.config.vnodes)
+        self.shards: dict[str, ShardNode] = {}
+        self._spawned = 0
+        # Routers to retro-fit when the ring grows: (app name, enclave, router).
+        self._routers: list[tuple[str, Enclave, ClusterRouter]] = []
+        for _ in range(self.config.n_shards):
+            self._spawn_shard()
+
+    # -- shard lifecycle -------------------------------------------------------
+    def _spawn_shard(self, shard_id: str | None = None) -> ShardNode:
+        shard_id = shard_id or f"shard-{self._spawned}"
+        if shard_id in self.shards:
+            raise SpeedError(f"shard {shard_id!r} already exists")
+        self._spawned += 1
+        platform_kwargs = {}
+        if self.config.epc_usable_bytes is not None:
+            platform_kwargs["epc_usable_bytes"] = self.config.epc_usable_bytes
+        platform = SgxPlatform(
+            seed=self._seed + b"/" + shard_id.encode(),
+            name=shard_id,
+            params=self._cost_params,
+            attestation_service=self.attestation,
+            **platform_kwargs,
+        )
+        store = ResultStore(
+            platform,
+            self.network,
+            address=f"resultstore@{shard_id}",
+            config=self.config.store_config,
+            seed=self._seed + b"/store/" + shard_id.encode(),
+        )
+        node = ShardNode(shard_id=shard_id, platform=platform, store=store)
+        self.shards[shard_id] = node
+        self.ring.add_shard(shard_id)
+        return node
+
+    def add_shard(self, shard_id: str | None = None) -> tuple[ShardNode, MigrationReport]:
+        """Grow the ring live: spawn a shard, migrate the tag ranges it
+        now owns from the incumbents, and connect every existing router."""
+        node = self._spawn_shard(shard_id)
+        report = migrate_for_join(self, node.shard_id)
+        for app_name, enclave, router in self._routers:
+            client = node.store.connect(
+                f"{app_name}->{node.shard_id}",
+                app_enclave=enclave,
+                attestation_service=self.attestation,
+            )
+            router.attach_shard(node.shard_id, client)
+        return node, report
+
+    def remove_shard(self, shard_id: str) -> MigrationReport:
+        """Drain a shard gracefully: hand its entries to their new owners
+        over attested channels, then take it off the ring and kill it."""
+        if shard_id not in self.shards:
+            raise SpeedError(f"unknown shard {shard_id!r}")
+        if len(self.shards) == 1:
+            raise SpeedError("cannot remove the last shard")
+        report = migrate_for_leave(self, shard_id)
+        node = self.shards.pop(shard_id)
+        self.ring.remove_shard(shard_id)
+        for _name, _enclave, router in self._routers:
+            router.detach_shard(shard_id)
+        self.fault.kill(node.address)
+        return report
+
+    # -- failure injection -----------------------------------------------------
+    def kill_shard(self, shard_id: str) -> None:
+        """Crash a shard: its traffic vanishes at the transport, so every
+        caller sees timeouts.  State is retained (crash-pause model)."""
+        self.fault.kill(self._node(shard_id).address)
+
+    def revive_shard(self, shard_id: str) -> None:
+        self.fault.revive(self._node(shard_id).address)
+
+    def shard_alive(self, shard_id: str) -> bool:
+        return not self.fault.is_dead(self._node(shard_id).address)
+
+    def _node(self, shard_id: str) -> ShardNode:
+        try:
+            return self.shards[shard_id]
+        except KeyError:
+            raise SpeedError(f"unknown shard {shard_id!r}") from None
+
+    # -- client wiring ---------------------------------------------------------
+    def connect(self, app_name: str, app_enclave: Enclave) -> ClusterRouter:
+        """Attest ``app_enclave`` to every shard and return the router its
+        DedupRuntime will use in place of a single RpcClient."""
+        clients = {}
+        for shard_id, node in sorted(self.shards.items()):
+            clients[shard_id] = node.store.connect(
+                f"{app_name}->{shard_id}",
+                app_enclave=app_enclave,
+                attestation_service=self.attestation,
+            )
+        router = ClusterRouter(
+            self.ring, clients, replication_factor=self.config.replication_factor
+        )
+        self._routers.append((app_name, app_enclave, router))
+        return router
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def shard_ids(self) -> tuple[str, ...]:
+        return tuple(sorted(self.shards))
+
+    def total_entries(self) -> int:
+        return sum(len(node.store) for node in self.shards.values())
+
+    def owners_of(self, tag: bytes) -> list[str]:
+        return self.ring.owners(tag, self.config.replication_factor)
+
+    def holders_of(self, tag: bytes) -> list[str]:
+        """Shards actually holding ``tag`` right now (tests/diagnostics)."""
+        return [
+            shard_id
+            for shard_id, node in sorted(self.shards.items())
+            if node.store.contains(tag)
+        ]
+
+    def snapshot(self) -> dict:
+        """Per-shard store counters plus topology, one JSON-ready dict."""
+        return {
+            "shards": {
+                shard_id: {
+                    "alive": self.shard_alive(shard_id),
+                    "entries": len(node.store),
+                    "load_share": self.ring.load_share(shard_id),
+                    **node.store.stats.snapshot(),
+                }
+                for shard_id, node in sorted(self.shards.items())
+            },
+            "replication_factor": self.config.replication_factor,
+            "total_entries": self.total_entries(),
+        }

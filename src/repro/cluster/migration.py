@@ -1,0 +1,130 @@
+"""Tag-range migration between shards over attested channels.
+
+When the ring changes, ownership of contiguous tag ranges moves between
+shards.  The ciphertexts follow over the same mutually attested
+store-to-store channel the master-sync path uses
+(:func:`repro.store.sync.attested_store_channel`): the source collects
+the affected ``(tag, r, [k], [res])`` tuples inside its enclave, seals
+them into one channel payload, and the destination ingests them inside
+its own enclave.  Nothing decryptable ever exists outside an enclave —
+migration moves *protected* results, so a compromised wire or host
+learns exactly what it learns from normal PUT traffic.
+
+Join: every incumbent pushes the slices the newcomer now owns, then
+drops entries it no longer owns under the (wider) ownership set.  Leave:
+the departing shard pushes each of its entries to that tag's remaining
+owners before going dark.  Both directions are idempotent — ingestion
+dedupes on tag, exactly like the master-store sync.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..store.resultstore import ResultStore
+from ..store.sync import _decode_entries, _encode_entries, attested_store_channel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .cluster import StoreCluster
+
+
+@dataclass(frozen=True)
+class MigrationReport:
+    """Outcome of one resharding round."""
+
+    moved: int = 0       # entries newly ingested at their new owners
+    duplicates: int = 0  # offered entries the destination already held
+    dropped: int = 0     # entries removed from sources that lost ownership
+    transfers: int = 0   # attested channel payloads shipped
+    bytes_moved: int = 0 # ciphertext bytes that crossed machines
+
+
+def transfer_entries(
+    cluster: "StoreCluster",
+    source: ResultStore,
+    dest: ResultStore,
+    entries: list[tuple[bytes, bytes, bytes, bytes]],
+) -> tuple[int, int, int]:
+    """Ship ``entries`` from ``source`` to ``dest`` as one attested
+    payload; returns (ingested, duplicates, payload bytes)."""
+    if not entries:
+        return 0, 0, 0
+    src_ep, dst_ep = attested_store_channel(cluster.attestation, source, dest)
+    with source.enclave.ecall("migrate_seal"):
+        payload = src_ep.protect(_encode_entries(entries))
+    source.platform.clock.charge_network(len(payload))
+    moved = duplicates = 0
+    with dest.enclave.ecall("migrate_ingest", in_bytes=len(payload)):
+        for tag, challenge, wrapped_key, sealed in _decode_entries(dst_ep.unprotect(payload)):
+            if dest.ingest_entry(tag, challenge, wrapped_key, sealed):
+                moved += 1
+            else:
+                duplicates += 1
+    return moved, duplicates, len(payload)
+
+
+def migrate_for_join(cluster: "StoreCluster", new_id: str) -> MigrationReport:
+    """Rebalance after ``new_id`` joined the ring (already a member).
+
+    Every incumbent sends the newcomer the entries whose owner set now
+    includes it, then discards entries it no longer owns at all.  The
+    drop runs *after* the copy, so ownership never dips below the
+    replication target mid-migration.
+    """
+    new_node = cluster.shards[new_id]
+    factor = cluster.config.replication_factor
+    moved = duplicates = dropped = transfers = bytes_moved = 0
+    for shard_id, node in sorted(cluster.shards.items()):
+        if shard_id == new_id:
+            continue
+        outgoing = node.store.collect_entries(
+            lambda tag: new_id in cluster.ring.owners(tag, factor)
+        )
+        if outgoing:
+            m, d, b = transfer_entries(cluster, node.store, new_node.store, outgoing)
+            moved += m
+            duplicates += d
+            bytes_moved += b
+            transfers += 1
+        stale = node.store.tags_matching(
+            lambda tag, sid=shard_id: sid not in cluster.ring.owners(tag, factor)
+        )
+        dropped += node.store.discard_tags(stale)
+    return MigrationReport(
+        moved=moved, duplicates=duplicates, dropped=dropped,
+        transfers=transfers, bytes_moved=bytes_moved,
+    )
+
+
+def migrate_for_leave(cluster: "StoreCluster", leaving_id: str) -> MigrationReport:
+    """Drain ``leaving_id`` before it is removed from the ring.
+
+    Ownership is computed on a copy of the ring *without* the leaver, so
+    every entry lands on the shards that will own it afterwards.  The
+    leaver's state is left in place — it goes dark immediately after, so
+    dropping is moot (and keeping it models a crash-after-drain safely).
+    """
+    import copy
+
+    leaving = cluster.shards[leaving_id]
+    future_ring = copy.deepcopy(cluster.ring)
+    future_ring.remove_shard(leaving_id)
+    factor = cluster.config.replication_factor
+    moved = duplicates = transfers = bytes_moved = 0
+    for dest_id in future_ring.shards:
+        dest = cluster.shards[dest_id]
+        outgoing = leaving.store.collect_entries(
+            lambda tag, d=dest_id: d in future_ring.owners(tag, factor)
+        )
+        if not outgoing:
+            continue
+        m, d, b = transfer_entries(cluster, leaving.store, dest.store, outgoing)
+        moved += m
+        duplicates += d
+        bytes_moved += b
+        transfers += 1
+    return MigrationReport(
+        moved=moved, duplicates=duplicates, dropped=0,
+        transfers=transfers, bytes_moved=bytes_moved,
+    )

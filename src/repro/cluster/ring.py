@@ -1,0 +1,122 @@
+"""Consistent hashing over the dedup tag space.
+
+Tags ``t = Hash(func, m)`` (§IV-A) are outputs of a cryptographic hash,
+so they land uniformly on the ring by construction — the ring position
+of a tag is simply its first eight bytes read as an integer.  Shards are
+placed at pseudo-random points via *virtual nodes*: each shard owns many
+points, which smooths the per-shard load imbalance from O(1) placement
+variance down to O(1/sqrt(vnodes)) and lets a joining shard take small
+slices from every incumbent instead of one large slice from a single
+neighbour (the PM-Dedup-style partitioning of secure-dedup state).
+
+The ring is pure bookkeeping — no I/O, no enclave state — so both the
+client-side router and the server-side cluster share one implementation
+and always agree on ownership.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from ..crypto.hashes import sha256
+from ..errors import SpeedError
+
+RING_BITS = 64
+RING_SIZE = 1 << RING_BITS
+
+
+def tag_point(tag: bytes) -> int:
+    """Ring position of a tag: its leading 8 bytes (tags are uniform)."""
+    if len(tag) < 8:
+        raise SpeedError("tag too short to place on the ring")
+    return int.from_bytes(tag[:8], "big")
+
+
+def _vnode_point(shard_id: str, index: int) -> int:
+    digest = sha256(b"speed/ring/" + shard_id.encode() + b"/" + index.to_bytes(4, "big"))
+    return int.from_bytes(digest[:8], "big")
+
+
+class ShardRing:
+    """Consistent-hash ring mapping tag points to shard ids."""
+
+    def __init__(self, vnodes: int = 64):
+        if vnodes < 1:
+            raise SpeedError("a shard needs at least one virtual node")
+        self.vnodes = vnodes
+        self._points: list[int] = []  # sorted vnode positions
+        self._owners: list[str] = []  # shard id at the same index
+        self._shards: set[str] = set()
+
+    # -- membership -----------------------------------------------------------
+    @property
+    def shards(self) -> tuple[str, ...]:
+        return tuple(sorted(self._shards))
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, shard_id: str) -> bool:
+        return shard_id in self._shards
+
+    def add_shard(self, shard_id: str) -> None:
+        if shard_id in self._shards:
+            raise SpeedError(f"shard {shard_id!r} already on the ring")
+        for i in range(self.vnodes):
+            point = _vnode_point(shard_id, i)
+            idx = bisect.bisect_left(self._points, point)
+            # sha256 collisions across distinct (shard, index) pairs are
+            # cryptographically impossible; an equal point would mean a
+            # duplicate registration.
+            self._points.insert(idx, point)
+            self._owners.insert(idx, shard_id)
+        self._shards.add(shard_id)
+
+    def remove_shard(self, shard_id: str) -> None:
+        if shard_id not in self._shards:
+            raise SpeedError(f"shard {shard_id!r} not on the ring")
+        keep = [(p, o) for p, o in zip(self._points, self._owners) if o != shard_id]
+        self._points = [p for p, _ in keep]
+        self._owners = [o for _, o in keep]
+        self._shards.remove(shard_id)
+
+    # -- ownership ------------------------------------------------------------
+    def owners(self, tag: bytes, n: int = 1) -> list[str]:
+        """The ``n`` distinct shards responsible for ``tag``: the primary
+        (first vnode at or after the tag's point, wrapping) followed by
+        the next ``n - 1`` distinct successors clockwise.
+
+        ``n`` is clamped to the shard count, so asking for replication
+        factor 3 on a 2-shard ring degrades gracefully to both shards.
+        """
+        if not self._shards:
+            raise SpeedError("ring has no shards")
+        n = max(1, min(n, len(self._shards)))
+        start = bisect.bisect_left(self._points, tag_point(tag))
+        out: list[str] = []
+        for step in range(len(self._points)):
+            owner = self._owners[(start + step) % len(self._points)]
+            if owner not in out:
+                out.append(owner)
+                if len(out) == n:
+                    break
+        return out
+
+    def primary(self, tag: bytes) -> str:
+        return self.owners(tag, 1)[0]
+
+    # -- rebalancing support ---------------------------------------------------
+    def load_share(self, shard_id: str) -> float:
+        """Fraction of the ring owned (primary) by ``shard_id``."""
+        if shard_id not in self._shards:
+            raise SpeedError(f"shard {shard_id!r} not on the ring")
+        if len(self._shards) == 1:
+            return 1.0
+        total = 0
+        for idx, owner in enumerate(self._owners):
+            if owner != shard_id:
+                continue
+            here = self._points[idx]
+            prev = self._points[idx - 1] if idx else self._points[-1] - RING_SIZE
+            total += here - prev
+        return total / RING_SIZE

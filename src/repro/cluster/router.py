@@ -1,0 +1,539 @@
+"""Client-side routing across a sharded ResultStore cluster.
+
+A :class:`ClusterRouter` presents the exact call surface of
+:class:`~repro.net.rpc.RpcClient` — ``call``, ``call_batch``,
+``send_oneway``, ``send_oneway_batch``, ``drain_responses``,
+``records_sent`` — so a :class:`~repro.core.runtime.DedupRuntime` links
+against it unchanged.  Behind that surface every request is routed by
+the tag's position on the :class:`~repro.cluster.ring.ShardRing`:
+
+* **GET** goes to the tag's owners in ring order.  A timed-out owner is
+  skipped (failover); a live owner's *miss* falls through to the next
+  replica; the first hit wins.  Live owners that missed before the hit
+  receive an asynchronous **read-repair** PUT rebuilt from the hit, so
+  a shard that lost or never received an entry converges back.  The
+  repaired ciphertext is still the store-side ``(r, [k], [res])``
+  triple — the router never sees plaintext, and a tampered replica is
+  caught by the runtime's Fig. 3 MAC/tag verification exactly as a
+  tampered single store would be.
+* **PUT** is written to the primary and its ``replication_factor - 1``
+  distinct successors.  The primary's verdict is authoritative; replica
+  verdicts are absorbed into router counters.
+* **Batches** are split per shard, routed, and rejoined in the original
+  item order.  A sub-batch whose shard times out degrades to per-item
+  routing through the surviving replicas; items with no live owner at
+  all come back as per-item failures (``found=False`` /
+  ``accepted=False`` with a ``no live owner`` reason) without
+  disturbing their batch-mates' correlation.
+
+One-way correlation: the router speaks to N per-shard clients, each
+with its own request-id space, so it assigns its own router-level ids
+and remaps shard acks onto them when draining.  For a replicated
+one-way PUT the first ack to arrive is forwarded to the runtime (the
+rest are absorbed), which keeps the runtime's strict PUT accounting
+(accepted/rejected/failed/unacknowledged) intact: a fully-dead owner
+set shows up as *unacknowledged*, never as a silent success.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .ring import ShardRing
+from ..errors import ChannelError, ProtocolError, TransportError
+from ..net.messages import (
+    BatchPutResponse,
+    ErrorMessage,
+    GetRequest,
+    GetResponse,
+    Message,
+    PutRequest,
+    PutResponse,
+    with_request_id,
+)
+from ..net.rpc import RpcClient
+
+NO_LIVE_OWNER = "no live owner"
+
+# Failures that mean "this shard did not serve the request": the send
+# vanished (dead shard), the reply never arrived, a record was mangled
+# on the wire, or the shard could not even parse the mangled record.
+_SHARD_FAILURES = (TransportError, ChannelError, ProtocolError)
+
+
+@dataclass
+class RouterStats:
+    """Cluster-side counters, disjoint from the runtime's per-call stats."""
+
+    gets_routed: int = 0
+    puts_routed: int = 0
+    get_timeouts: int = 0
+    put_timeouts: int = 0
+    failovers: int = 0
+    read_repairs: int = 0
+    unavailable: int = 0
+    replica_puts: int = 0
+    replica_put_acks: int = 0
+    replica_put_rejects: int = 0
+    repair_acks: int = 0
+    repair_rejects: int = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "gets_routed": self.gets_routed,
+            "puts_routed": self.puts_routed,
+            "get_timeouts": self.get_timeouts,
+            "put_timeouts": self.put_timeouts,
+            "failovers": self.failovers,
+            "read_repairs": self.read_repairs,
+            "unavailable": self.unavailable,
+            "replica_puts": self.replica_puts,
+            "replica_put_acks": self.replica_put_acks,
+            "replica_put_rejects": self.replica_put_rejects,
+            "repair_acks": self.repair_acks,
+            "repair_rejects": self.repair_rejects,
+        }
+
+
+@dataclass
+class _PendingBatch:
+    """A one-way PUT batch awaiting acks from several shards."""
+
+    router_id: int
+    n_items: int
+    primaries: list[str]
+    verdicts: dict[int, PutResponse] = field(default_factory=dict)
+    primary_seen: set[int] = field(default_factory=set)
+    emitted: bool = False
+
+
+class ClusterRouter:
+    """Routes one application's store traffic across the shard ring."""
+
+    def __init__(
+        self,
+        ring: ShardRing,
+        clients: dict[str, RpcClient],
+        replication_factor: int = 2,
+    ):
+        if replication_factor < 1:
+            raise ProtocolError("replication factor must be >= 1")
+        self.ring = ring
+        self.replication_factor = replication_factor
+        self._clients = dict(clients)
+        self.stats = RouterStats()
+        self._next_router_id = 1
+        # (shard, local id) -> router id, for one-way singles and batches.
+        self._single_by_key: dict[tuple[str, int], int] = {}
+        self._single_keys: dict[int, set[tuple[str, int]]] = {}
+        self._single_done: set[int] = set()
+        self._batch_by_key: dict[tuple[str, int], tuple[int, list[int]]] = {}
+        self._batches: dict[int, _PendingBatch] = {}
+        # Fire-and-forget sends whose acks are router-internal (read
+        # repair): absorbed on drain, never surfaced to the runtime.
+        self._absorb_keys: set[tuple[str, int]] = set()
+
+    # -- topology ------------------------------------------------------------
+    @property
+    def shard_ids(self) -> tuple[str, ...]:
+        return tuple(sorted(self._clients))
+
+    def attach_shard(self, shard_id: str, client: RpcClient) -> None:
+        """Connect to a shard that joined the ring live."""
+        if shard_id in self._clients:
+            raise ProtocolError(f"already connected to shard {shard_id!r}")
+        self._clients[shard_id] = client
+
+    def detach_shard(self, shard_id: str) -> None:
+        """Forget a shard that left the ring (its pending acks are void)."""
+        self._clients.pop(shard_id, None)
+
+    @property
+    def records_sent(self) -> int:
+        return sum(c.records_sent for c in self._clients.values())
+
+    def _owners(self, tag: bytes) -> list[str]:
+        """The tag's owner shards this router can actually reach."""
+        owners = self.ring.owners(tag, self.replication_factor)
+        return [s for s in owners if s in self._clients]
+
+    def _fresh_router_id(self) -> int:
+        router_id = self._next_router_id
+        self._next_router_id += 1
+        return router_id
+
+    # -- synchronous single calls ---------------------------------------------
+    def call(self, request: Message) -> Message:
+        if isinstance(request, GetRequest):
+            return self._route_get(request)
+        if isinstance(request, PutRequest):
+            return self._route_put(request)
+        raise ProtocolError(
+            f"cluster router cannot route {type(request).__name__}"
+        )
+
+    def _route_get(self, request: GetRequest, skip: set[str] | None = None) -> GetResponse:
+        self.stats.gets_routed += 1
+        owners = self._owners(request.tag)
+        if skip:
+            owners = [s for s in owners if s not in skip]
+        missed_live: list[str] = []
+        timeouts = 0
+        hit: GetResponse | None = None
+        for shard in owners:
+            try:
+                response = self._clients[shard].call(request)
+            except _SHARD_FAILURES:
+                self.stats.get_timeouts += 1
+                timeouts += 1
+                continue
+            if not isinstance(response, GetResponse):
+                raise ProtocolError(
+                    f"shard {shard!r} answered GET with {type(response).__name__}"
+                )
+            if response.found:
+                hit = response
+                break
+            missed_live.append(shard)
+        if hit is None:
+            if not missed_live:
+                # Every reachable owner timed out (or was skipped): the
+                # item is unavailable, not absent.  Fail safe: the
+                # caller recomputes, exactly like a miss.
+                self.stats.unavailable += 1
+                return GetResponse(found=False, reason=NO_LIVE_OWNER)
+            return GetResponse(found=False)
+        if timeouts:
+            self.stats.failovers += 1
+        for shard in missed_live:
+            self._queue_read_repair(shard, request, hit)
+        return hit
+
+    def _queue_read_repair(
+        self, shard: str, request: GetRequest, hit: GetResponse
+    ) -> None:
+        """Re-PUT a hit to a live owner that answered miss (one-way)."""
+        repair = PutRequest(
+            tag=request.tag,
+            challenge=hit.challenge,
+            wrapped_key=hit.wrapped_key,
+            sealed_result=hit.sealed_result,
+            app_id=request.app_id,
+        )
+        try:
+            local_id = self._clients[shard].send_oneway(repair)
+        except _SHARD_FAILURES:
+            return
+        self._absorb_keys.add((shard, local_id))
+        self.stats.read_repairs += 1
+
+    def _route_put(self, request: PutRequest) -> Message:
+        self.stats.puts_routed += 1
+        owners = self._owners(request.tag)
+        authoritative: Message | None = None
+        for index, shard in enumerate(owners):
+            if index:
+                self.stats.replica_puts += 1
+            try:
+                response = self._clients[shard].call(request)
+            except _SHARD_FAILURES:
+                self.stats.put_timeouts += 1
+                continue
+            if authoritative is None:
+                # The first *live* owner in ring order is authoritative —
+                # the primary when it is up, else the first replica.
+                authoritative = response
+            else:
+                self._count_replica_ack(response)
+        if authoritative is None:
+            raise TransportError(f"{NO_LIVE_OWNER} for tag {request.tag[:8].hex()}")
+        return authoritative
+
+    def _count_replica_ack(self, response: Message) -> None:
+        if isinstance(response, PutResponse) and response.accepted:
+            self.stats.replica_put_acks += 1
+        else:
+            self.stats.replica_put_rejects += 1
+
+    # -- batched calls ---------------------------------------------------------
+    def call_batch(self, requests: list[Message]) -> list[Message]:
+        requests = list(requests)
+        if not requests:
+            return []
+        if all(isinstance(r, GetRequest) for r in requests):
+            return self._route_batch_get(requests)
+        if all(isinstance(r, PutRequest) for r in requests):
+            return self._route_batch_put(requests)
+        raise ProtocolError("call_batch needs a uniform list of GETs or PUTs")
+
+    def _route_batch_get(self, requests: list[GetRequest]) -> list[Message]:
+        """Split a GET batch per primary shard; rejoin in item order.
+
+        A shard that fails its whole sub-batch does not poison the other
+        shards' items: its items retry individually through their
+        surviving replicas and, when none is live, come back as per-item
+        ``found=False`` failures in their original positions.
+        """
+        n = len(requests)
+        results: list[Message | None] = [None] * n
+        groups: dict[str, list[int]] = {}
+        for i, request in enumerate(requests):
+            owners = self._owners(request.tag)
+            if not owners:
+                self.stats.gets_routed += 1
+                self.stats.unavailable += 1
+                results[i] = GetResponse(found=False, reason=NO_LIVE_OWNER)
+                continue
+            groups.setdefault(owners[0], []).append(i)
+        for shard, indices in sorted(groups.items()):
+            sub = [requests[i] for i in indices]
+            try:
+                if len(sub) == 1:
+                    responses = [self._clients[shard].call(sub[0])]
+                else:
+                    responses = self._clients[shard].call_batch(sub)
+            except _SHARD_FAILURES:
+                # Whole sub-batch lost: route each item through its
+                # replicas (the primary is skipped — it just failed).
+                self.stats.get_timeouts += 1
+                for i in indices:
+                    response = self._route_get(requests[i], skip={shard})
+                    if response.found:
+                        # Served by a replica after the intended shard
+                        # failed — a failover, same as the single path.
+                        self.stats.failovers += 1
+                    results[i] = response
+                continue
+            self.stats.gets_routed += len(sub)
+            for i, response in zip(indices, responses):
+                if not isinstance(response, GetResponse):
+                    raise ProtocolError(
+                        f"shard {shard!r} answered GET with {type(response).__name__}"
+                    )
+                if response.found:
+                    results[i] = response
+                else:
+                    # Primary miss: fall through to the replicas (and
+                    # read-repair the primary on a replica hit).
+                    self.stats.gets_routed -= 1  # _route_get recounts it
+                    results[i] = self._route_get_after_miss(requests[i], shard)
+        missing = [i for i, r in enumerate(results) if r is None]
+        if missing:
+            # A shard returned fewer responses than sub-batch items; the
+            # zip above left gaps.  Surface it rather than shifting the
+            # caller's correlation by silently dropping positions.
+            raise ProtocolError(
+                f"batch GET left {len(missing)} item(s) unanswered"
+            )
+        return results
+
+    def _route_get_after_miss(
+        self, request: GetRequest, missed_primary: str
+    ) -> GetResponse:
+        """Continue a GET past a live primary's miss: consult replicas,
+        read-repair the primary if one of them hits."""
+        self.stats.gets_routed += 1
+        owners = [s for s in self._owners(request.tag) if s != missed_primary]
+        if not owners:
+            return GetResponse(found=False)
+        missed_live = [missed_primary]
+        timeouts = 0
+        for shard in owners:
+            try:
+                response = self._clients[shard].call(request)
+            except _SHARD_FAILURES:
+                self.stats.get_timeouts += 1
+                timeouts += 1
+                continue
+            if not isinstance(response, GetResponse):
+                raise ProtocolError(
+                    f"shard {shard!r} answered GET with {type(response).__name__}"
+                )
+            if response.found:
+                if timeouts:
+                    self.stats.failovers += 1
+                for miss in missed_live:
+                    self._queue_read_repair(miss, request, response)
+                return response
+            missed_live.append(shard)
+        return GetResponse(found=False)
+
+    def _route_batch_put(self, requests: list[PutRequest]) -> list[Message]:
+        """Write every item to all its owners; per-item verdicts rejoin
+        in order, the primary's verdict authoritative where it is live."""
+        n = len(requests)
+        self.stats.puts_routed += n
+        owners_per_item = [self._owners(r.tag) for r in requests]
+        verdicts: list[Message | None] = [None] * n
+        primary_seen = [False] * n
+        groups: dict[str, list[int]] = {}
+        for i, owners in enumerate(owners_per_item):
+            for k, shard in enumerate(owners):
+                groups.setdefault(shard, []).append(i)
+                if k:
+                    self.stats.replica_puts += 1
+        for shard, indices in sorted(groups.items()):
+            sub = [requests[i] for i in indices]
+            try:
+                if len(sub) == 1:
+                    responses = [self._clients[shard].call(sub[0])]
+                else:
+                    responses = self._clients[shard].call_batch(sub)
+            except _SHARD_FAILURES:
+                self.stats.put_timeouts += 1
+                continue
+            for i, response in zip(indices, responses):
+                is_primary = owners_per_item[i] and owners_per_item[i][0] == shard
+                if is_primary:
+                    if verdicts[i] is not None:
+                        self._count_replica_ack(verdicts[i])
+                    verdicts[i] = response
+                    primary_seen[i] = True
+                elif verdicts[i] is None:
+                    verdicts[i] = response
+                else:
+                    self._count_replica_ack(response)
+        out: list[Message] = []
+        for i, verdict in enumerate(verdicts):
+            if verdict is None:
+                out.append(PutResponse(accepted=False, reason=NO_LIVE_OWNER))
+            else:
+                out.append(verdict)
+        return out
+
+    # -- one-way sends ---------------------------------------------------------
+    def send_oneway(self, request: Message) -> int:
+        if not isinstance(request, PutRequest):
+            raise ProtocolError("one-way sends carry PUT requests")
+        self.stats.puts_routed += 1
+        router_id = self._fresh_router_id()
+        keys: set[tuple[str, int]] = set()
+        for index, shard in enumerate(self._owners(request.tag)):
+            if index:
+                self.stats.replica_puts += 1
+            local_id = self._clients[shard].send_oneway(request)
+            key = (shard, local_id)
+            keys.add(key)
+            self._single_by_key[key] = router_id
+        self._single_keys[router_id] = keys
+        return router_id
+
+    def send_oneway_batch(self, requests: list[PutRequest]) -> int:
+        requests = list(requests)
+        router_id = self._fresh_router_id()
+        self.stats.puts_routed += len(requests)
+        owners_per_item = [self._owners(r.tag) for r in requests]
+        pending = _PendingBatch(
+            router_id=router_id,
+            n_items=len(requests),
+            primaries=[owners[0] if owners else "" for owners in owners_per_item],
+        )
+        groups: dict[str, list[int]] = {}
+        for i, owners in enumerate(owners_per_item):
+            for k, shard in enumerate(owners):
+                groups.setdefault(shard, []).append(i)
+                if k:
+                    self.stats.replica_puts += 1
+        for shard, indices in sorted(groups.items()):
+            sub = [requests[i] for i in indices]
+            if len(sub) == 1:
+                local_id = self._clients[shard].send_oneway(sub[0])
+            else:
+                local_id = self._clients[shard].send_oneway_batch(sub)
+            self._batch_by_key[(shard, local_id)] = (router_id, list(indices))
+        self._batches[router_id] = pending
+        return router_id
+
+    # -- drain / correlation ---------------------------------------------------
+    def drain_responses(self) -> list[Message]:
+        """Drain every shard client, remap shard-local correlation ids to
+        router ids, and emit at most one response per router id.
+
+        Replica acks beyond the first, read-repair acks, and stale
+        responses from revived shards are absorbed into router counters
+        instead of reaching the runtime, whose PUT accounting therefore
+        sees the cluster exactly as it would see one store.
+        """
+        out: list[Message] = []
+        for shard in sorted(self._clients):
+            for response in self._clients[shard].drain_responses():
+                self._dispatch_drained(shard, response, out)
+        return out
+
+    def _dispatch_drained(
+        self, shard: str, response: Message, out: list[Message]
+    ) -> None:
+        key = (shard, response.request_id)
+        if key in self._absorb_keys:
+            self._absorb_keys.discard(key)
+            if isinstance(response, PutResponse) and response.accepted:
+                self.stats.repair_acks += 1
+            else:
+                self.stats.repair_rejects += 1
+            return
+        if key in self._single_by_key:
+            router_id = self._single_by_key.pop(key)
+            self._single_keys[router_id].discard(key)
+            if not self._single_keys[router_id]:
+                del self._single_keys[router_id]
+            if router_id in self._single_done:
+                self._count_replica_ack(response)
+                return
+            self._single_done.add(router_id)
+            out.append(with_request_id(response, router_id))
+            return
+        if key in self._batch_by_key:
+            router_id, indices = self._batch_by_key.pop(key)
+            pending = self._batches.get(router_id)
+            if pending is None:
+                return
+            self._merge_batch_acks(pending, shard, indices, response)
+            if (
+                not pending.emitted
+                and len(pending.verdicts) == pending.n_items
+            ):
+                pending.emitted = True
+                out.append(
+                    BatchPutResponse(
+                        items=tuple(
+                            pending.verdicts[i] for i in range(pending.n_items)
+                        ),
+                        request_id=router_id,
+                    )
+                )
+            return
+        # Unknown id: a stale response from a revived shard, or a reply
+        # to a send the router already accounted.  Dropped by design.
+
+    def _merge_batch_acks(
+        self,
+        pending: _PendingBatch,
+        shard: str,
+        indices: list[int],
+        response: Message,
+    ) -> None:
+        if isinstance(response, BatchPutResponse):
+            items: list[PutResponse | ErrorMessage] = list(response.items)
+        elif isinstance(response, (PutResponse, ErrorMessage)):
+            items = [response]
+        else:
+            return
+        if len(items) != len(indices):
+            return  # malformed: leave those items unacknowledged
+        for i, item in zip(indices, items):
+            if isinstance(item, ErrorMessage):
+                # A per-shard failure verdict; rejected is the closest
+                # per-item shape a merged batch response can carry.
+                item = PutResponse(accepted=False, reason=f"error {item.code}")
+            if pending.emitted or i in pending.primary_seen:
+                self._count_replica_ack(item)
+                continue
+            if pending.primaries[i] == shard:
+                if i in pending.verdicts:
+                    self._count_replica_ack(pending.verdicts[i])
+                pending.verdicts[i] = item
+                pending.primary_seen.add(i)
+            elif i in pending.verdicts:
+                self._count_replica_ack(item)
+            else:
+                pending.verdicts[i] = item

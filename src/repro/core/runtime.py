@@ -36,7 +36,10 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..cluster.router import ClusterRouter
 
 from .adaptive import AdaptiveDedupPolicy
 from .cache import L1ResultCache
@@ -100,12 +103,20 @@ class _BatchItem:
 
 
 class DedupRuntime:
-    """The trusted deduplication library linked against one app enclave."""
+    """The trusted deduplication library linked against one app enclave.
+
+    ``client`` is anything that speaks the RpcClient surface — a plain
+    :class:`~repro.net.rpc.RpcClient` bound to one ResultStore, or a
+    :class:`~repro.cluster.router.ClusterRouter` fanning the same calls
+    out across a shard ring.  The runtime's per-item semantics
+    (Algorithms 1 & 2, Fig. 3 verification) are identical either way;
+    only where the bytes land differs.
+    """
 
     def __init__(
         self,
         enclave: Enclave,
-        client: RpcClient,
+        client: "RpcClient | ClusterRouter",
         libraries: TrustedLibraryRegistry,
         parsers: ParserRegistry | None = None,
         config: RuntimeConfig | None = None,
@@ -560,3 +571,13 @@ class DedupRuntime:
     def puts_unacknowledged(self) -> int:
         """Flushed PUTs whose response has not been drained (or was lost)."""
         return sum(self._inflight_puts.values())
+
+    def snapshot(self) -> dict:
+        """The runtime's full observability export: every RuntimeStats
+        counter plus the in-flight PUT state only the runtime can see."""
+        snap = self.stats.snapshot()
+        snap["pending_puts"] = self.pending_put_count
+        snap["puts_unacknowledged"] = self.puts_unacknowledged
+        if self.l1_cache is not None:
+            snap["l1_entries"] = len(self.l1_cache)
+        return snap

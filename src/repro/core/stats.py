@@ -76,3 +76,28 @@ class RuntimeStats:
 
     def total_sim_seconds(self) -> float:
         return sum(r.sim_seconds for r in self.records)
+
+    def snapshot(self) -> dict:
+        """One flat dict with every counter plus the derived aggregates.
+
+        This is the single structure observability consumers (the cluster
+        bench, examples, future exporters) read, instead of picking
+        attributes off the dataclass one by one.  The per-call records
+        list is deliberately excluded — a snapshot is cheap and
+        JSON-ready.
+        """
+        return {
+            "calls": self.calls,
+            "hits": self.hits,
+            "misses": self.misses,
+            "l1_hits": self.l1_hits,
+            "batches": self.batches,
+            "verification_failures": self.verification_failures,
+            "puts_sent": self.puts_sent,
+            "puts_accepted": self.puts_accepted,
+            "puts_rejected": self.puts_rejected,
+            "puts_failed": self.puts_failed,
+            "hit_rate": self.hit_rate(),
+            "total_wall_seconds": self.total_wall_seconds(),
+            "total_sim_seconds": self.total_sim_seconds(),
+        }

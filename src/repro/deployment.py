@@ -4,13 +4,17 @@ Experiments, examples, and tests all need the same setup: a simulated
 SGX machine, a ResultStore reachable over the loopback network, and one
 or more SGX-enabled applications whose enclaves link trusted libraries
 and carry a DedupRuntime.  :class:`Deployment` assembles exactly that
-topology (Fig. 1 of the paper).
+topology (Fig. 1 of the paper); :class:`ClusterDeployment` assembles the
+scaled-out variant — one application machine talking to an N-shard
+:class:`~repro.cluster.StoreCluster` through per-app
+:class:`~repro.cluster.ClusterRouter` instances.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .cluster import ClusterConfig, StoreCluster
 from .core.deduplicable import Deduplicable
 from .core.description import FunctionDescription, TrustedLibraryRegistry
 from .core.runtime import DedupRuntime, RuntimeConfig
@@ -100,6 +104,87 @@ class Deployment:
         )
         config = runtime_config or RuntimeConfig(app_id=name)
         runtime = DedupRuntime(enclave, client, libraries, config=config)
+        app = Application(name=name, enclave=enclave, runtime=runtime)
+        self._apps[name] = app
+        return app
+
+    def applications(self) -> list[Application]:
+        return list(self._apps.values())
+
+    def flush_all_puts(self) -> int:
+        """Drain every application's asynchronous PUT queue."""
+        return sum(app.runtime.flush_puts() for app in self._apps.values())
+
+
+class ClusterDeployment:
+    """One application machine in front of an N-shard ResultStore cluster.
+
+    The applications share a platform (they are co-located, as in the
+    paper's Fig. 1), while each shard of the cluster runs on its own
+    machine; app-to-shard channels therefore use remote attestation via
+    the shared :class:`~repro.sgx.attestation.AttestationService`.
+    """
+
+    def __init__(
+        self,
+        seed: bytes = b"speed-cluster-deployment",
+        machine: str = "app-machine",
+        n_shards: int = 4,
+        replication_factor: int = 2,
+        vnodes: int = 32,
+        store_config: StoreConfig | None = None,
+        cost_params: CostParams | None = None,
+        epc_usable_bytes: int | None = None,
+        shard_epc_usable_bytes: int | None = None,
+        fault_injector: FaultInjector | None = None,
+        attestation_service: AttestationService | None = None,
+    ):
+        self.attestation = attestation_service or AttestationService()
+        platform_kwargs = {}
+        if epc_usable_bytes is not None:
+            platform_kwargs["epc_usable_bytes"] = epc_usable_bytes
+        self.platform = SgxPlatform(
+            seed=seed,
+            name=machine,
+            params=cost_params,
+            attestation_service=self.attestation,
+            **platform_kwargs,
+        )
+        self.network = Network(fault_injector=fault_injector)
+        self.cluster = StoreCluster(
+            self.network,
+            self.attestation,
+            config=ClusterConfig(
+                n_shards=n_shards,
+                replication_factor=replication_factor,
+                vnodes=vnodes,
+                store_config=store_config or StoreConfig(),
+                epc_usable_bytes=shard_epc_usable_bytes,
+            ),
+            seed=seed + b"/cluster",
+            cost_params=cost_params,
+        )
+        self._apps: dict[str, Application] = {}
+
+    @property
+    def clock(self):
+        """The application machine's clock (shards keep their own)."""
+        return self.platform.clock
+
+    def create_application(
+        self,
+        name: str,
+        libraries: TrustedLibraryRegistry,
+        runtime_config: RuntimeConfig | None = None,
+    ) -> Application:
+        """Launch an application enclave wired to the whole shard ring."""
+        if name in self._apps:
+            raise SpeedError(f"application {name!r} already exists")
+        code_identity = b"speed/app/" + name.encode() + b"/" + libraries.code_identity()
+        enclave = self.platform.create_enclave(name, code_identity)
+        router = self.cluster.connect(name, enclave)
+        config = runtime_config or RuntimeConfig(app_id=name)
+        runtime = DedupRuntime(enclave, router, libraries, config=config)
         app = Application(name=name, enclave=enclave, runtime=runtime)
         self._apps[name] = app
         return app

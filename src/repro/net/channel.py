@@ -128,6 +128,58 @@ class EstablishedChannel:
     server_measurement: Measurement
 
 
+def establish_remote(
+    service, client_enclave: Enclave, server_enclave: Enclave
+) -> EstablishedChannel:
+    """Run the attested DH handshake between enclaves on *different*
+    machines (remote attestation via a shared quoting service).
+
+    The construction mirrors :func:`establish` but binds each DH public
+    value into a platform-signed quote instead of a local-attestation
+    report, so neither side needs to share hardware with its peer.  Each
+    returned endpoint charges its *own* platform's clock — the two sides
+    live on different simulated machines.
+    """
+    c_clock = client_enclave.platform.clock
+    s_clock = server_enclave.platform.clock
+
+    with client_enclave.ecall("rdh_init", out_bytes=256 + 96):
+        c_drbg = HmacDrbg(client_enclave.read_rand(32), b"channel/remote-client")
+        c_kp = generate_keypair(c_drbg)
+        c_clock.charge_cycles(_DH_EXP_CYCLES, "crypto")
+        c_quote = client_enclave.create_quote(sha256(_pub_bytes(c_kp.public)))
+
+    with server_enclave.ecall("rdh_respond", in_bytes=256 + 96, out_bytes=256 + 96):
+        client_meas = service.verify_quote(c_quote)
+        if c_quote.report_data[:32] != sha256(_pub_bytes(c_kp.public)):
+            raise ChannelError("client DH public value not bound to its quote")
+        s_drbg = HmacDrbg(server_enclave.read_rand(32), b"channel/remote-server")
+        s_kp = generate_keypair(s_drbg)
+        s_clock.charge_cycles(_DH_EXP_CYCLES, "crypto")
+        s_quote = server_enclave.create_quote(sha256(_pub_bytes(s_kp.public)))
+        transcript = _pub_bytes(c_kp.public) + _pub_bytes(s_kp.public)
+        s_clock.charge_cycles(_DH_EXP_CYCLES, "crypto")
+        s_c2s, s_s2c = derive_session_keys(s_kp, c_kp.public, transcript)
+
+    with client_enclave.ecall("rdh_finish", in_bytes=256 + 96):
+        server_meas = service.verify_quote(s_quote)
+        if s_quote.report_data[:32] != sha256(_pub_bytes(s_kp.public)):
+            raise ChannelError("server DH public value not bound to its quote")
+        transcript = _pub_bytes(c_kp.public) + _pub_bytes(s_kp.public)
+        c_clock.charge_cycles(_DH_EXP_CYCLES, "crypto")
+        c_c2s, c_s2c = derive_session_keys(c_kp, s_kp.public, transcript)
+
+    if (c_c2s, c_s2c) != (s_c2s, s_s2c):
+        raise ChannelError("handshake key derivation mismatch")
+
+    return EstablishedChannel(
+        client=ChannelEndpoint(c_clock, send_key=c_c2s, recv_key=c_s2c, label=0),
+        server=ChannelEndpoint(s_clock, send_key=s_s2c, recv_key=s_c2s, label=1),
+        client_measurement=client_meas,
+        server_measurement=server_meas,
+    )
+
+
 def establish(client_enclave: Enclave, server_enclave: Enclave) -> EstablishedChannel:
     """Run the attested DH handshake between two co-located enclaves.
 

@@ -69,18 +69,27 @@ class GetRequest:
 @dataclass(frozen=True)
 class GetResponse:
     """Store's answer: ``found`` plus ``(r, [k], [res])`` when positive
-    (Algorithm 2, line 3)."""
+    (Algorithm 2, line 3).
+
+    ``reason`` annotates negative answers: a plain miss carries an empty
+    reason, while the cluster router marks items whose every owner timed
+    out so the caller can tell "recompute because unknown" apart from
+    "recompute because the owning shards were unreachable".  Either way
+    the fail-safe action is the same (Algorithm 1 recompute).
+    """
 
     found: bool
     challenge: bytes = b""
     wrapped_key: bytes = b""
     sealed_result: bytes = b""
+    reason: str = ""
     request_id: int = field(default=0, compare=False)
 
     TYPE = MessageType.GET_RESPONSE
 
     def encode_body(self, w: FieldWriter) -> None:
         w.boolean(self.found).blob(self.challenge).blob(self.wrapped_key).blob(self.sealed_result)
+        w.text(self.reason)
 
     @classmethod
     def decode_body(cls, r: FieldReader) -> "GetResponse":
@@ -89,6 +98,7 @@ class GetResponse:
             challenge=r.blob(),
             wrapped_key=r.blob(),
             sealed_result=r.blob(),
+            reason=r.text(),
         )
 
 

@@ -107,6 +107,12 @@ class RpcClient:
         self._stray_responses: list[Message] = []
 
     @property
+    def server_address(self) -> str:
+        """Network address of the server this client is bound to (the
+        cluster router labels per-shard failures with it)."""
+        return self._server_address
+
+    @property
     def records_sent(self) -> int:
         """Channel records this client has sealed (the benchmark's
         records-per-call numerator)."""

@@ -23,16 +23,37 @@ from ..sgx.cost_model import SimClock
 
 @dataclass
 class FaultInjector:
-    """Deterministic fault plan: drop or corrupt the Nth message."""
+    """Deterministic fault plan: drop or corrupt the Nth message.
+
+    Address-based rules model whole-process failures: any message sent
+    *to* an address in :attr:`dead_addresses` vanishes on the wire, which
+    is how the cluster layer kills a ResultStore shard (requests reach
+    the dead shard's socket and are never answered, so the caller's
+    synchronous receive times out).
+    """
 
     drop_indices: set[int] = field(default_factory=set)
     corrupt_indices: set[int] = field(default_factory=set)
+    dead_addresses: set[str] = field(default_factory=set)
     _counter: int = field(default=0, init=False)
 
-    def apply(self, payload: bytes) -> bytes | None:
+    def kill(self, address: str) -> None:
+        """Silently discard all traffic to ``address`` from now on."""
+        self.dead_addresses.add(address)
+
+    def revive(self, address: str) -> None:
+        """Let traffic reach ``address`` again."""
+        self.dead_addresses.discard(address)
+
+    def is_dead(self, address: str) -> bool:
+        return address in self.dead_addresses
+
+    def apply(self, payload: bytes, source: str = "", dest: str = "") -> bytes | None:
         """Returns the (possibly corrupted) payload, or None to drop."""
         index = self._counter
         self._counter += 1
+        if dest in self.dead_addresses or source in self.dead_addresses:
+            return None
         if index in self.drop_indices:
             return None
         if index in self.corrupt_indices and payload:
@@ -77,6 +98,17 @@ class Network:
         self._taps: list[Callable[[str, str, bytes], None]] = []
         self._reactors: dict[str, object] = {}
 
+    @property
+    def fault_injector(self) -> FaultInjector | None:
+        return self._fault_injector
+
+    def ensure_fault_injector(self) -> FaultInjector:
+        """Return the attached injector, installing an empty one if needed
+        (the cluster layer kills shards through injector address rules)."""
+        if self._fault_injector is None:
+            self._fault_injector = FaultInjector()
+        return self._fault_injector
+
     def endpoint(self, address: str, clock: SimClock) -> Endpoint:
         if address in self._endpoints:
             raise TransportError(f"address {address!r} already registered")
@@ -100,7 +132,7 @@ class Network:
         for tap in self._taps:
             tap(source, dest, payload)
         if self._fault_injector is not None:
-            mutated = self._fault_injector.apply(payload)
+            mutated = self._fault_injector.apply(payload, source=source, dest=dest)
             if mutated is None:
                 return  # dropped on the wire
             payload = mutated
@@ -115,3 +147,7 @@ class Network:
         if address not in self._endpoints:
             raise TransportError(f"cannot attach reactor to unknown address {address!r}")
         self._reactors[address] = reactor
+
+    def remove_reactor(self, address: str) -> None:
+        """Detach a reactor (a stopped service no longer drains its socket)."""
+        self._reactors.pop(address, None)

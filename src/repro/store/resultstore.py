@@ -22,7 +22,12 @@ from .quota import QuotaManager, QuotaPolicy
 from ..crypto.drbg import HmacDrbg
 from ..crypto.hashes import DIGEST_SIZE
 from ..errors import ProtocolError, QuotaExceededError, StoreError
-from ..net.channel import ChannelEndpoint, NullChannelEndpoint, establish
+from ..net.channel import (
+    ChannelEndpoint,
+    NullChannelEndpoint,
+    establish,
+    establish_remote,
+)
 from ..net.messages import (
     BatchGetRequest,
     BatchGetResponse,
@@ -90,6 +95,19 @@ class StoreStats:
     def hit_rate(self) -> float:
         return self.hits / self.gets if self.gets else 0.0
 
+    def snapshot(self) -> dict:
+        """Flat, JSON-ready counter export (mirrors RuntimeStats.snapshot)."""
+        return {
+            "gets": self.gets,
+            "hits": self.hits,
+            "puts": self.puts,
+            "puts_duplicate": self.puts_duplicate,
+            "puts_rejected": self.puts_rejected,
+            "evictions": self.evictions,
+            "tamper_detected": self.tamper_detected,
+            "hit_rate": self.hit_rate(),
+        }
+
 
 def plain_channel_pair(clock, seed: bytes) -> tuple[ChannelEndpoint, ChannelEndpoint]:
     """Session-key channel without attestation (tests and tooling)."""
@@ -149,20 +167,43 @@ class ResultStore:
         network.set_reactor(address, self)
 
     # -- connection management --------------------------------------------
-    def connect(self, client_address: str, app_enclave: Enclave | None = None) -> RpcClient:
+    def connect(
+        self,
+        client_address: str,
+        app_enclave: Enclave | None = None,
+        attestation_service=None,
+    ) -> RpcClient:
         """Establish a secure channel for one application and return the
         RPC client its DedupRuntime will use.
 
         With SGX the channel rides on local attestation between the app
-        enclave and the store enclave; without SGX (Fig. 6 comparison) a
-        pre-provisioned session channel is used.
+        enclave and the store enclave when both share a platform; an
+        application on a *different* machine (the sharded-cluster
+        topology) passes the shared ``attestation_service`` and the
+        handshake upgrades to remote attestation.  Without SGX (Fig. 6
+        comparison) a pre-provisioned session channel is used.
+
+        The client endpoint is registered on the *application's* clock:
+        its channel crypto and wire time belong to the app machine.
         """
-        endpoint = self.network.endpoint(client_address, self.platform.clock)
+        client_clock = (
+            app_enclave.platform.clock if app_enclave is not None else self.platform.clock
+        )
+        endpoint = self.network.endpoint(client_address, client_clock)
         self._conn_counter += 1
         if self.config.use_sgx:
             if app_enclave is None:
                 raise StoreError("SGX-mode connections require the application enclave")
-            established = establish(app_enclave, self.enclave)
+            if app_enclave.platform is not self.platform:
+                if attestation_service is None:
+                    raise StoreError(
+                        "cross-machine connections require a shared attestation service"
+                    )
+                established = establish_remote(
+                    attestation_service, app_enclave, self.enclave
+                )
+            else:
+                established = establish(app_enclave, self.enclave)
             if self.config.authorization is not None:
                 # Controlled deduplication: admit by attested identity.
                 self.config.authorization.check(established.client_measurement)
@@ -381,6 +422,50 @@ class ResultStore:
             touch=self._touch,
         )
         return True
+
+    # -- tag-range migration (cluster resharding) -----------------------------
+    def collect_entries(self, predicate) -> list[tuple[bytes, bytes, bytes, bytes]]:
+        """Export ``(tag, r, [k], [res])`` tuples whose tag satisfies
+        ``predicate`` — the collection half of a tag-range migration.
+
+        Runs as one ECALL; each exported ciphertext is charged as a copy
+        across the enclave boundary, exactly like a SYNC collection.
+        """
+        if self.enclave is not None and not self.enclave.inside:
+            with self.enclave.ecall("migrate_collect"):
+                return self.collect_entries(predicate)
+        out = []
+        for entry in self._dict.entries():
+            if not predicate(entry.tag):
+                continue
+            sealed = self._blobs.get(entry.blob_ref)
+            self.platform.clock.charge_marshal(len(sealed))
+            out.append((entry.tag, entry.challenge, entry.wrapped_key, sealed))
+        return out
+
+    def tags_matching(self, predicate) -> list[bytes]:
+        """Tags whose value satisfies ``predicate`` — the cheap scan used
+        to find entries a ring change re-homed (no ciphertexts leave)."""
+        if self.enclave is not None and not self.enclave.inside:
+            with self.enclave.ecall("migrate_scan"):
+                return self.tags_matching(predicate)
+        return [e.tag for e in self._dict.entries() if predicate(e.tag)]
+
+    def discard_tags(self, tags) -> int:
+        """Drop entries this store no longer owns after a ring change;
+        returns the number removed.  Quota held by the owning app is
+        released, mirroring eviction."""
+        removed = 0
+        if self.enclave is not None and not self.enclave.inside:
+            with self.enclave.ecall("migrate_discard"):
+                return self.discard_tags(tags)
+        for tag in tags:
+            entry = self._dict.peek(tag)
+            if entry is None:
+                continue
+            self._evict_entry(entry)
+            removed += 1
+        return removed
 
     # -- introspection -----------------------------------------------------------
     def __len__(self) -> int:

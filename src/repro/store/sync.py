@@ -18,11 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from .resultstore import ResultStore
-from ..crypto.dh import derive_session_keys, generate_keypair
-from ..crypto.drbg import HmacDrbg
-from ..crypto.hashes import sha256
 from ..errors import AttestationError, StoreError
-from ..net.channel import ChannelEndpoint
+from ..net.channel import ChannelEndpoint, establish_remote
 from ..net.messages import SyncRequest
 from ..sgx.attestation import AttestationService
 
@@ -36,43 +33,28 @@ class SyncReport:
     duplicates: int
 
 
-def _attested_sync_channel(
+def attested_store_channel(
     service: AttestationService,
     local: ResultStore,
-    master: ResultStore,
+    remote: ResultStore,
 ) -> tuple[ChannelEndpoint, ChannelEndpoint]:
     """Mutually attested DH between two store enclaves on different
-    machines; returns (local endpoint, master endpoint)."""
-    if local.enclave is None or master.enclave is None:
+    machines; returns (local endpoint, remote endpoint).
+
+    Both replication (:func:`replicate_popular`) and the cluster layer's
+    tag-range migration ride on this channel.  Beyond the generic remote
+    handshake, each side requires the peer to carry the *ResultStore
+    signer* identity, so an arbitrary attested enclave cannot pose as a
+    store and siphon replicated ciphertexts.
+    """
+    if local.enclave is None or remote.enclave is None:
         raise StoreError("sync requires SGX-mode stores on both sides")
-
-    with local.enclave.ecall("sync_dh_init"):
-        l_kp = generate_keypair(HmacDrbg(local.enclave.read_rand(32), b"sync/local"))
-        l_quote = local.enclave.create_quote(sha256(l_kp.public.to_bytes(256, "big")))
-
-    with master.enclave.ecall("sync_dh_respond"):
-        l_meas = service.verify_quote(l_quote)
-        if l_meas.mrsigner != master.enclave.measurement.mrsigner:
-            raise AttestationError("sync peer is not a ResultStore enclave")
-        if l_quote.report_data[:32] != sha256(l_kp.public.to_bytes(256, "big")):
-            raise AttestationError("sync DH value not bound to quote")
-        m_kp = generate_keypair(HmacDrbg(master.enclave.read_rand(32), b"sync/master"))
-        m_quote = master.enclave.create_quote(sha256(m_kp.public.to_bytes(256, "big")))
-        transcript = l_kp.public.to_bytes(256, "big") + m_kp.public.to_bytes(256, "big")
-        m_keys = derive_session_keys(m_kp, l_kp.public, transcript)
-
-    with local.enclave.ecall("sync_dh_finish"):
-        m_meas = service.verify_quote(m_quote)
-        if m_meas.mrsigner != local.enclave.measurement.mrsigner:
-            raise AttestationError("sync peer is not a ResultStore enclave")
-        if m_quote.report_data[:32] != sha256(m_kp.public.to_bytes(256, "big")):
-            raise AttestationError("sync DH value not bound to quote")
-        transcript = l_kp.public.to_bytes(256, "big") + m_kp.public.to_bytes(256, "big")
-        l_keys = derive_session_keys(l_kp, m_kp.public, transcript)
-
-    local_ep = ChannelEndpoint(local.platform.clock, send_key=l_keys[0], recv_key=l_keys[1], label=0)
-    master_ep = ChannelEndpoint(master.platform.clock, send_key=m_keys[1], recv_key=m_keys[0], label=1)
-    return local_ep, master_ep
+    established = establish_remote(service, local.enclave, remote.enclave)
+    if established.client_measurement.mrsigner != remote.enclave.measurement.mrsigner:
+        raise AttestationError("sync peer is not a ResultStore enclave")
+    if established.server_measurement.mrsigner != local.enclave.measurement.mrsigner:
+        raise AttestationError("sync peer is not a ResultStore enclave")
+    return established.client, established.server
 
 
 def replicate_popular(
@@ -87,7 +69,7 @@ def replicate_popular(
     AEAD-protected; the master drops tags it already holds, so repeated
     rounds and multiple sources never create duplicate ciphertexts.
     """
-    local_ep, master_ep = _attested_sync_channel(service, source, master)
+    local_ep, master_ep = attested_store_channel(service, source, master)
 
     with source.enclave.ecall("sync_collect"):
         batch = source._handle_sync(  # same code path as the wire handler

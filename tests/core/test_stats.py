@@ -1,5 +1,7 @@
 """Runtime statistics bookkeeping."""
 
+import pytest
+
 from repro.core.stats import CallRecord, RuntimeStats
 
 
@@ -38,3 +40,51 @@ class TestRuntimeStats:
         stats.record_call(record(False))
         stats.record_call(record(True))
         assert [r.hit for r in stats.records] == [False, True]
+
+
+class TestSnapshot:
+    def test_snapshot_is_flat_and_complete(self):
+        stats = RuntimeStats()
+        stats.record_call(record(True))
+        stats.record_call(record(False))
+        stats.puts_sent = 2
+        stats.puts_accepted = 1
+        stats.puts_rejected = 1
+        snap = stats.snapshot()
+        assert snap["calls"] == 2
+        assert snap["hits"] == 1
+        assert snap["misses"] == 1
+        assert snap["hit_rate"] == 0.5
+        assert snap["puts_sent"] == 2
+        assert snap["puts_accepted"] == 1
+        assert snap["puts_rejected"] == 1
+        assert "records" not in snap  # flat counters only
+        for value in snap.values():
+            assert isinstance(value, (int, float))
+
+    def test_snapshot_matches_counters_after_more_calls(self):
+        stats = RuntimeStats()
+        snap0 = stats.snapshot()
+        assert snap0["calls"] == 0 and snap0["hit_rate"] == 0.0
+        for hit in (True, True, False):
+            stats.record_call(record(hit))
+        snap1 = stats.snapshot()
+        assert snap1["calls"] == 3
+        assert snap1["hit_rate"] == pytest.approx(2 / 3)
+        assert snap0["calls"] == 0  # snapshots are detached copies
+
+    def test_runtime_snapshot_adds_queue_depth(self, tmp_path):
+        from repro import Deployment
+        from tests.conftest import DOUBLE_DESC, make_libs
+
+        d = Deployment(seed=b"snap")
+        app = d.create_application("snap-app", make_libs())
+        dedup = app.deduplicable(DOUBLE_DESC)
+        dedup(b"payload")
+        snap = app.runtime.snapshot()
+        assert snap["pending_puts"] == 1  # async PUT not yet flushed
+        app.runtime.flush_puts()
+        snap = app.runtime.snapshot()
+        assert snap["pending_puts"] == 0
+        assert snap["puts_accepted"] == 1
+        assert snap["puts_unacknowledged"] == 0

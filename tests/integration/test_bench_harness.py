@@ -211,3 +211,44 @@ class TestBatch:
         assert len(records) == len(rows)
         assert {"phase", "batch_size", "transitions_per_call",
                 "sim_ops_per_s"} <= set(records[0])
+
+
+class TestCluster:
+    def test_cluster_sweep_meets_acceptance_targets(self):
+        # The issue's acceptance bar: >=2x simulated GET throughput at 4
+        # shards vs the single-store baseline, and a failover run where
+        # one dead shard loses zero replicated results while read-repair
+        # refills it after revival.
+        rows = harness.run_cluster(shard_counts=[1, 4],
+                                   replication_factors=[1, 2], ops=48)
+        def pick(phase, n, rf):
+            return next(r for r in rows if r.phase == phase
+                        and r.n_shards == n and r.replication_factor == rf)
+
+        assert pick("get", 4, 1).speedup >= 2
+        assert pick("get", 4, 2).speedup >= 2
+        failover = next(r for r in rows if r.phase == "failover-get")
+        assert failover.results_lost == 0
+        assert failover.failovers > 0
+        repair = next(r for r in rows if r.phase == "repair-get")
+        assert repair.results_lost == 0
+        assert repair.read_repairs > 0
+
+    def test_cluster_rows_export_to_json(self, tmp_path):
+        import json
+
+        from repro.bench.export import write_json
+
+        rows = harness.run_cluster(shard_counts=[1, 2],
+                                   replication_factors=[1], ops=16)
+        path = write_json(rows, tmp_path / "BENCH_cluster.json")
+        records = json.loads(path.read_text())
+        assert len(records) == len(rows)
+        assert {"phase", "n_shards", "replication_factor", "sim_ops_per_s",
+                "speedup", "results_lost"} <= set(records[0])
+
+    def test_print_cluster_renders(self):
+        rows = harness.run_cluster(shard_counts=[1, 2],
+                                   replication_factors=[1], ops=16)
+        text = harness.print_cluster(rows)
+        assert "speedup" in text and "failovers" in text

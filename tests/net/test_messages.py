@@ -21,6 +21,7 @@ EXAMPLES = [
     GetRequest(tag=b"\x01" * 32, app_id="scanner"),
     GetRequest(tag=b"", app_id=""),
     GetResponse(found=False),
+    GetResponse(found=False, reason="no live owner"),
     GetResponse(found=True, challenge=b"r" * 32, wrapped_key=b"k" * 16,
                 sealed_result=b"ciphertext"),
     PutRequest(tag=b"\x02" * 32, challenge=b"r" * 32, wrapped_key=b"k" * 16,

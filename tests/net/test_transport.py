@@ -108,3 +108,58 @@ class TestReactor:
         net = Network()
         with pytest.raises(TransportError):
             net.set_reactor("ghost", object())
+
+
+class TestDeadAddresses:
+    def test_kill_drops_inbound_and_outbound(self, clock):
+        net = Network()
+        injector = net.ensure_fault_injector()
+        a = net.endpoint("a", clock)
+        b = net.endpoint("b", clock)
+        injector.kill("b")
+        a.send("b", b"to the dead")      # vanishes on the wire
+        b.send("a", b"from the dead")    # also vanishes
+        assert b.pending() == 0
+        assert a.pending() == 0
+
+    def test_revive_restores_delivery(self, clock):
+        net = Network()
+        injector = net.ensure_fault_injector()
+        a = net.endpoint("a", clock)
+        b = net.endpoint("b", clock)
+        injector.kill("b")
+        a.send("b", b"lost")
+        injector.revive("b")
+        a.send("b", b"delivered")
+        assert b.recv() == ("a", b"delivered")
+
+    def test_is_dead(self, clock):
+        injector = FaultInjector()
+        assert not injector.is_dead("x")
+        injector.kill("x")
+        assert injector.is_dead("x")
+        injector.revive("x")
+        assert not injector.is_dead("x")
+
+    def test_revive_unknown_is_noop(self):
+        FaultInjector().revive("never-killed")
+
+    def test_other_traffic_unaffected(self, clock):
+        net = Network()
+        net.ensure_fault_injector().kill("dead")
+        net.endpoint("dead", clock)
+        a = net.endpoint("a", clock)
+        b = net.endpoint("b", clock)
+        a.send("b", b"fine")
+        assert b.recv() == ("a", b"fine")
+
+    def test_ensure_fault_injector_is_idempotent(self):
+        net = Network()
+        first = net.ensure_fault_injector()
+        assert net.ensure_fault_injector() is first
+        assert net.fault_injector is first
+
+    def test_ensure_keeps_existing_injector(self, clock):
+        injector = FaultInjector(drop_indices={0})
+        net = Network(fault_injector=injector)
+        assert net.ensure_fault_injector() is injector

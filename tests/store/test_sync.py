@@ -75,3 +75,79 @@ class TestReplication:
                        store_config=StoreConfig(use_sgx=False))
         with pytest.raises(StoreError):
             replicate_popular(service, a.store, b.store)
+
+
+class TestAttestedStoreChannel:
+    def test_endpoints_round_trip_both_ways(self):
+        from repro.store.sync import attested_store_channel
+
+        service, a, b = two_machines()
+        a_ep, b_ep = attested_store_channel(service, a.store, b.store)
+        assert b_ep.unprotect(a_ep.protect(b"from-a")) == b"from-a"
+        assert a_ep.unprotect(b_ep.protect(b"from-b")) == b"from-b"
+
+    def test_channel_payloads_are_confidential(self):
+        from repro.store.sync import attested_store_channel
+
+        service, a, b = two_machines()
+        a_ep, _ = attested_store_channel(service, a.store, b.store)
+        secret = b"sealed result ciphertext"
+        record = a_ep.protect(secret)
+        assert secret not in record
+
+    def test_tampered_record_rejected(self):
+        import pytest as _pytest
+
+        from repro.errors import ChannelError
+        from repro.store.sync import attested_store_channel
+
+        service, a, b = two_machines()
+        a_ep, b_ep = attested_store_channel(service, a.store, b.store)
+        record = bytearray(a_ep.protect(b"payload"))
+        record[-1] ^= 0x01
+        with _pytest.raises(ChannelError):
+            b_ep.unprotect(bytes(record))
+
+    def test_rejects_peer_with_foreign_signer(self):
+        from repro.errors import AttestationError
+        from repro.store.sync import attested_store_channel
+
+        service, a, b = two_machines()
+        # Forge the peer's signer identity after enclave launch: the
+        # channel must refuse to treat it as a ResultStore.
+        impostor = b.store.enclave.measurement
+        object.__setattr__(impostor, "mrsigner", sha256(b"someone else"))
+        with pytest.raises(AttestationError):
+            attested_store_channel(service, a.store, b.store)
+
+    def test_requires_sgx_on_both_sides(self):
+        from repro.store.sync import attested_store_channel
+
+        service, a, b = two_machines(
+            store_config_b=StoreConfig(use_sgx=False))
+        with pytest.raises(StoreError):
+            attested_store_channel(service, a.store, b.store)
+
+
+class TestEntryCodec:
+    def test_round_trip(self):
+        from repro.store.sync import _decode_entries, _encode_entries
+
+        entries = [
+            (sha256(b"t1"), b"r" * 32, b"k" * 16, b"sealed-one"),
+            (sha256(b"t2"), b"s" * 32, b"j" * 16, b""),
+        ]
+        assert _decode_entries(_encode_entries(entries)) == entries
+
+    def test_empty(self):
+        from repro.store.sync import _decode_entries, _encode_entries
+
+        assert _decode_entries(_encode_entries([])) == []
+
+    def test_trailing_garbage_rejected(self):
+        from repro.errors import SerializationError
+        from repro.store.sync import _decode_entries, _encode_entries
+
+        data = _encode_entries([(sha256(b"t"), b"r" * 32, b"k" * 16, b"x")])
+        with pytest.raises(SerializationError):
+            _decode_entries(data + b"extra")
