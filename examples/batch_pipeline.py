@@ -2,24 +2,21 @@
 """Batched execution: amortize enclave transitions across a request batch.
 
 A thumbnail service receives bursts of requests.  Handling them one
-``execute`` at a time pays the full fixed cost per request — an ECALL
-into the application enclave, a GET round-trip to the ResultStore (two
-more transitions plus a channel record), and the PUT on a miss.
-``execute_many`` processes the whole burst under ONE enclave entry, ships
+call at a time pays the full fixed cost per request — an ECALL into the
+application enclave, a GET round-trip to the ResultStore (two more
+transitions plus a channel record), and the PUT on a miss.
+``wrapper.map`` processes the whole burst under ONE enclave entry, ships
 all duplicate checks as ONE batched message, and queues all PUTs
 together; the in-enclave L1 cache additionally serves repeats without
-any network traffic at all.
+any network traffic at all.  ``map_results`` exposes the per-item
+:class:`~repro.DedupResult`, so the example can say exactly where each
+item came from.
 
 Run:  python examples/batch_pipeline.py
 """
 
-from repro import (
-    Deployment,
-    FunctionDescription,
-    RuntimeConfig,
-    TrustedLibrary,
-    TrustedLibraryRegistry,
-)
+import repro
+from repro import RuntimeConfig
 
 
 def checksum_image(data: bytes) -> bytes:
@@ -31,19 +28,6 @@ def checksum_image(data: bytes) -> bytes:
     return digest.to_bytes(8, "big") + data[:16]
 
 
-DESC = FunctionDescription("imagekit", "3.0", "bytes checksum_image(bytes)")
-
-
-def make_app(deployment: Deployment, name: str, **config_kwargs):
-    libs = TrustedLibraryRegistry()
-    libs.register(
-        TrustedLibrary("imagekit", "3.0").add("bytes checksum_image(bytes)", checksum_image)
-    )
-    return deployment.create_application(
-        name, libs, RuntimeConfig(app_id=name, **config_kwargs)
-    )
-
-
 def main() -> None:
     # A burst of 12 requests over 6 distinct images (repeats are common:
     # popular images get requested again and again).
@@ -51,39 +35,50 @@ def main() -> None:
     burst = [images[i % 6] for i in range(12)]
 
     # --- one call at a time ---------------------------------------------
-    d_seq = Deployment(seed=b"batch-example")
-    app_seq = make_app(d_seq, "one-at-a-time")
-    sim0 = d_seq.clock.snapshot()
+    s_seq = repro.connect(
+        app_name="one-at-a-time", seed=b"batch-example",
+        runtime_config=RuntimeConfig(app_id="one-at-a-time"),
+    )
+    checksum_seq = s_seq.mark(version="3.0")(checksum_image)
+    sim0 = s_seq.clock.snapshot()
     results_seq = []
     for image in burst:
-        results_seq.append(app_seq.runtime.execute(DESC, image))
-        app_seq.runtime.flush_puts()
-    seq_sim = d_seq.clock.since(sim0) / d_seq.clock.params.cpu_freq_hz
-    seq_transitions = app_seq.enclave.transition_count
+        results_seq.append(checksum_seq(image))
+        s_seq.flush_puts()
+    seq_sim = s_seq.clock.since(sim0) / s_seq.clock.params.cpu_freq_hz
+    seq_transitions = s_seq.enclave.transition_count
 
     # --- the same burst, batched (with a small L1 cache) ----------------
-    d_bat = Deployment(seed=b"batch-example")
-    app_bat = make_app(d_bat, "batched", l1_cache_entries=32)
-    sim0 = d_bat.clock.snapshot()
-    results_bat = app_bat.runtime.execute_many(DESC, burst)
-    app_bat.runtime.flush_puts()
-    bat_sim = d_bat.clock.since(sim0) / d_bat.clock.params.cpu_freq_hz
-    bat_transitions = app_bat.enclave.transition_count
+    s_bat = repro.connect(
+        app_name="batched", seed=b"batch-example",
+        runtime_config=RuntimeConfig(app_id="batched", l1_cache_entries=32),
+    )
+    checksum_bat = s_bat.mark(version="3.0")(checksum_image)
+    sim0 = s_bat.clock.snapshot()
+    per_item = checksum_bat.map_results(burst)
+    s_bat.flush_puts()
+    bat_sim = s_bat.clock.since(sim0) / s_bat.clock.params.cpu_freq_hz
+    bat_transitions = s_bat.enclave.transition_count
 
+    results_bat = [r.value for r in per_item]
     assert results_bat == results_seq  # bit-identical per-item results
 
-    stats = app_bat.runtime.stats
+    stats = s_bat.stats
+    sources = {src: sum(1 for r in per_item if r.source == src)
+               for src in ("l1", "store", "computed")}
     print(f"burst size               : {len(burst)} requests, {len(images)} distinct")
     print(f"sequential               : {seq_transitions} app-enclave transitions, "
           f"{seq_sim * 1e3:.3f} ms simulated")
     print(f"batched                  : {bat_transitions} app-enclave transitions, "
           f"{bat_sim * 1e3:.3f} ms simulated")
     print(f"transition reduction     : {seq_transitions / bat_transitions:.1f}x")
+    print(f"per-item sources         : {sources['computed']} computed, "
+          f"{sources['l1']} L1 hits, {sources['store']} store hits")
     print(f"batched hit breakdown    : {stats.l1_hits} L1 hits, "
           f"{stats.misses} computed, {stats.puts_sent} PUTs flushed")
     print(f"PUT accounting           : {stats.puts_accepted} accepted, "
           f"{stats.puts_rejected} rejected, {stats.puts_failed} failed, "
-          f"{app_bat.runtime.puts_unacknowledged} unacknowledged")
+          f"{s_bat.runtime.puts_unacknowledged} unacknowledged")
 
 
 if __name__ == "__main__":

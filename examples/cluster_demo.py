@@ -8,17 +8,14 @@ across the shard ring.  One shard is then crashed (its traffic vanishes
 at the transport, like a dead store process).  App B runs the *same*
 documents and still gets cross-application hits for every one of them:
 tags owned by the dead shard fail over to their replicas.  After the
-shard revives, read-repair flows the entries it missed back in.
+shard revives, read-repair flows the entries it missed back in.  Both
+applications share one session tracer, so the failovers show up in the
+unified metrics snapshot and the per-phase latency breakdown.
 
 Run:  python examples/cluster_demo.py
 """
 
-from repro import (
-    ClusterDeployment,
-    FunctionDescription,
-    TrustedLibrary,
-    TrustedLibraryRegistry,
-)
+import repro
 from repro.core.serialization import IntParser, MappingParser
 
 
@@ -31,25 +28,15 @@ def word_histogram(text: str) -> dict:
     return counts
 
 
-DESCRIPTION = FunctionDescription("textkit", "2.1.0", "dict word_histogram(str)")
-
-
 def main() -> None:
-    libs = TrustedLibraryRegistry()
-    libs.register(
-        TrustedLibrary("textkit", "2.1.0").add(
-            "dict word_histogram(str)", word_histogram
-        )
+    session_a = repro.connect(
+        shards=4, replication_factor=2, app_name="app-a", seed=b"cluster-demo"
     )
-
-    deployment = ClusterDeployment(
-        seed=b"cluster-demo", n_shards=4, replication_factor=2
-    )
-    app_a = deployment.create_application("app-a", libs)
-    app_b = deployment.create_application("app-b", libs)
     parser = MappingParser(IntParser())
-    histo_a = app_a.deduplicable(DESCRIPTION, result_parser=parser)
-    histo_b = app_b.deduplicable(DESCRIPTION, result_parser=parser)
+    histo_a = session_a.mark(version="2.1", result_parser=parser)(word_histogram)
+    # App B: its own enclave and runtime, same cluster, same tracer.
+    session_b = session_a.sibling("app-b")
+    histo_b = session_b.deduplicable(histo_a.description, result_parser=parser)
 
     documents = [
         f"document {i}: " + " ".join(f"w{(i * 7 + j) % 23}" for j in range(120))
@@ -58,24 +45,24 @@ def main() -> None:
 
     # --- App A computes everything; PUTs replicate across the ring -------
     results_a = [histo_a(doc) for doc in documents]
-    deployment.flush_all_puts()
-    snap = deployment.cluster.snapshot()
+    session_a.flush_puts()
+    snap = session_a.cluster.snapshot()
     print("shard entry counts after app A:",
           {s: v["entries"] for s, v in sorted(snap["shards"].items())})
 
     # --- one shard dies mid-run ------------------------------------------
     victim = "shard-2"
-    deployment.cluster.kill_shard(victim)
-    print(f"{victim} killed (alive={deployment.cluster.shard_alive(victim)})")
+    session_a.kill_shard(victim)
+    print(f"{victim} killed (alive={session_a.cluster.shard_alive(victim)})")
 
     # --- App B reruns the same documents against the degraded cluster ----
     results_b = [histo_b(doc) for doc in documents]
     assert results_b == results_a, "cross-app results must be bit-identical"
-    stats_b = app_b.runtime.stats
-    router_b = app_b.runtime.client.stats
+    stats_b = session_b.stats
+    metrics_b = session_b.snapshot()
     print(f"app B: {stats_b.hits}/{stats_b.calls} cluster hits, "
           f"{stats_b.misses} recomputed, "
-          f"{router_b.failovers} failovers to replicas")
+          f"{metrics_b['router.failovers']} failovers to replicas")
     assert stats_b.hits == len(documents), "replicas must serve the dead shard's tags"
 
     # --- fresh work lands only on the surviving shards -------------------
@@ -84,17 +71,20 @@ def main() -> None:
         for i in range(12)
     ]
     fresh_b = [histo_b(doc) for doc in fresh]
-    deployment.flush_all_puts()
+    session_b.flush_puts()
 
     # --- revive; read-repair refills whatever the shard missed -----------
-    deployment.cluster.revive_shard(victim)
+    session_b.revive_shard(victim)
     results_b2 = [histo_b(doc) for doc in documents + fresh]
     assert results_b2 == results_a + fresh_b
-    app_b.runtime.flush_puts()  # drains read-repair acks through the router
-    print(f"{victim} revived; read repairs queued: {router_b.read_repairs} "
+    session_b.flush_puts()  # drains read-repair acks through the router
+    print(f"{victim} revived; read repairs queued: "
+          f"{session_b.snapshot()['router.read_repairs']} "
           f"(entries it missed while dead, refilled from replicas)")
-    print("cluster total entries:", deployment.cluster.total_entries())
+    print("cluster total entries:", session_a.cluster.total_entries())
     print("demo OK: one shard down, zero results lost")
+    print()
+    print(session_b.phase_table(title="whole demo, per-phase latency totals"))
 
 
 if __name__ == "__main__":

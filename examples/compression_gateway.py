@@ -6,15 +6,16 @@ center.  Incrementally re-synchronised datasets mean the same documents
 keep coming back; SPEED turns repeat compressions into store lookups.
 This example also shows the *failure* path: after an adversary tampers
 with the stored ciphertext, the application detects it (AEAD), falls
-back to fresh computation, and still returns the correct bytes.
+back to fresh computation, and still returns the correct bytes — and the
+session trace shows the tampered blob read followed by the recompute.
 
 Run:  python examples/compression_gateway.py
 """
 
-from repro import Deployment
+import repro
+from repro import TrustedLibraryRegistry
 from repro.apps.compress import inflate
 from repro.apps.registry import compress_case_study
-from repro.core.description import TrustedLibraryRegistry
 from repro.core.tag import derive_tag
 from repro.workloads import text_corpus
 
@@ -22,37 +23,42 @@ from repro.workloads import text_corpus
 def main() -> None:
     corpus = text_corpus(count=12, n_bytes=8 * 1024, duplicate_fraction=0.5, seed=9)
 
-    deployment = Deployment(seed=b"compression-gateway")
     case = compress_case_study()
     libs = TrustedLibraryRegistry()
     case.register_into(libs)
-    app = deployment.create_application("gateway", libs)
-    dedup_deflate = case.deduplicable(app)
+    session = repro.connect(
+        app_name="gateway", libraries=libs, seed=b"compression-gateway"
+    )
+    dedup_deflate = case.deduplicable(session.app)
 
     saved_bytes = 0
     for document in corpus:
         compressed = dedup_deflate(document)
         assert inflate(compressed) == document
         saved_bytes += len(document) - len(compressed)
-        app.runtime.flush_puts()
+        session.flush_puts()
 
-    stats = app.runtime.stats
+    stats = session.stats
     print(f"documents compressed : {stats.calls}")
     print(f"cache hits           : {stats.hits} ({stats.hit_rate():.0%})")
     print(f"bandwidth saved      : {saved_bytes / 1024:.1f} KiB")
 
     # --- adversarial episode: the host tampers with a stored result ------
     victim = corpus[0]
-    func_identity = app.runtime.libraries.function_identity(case.description)
+    func_identity = session.runtime.libraries.function_identity(case.description)
     tag = derive_tag(func_identity, victim)
-    deployment.store.blobstore.tamper(deployment.store.blob_ref_of(tag))
+    session.store.blobstore.tamper(session.store.blob_ref_of(tag))
 
     before_failures = stats.verification_failures
     recovered = dedup_deflate(victim)  # store copy is poisoned
     assert inflate(recovered) == victim
+    detected = (stats.verification_failures - before_failures > 0
+                or session.store.stats.tamper_detected > 0)
     print("tamper episode       : store copy corrupted by host adversary")
-    print(f"  detected            : {stats.verification_failures - before_failures > 0 or deployment.store.stats.tamper_detected > 0}")
+    print(f"  detected            : {detected}")
     print("  correct result      : recomputed transparently, output verified")
+    print()
+    print(session.trace_table(title="the tampered call: detect, recompute"))
 
 
 if __name__ == "__main__":

@@ -5,14 +5,15 @@ Machine A runs a BoW pipeline over a crawl and fills its local
 ResultStore.  A dedicated master store on machine B pulls the popular
 results over a remote-attested channel.  A fresh application on machine
 B then gets cache hits for computations it never ran — decryptable only
-because it owns the same function code and inputs.
+because it owns the same function code and inputs.  Each machine is its
+own :func:`repro.connect` session; they share one attestation service.
 
 Run:  python examples/cross_machine_sync.py
 """
 
-from repro import Deployment
+import repro
+from repro import TrustedLibraryRegistry
 from repro.apps.registry import bow_case_study
-from repro.core.description import TrustedLibraryRegistry
 from repro.sgx.attestation import AttestationService
 from repro.store.sync import replicate_popular
 from repro.workloads import webpage_stream
@@ -20,41 +21,47 @@ from repro.workloads import webpage_stream
 
 def main() -> None:
     attestation = AttestationService()  # one deployment-wide IAS
-    machine_a = Deployment(seed=b"machine-a", machine="machine-a",
-                           attestation_service=attestation)
-    machine_b = Deployment(seed=b"machine-b", machine="machine-b",
-                           attestation_service=attestation)
+    case = bow_case_study()
+
+    def libs() -> TrustedLibraryRegistry:
+        registry = TrustedLibraryRegistry()
+        case.register_into(registry)
+        return registry
+
+    machine_a = repro.connect(
+        app_name="crawler-a", machine="machine-a", seed=b"machine-a",
+        libraries=libs(), attestation_service=attestation,
+    )
+    machine_b = repro.connect(
+        app_name="indexer-b", machine="machine-b", seed=b"machine-b",
+        libraries=libs(), attestation_service=attestation,
+    )
 
     pages = webpage_stream(count=8, n_words=600, duplicate_fraction=0.25, seed=21)
 
     # Machine A: crawl processing fills the local store.
-    case = bow_case_study()
-    libs_a = TrustedLibraryRegistry()
-    case.register_into(libs_a)
-    app_a = machine_a.create_application("crawler-a", libs_a)
-    bow_a = case.deduplicable(app_a)
+    bow_a = case.deduplicable(machine_a.app)
     for page in pages:
         bow_a(page)
-        app_a.runtime.flush_puts()
-    print(f"machine A: {app_a.runtime.stats.calls} pages, "
+        machine_a.flush_puts()
+    print(f"machine A: {machine_a.stats.calls} pages, "
           f"{len(machine_a.store)} results stored")
 
     # Replicate popular entries to the master store on machine B.
-    report = replicate_popular(attestation, machine_a.store, machine_b.store, min_hits=1)
+    report = replicate_popular(attestation, machine_a.store, machine_b.store,
+                               min_hits=1)
     print(f"sync     : offered={report.offered} transferred={report.transferred} "
           f"duplicates={report.duplicates}")
     # A second round is a no-op: deterministic tags mean no redundancy.
-    second = replicate_popular(attestation, machine_a.store, machine_b.store, min_hits=1)
+    second = replicate_popular(attestation, machine_a.store, machine_b.store,
+                               min_hits=1)
     print(f"resync   : transferred={second.transferred} (idempotent)")
 
     # Machine B: a different application, same trusted library.
-    libs_b = TrustedLibraryRegistry()
-    case.register_into(libs_b)
-    app_b = machine_b.create_application("indexer-b", libs_b)
-    bow_b = case.deduplicable(app_b)
+    bow_b = case.deduplicable(machine_b.app)
     for page in pages:
         bow_b(page)
-    stats = app_b.runtime.stats
+    stats = machine_b.stats
     print(f"machine B: {stats.calls} pages, {stats.hits} served from replicated "
           f"results ({stats.hit_rate():.0%} hit rate) — computed nothing it "
           f"could reuse")

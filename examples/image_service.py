@@ -13,29 +13,30 @@ Run:  python examples/image_service.py
 
 import numpy as np
 
-from repro import Deployment
+import repro
+from repro import TrustedLibraryRegistry
 from repro.apps.registry import sift_case_study
 from repro.apps.sift import match_descriptors
-from repro.core.description import TrustedLibraryRegistry
 from repro.workloads import image_stream
 
 
 def main() -> None:
     stream = image_stream(count=10, size=96, duplicate_fraction=0.5, seed=3)
 
-    deployment = Deployment(seed=b"image-service")
     case = sift_case_study()
     libs = TrustedLibraryRegistry()
     case.register_into(libs)
-    app = deployment.create_application("image-service", libs)
-    dedup_sift = case.deduplicable(app)
+    session = repro.connect(
+        app_name="image-service", libraries=libs, seed=b"image-service"
+    )
+    dedup_sift = case.deduplicable(session.app)
 
     features = []
     for image in stream:
         features.append(dedup_sift(image))
-        app.runtime.flush_puts()
+        session.flush_puts()
 
-    stats = app.runtime.stats
+    stats = session.stats
     print(f"images processed   : {stats.calls}")
     print(f"cache hits         : {stats.hits} ({stats.hit_rate():.0%})")
     total_kp = sum(len(f) for f in features)

@@ -14,7 +14,8 @@ Run:  python examples/plagiarism_checker.py
 
 import numpy as np
 
-from repro import Deployment, FunctionDescription, TrustedLibrary, TrustedLibraryRegistry
+import repro
+from repro import FunctionDescription, TrustedLibrary, TrustedLibraryRegistry
 from repro.core.approximate import ApproximateDeduplicable
 from repro.core.serialization import IntParser, MappingParser
 from repro.workloads import synthetic_text
@@ -47,11 +48,10 @@ def main() -> None:
     libs.register(
         TrustedLibrary("stylometry", "1.0").add("dict analyze(bytes)", analyze_document)
     )
-    deployment = Deployment(seed=b"plagiarism")
-    app = deployment.create_application("checker", libs)
+    session = repro.connect(app_name="checker", libraries=libs, seed=b"plagiarism")
 
     approx_analyze = ApproximateDeduplicable(
-        app.runtime,
+        session.runtime,
         FunctionDescription("stylometry", "1.0", "dict analyze(bytes)"),
         result_parser=MappingParser(IntParser()),
         bands=4,

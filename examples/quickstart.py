@@ -1,65 +1,53 @@
 #!/usr/bin/env python
 """Quickstart: make a function deduplicable in 2 lines of code.
 
-Mirrors the paper's §IV-C developer story: you have an SGX-enabled
-application with a trusted-library function; to deduplicate it you (1)
-create a ``Deduplicable`` version by providing a simple description and
-(2) use it as normal.
+Mirrors the paper's §IV-C developer story through the unified entry
+point: ``repro.connect()`` wires a full simulated SGX machine — the
+application enclave plus an encrypted ResultStore — and
+``@session.mark`` makes any deterministic function deduplicable.  Every
+call is traced end to end, so the session can print the connected span
+tree of the request it just served.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    Deployment,
-    FunctionDescription,
-    TrustedLibrary,
-    TrustedLibraryRegistry,
-)
-
-
-def word_histogram(text: str) -> dict:
-    """A deterministic, moderately expensive computation."""
-    counts: dict = {}
-    for word in text.lower().split():
-        counts[word] = counts.get(word, 0) + 1
-    # Simulate heavier work (e.g. stemming, n-grams).
-    for _ in range(200):
-        sorted(counts.items())
-    return counts
+import repro
+from repro.core.serialization import IntParser, MappingParser
 
 
 def main() -> None:
-    # --- one-time application setup (the "SGX port" of your app) ---------
-    libs = TrustedLibraryRegistry()
-    libs.register(
-        TrustedLibrary("textkit", "2.1.0").add("dict word_histogram(str)", word_histogram)
-    )
-    deployment = Deployment(seed=b"quickstart")
-    app = deployment.create_application("quickstart-app", libs)
+    session = repro.connect(app_name="quickstart-app", seed=b"quickstart")
 
     # --- the 2 lines the paper advertises --------------------------------
-    from repro.core.serialization import IntParser, MappingParser
-
-    dedup_histogram = app.deduplicable(                       # line 1
-        FunctionDescription("textkit", "2.1.0", "dict word_histogram(str)"),
-        result_parser=MappingParser(IntParser()),
-    )
+    @session.mark(version="2.1", result_parser=MappingParser(IntParser()))
+    def word_histogram(text: str) -> dict:
+        """A deterministic, moderately expensive computation."""
+        counts: dict = {}
+        for word in text.lower().split():
+            counts[word] = counts.get(word, 0) + 1
+        # Simulate heavier work (e.g. stemming, n-grams).
+        for _ in range(200):
+            sorted(counts.items())
+        return counts
 
     document = "the quick brown fox jumps over the lazy dog " * 50
 
-    result_first = dedup_histogram(document)                  # line 2 (initial)
-    app.runtime.flush_puts()
-    result_second = dedup_histogram(document)                 # line 2 (subsequent)
+    result_first = word_histogram(document)            # initial (miss)
+    session.flush_puts()
+    result_second = word_histogram.call_result(document)  # subsequent (hit)
 
-    assert result_first == result_second
-    stats = app.runtime.stats
+    assert result_second.value == result_first
+    stats = session.stats
     first, second = stats.records
     print(f"distinct words           : {len(result_first)}")
     print(f"initial computation      : {first.sim_seconds * 1e3:.3f} ms (simulated), miss")
     print(f"subsequent computation   : {second.sim_seconds * 1e3:.3f} ms (simulated), "
-          f"{'hit' if second.hit else 'miss'}")
+          f"{'hit' if result_second.hit else 'miss'} "
+          f"(served from the {result_second.source})")
     print(f"hit rate                 : {stats.hit_rate():.0%}")
-    print(f"store                    : {deployment.store.stats}")
+    print(f"store                    : {session.store.stats}")
+    print()
+    print(session.trace_table(title="the subsequent call, span by span"))
 
 
 if __name__ == "__main__":

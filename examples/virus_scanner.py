@@ -11,9 +11,9 @@ in plaintext.
 Run:  python examples/virus_scanner.py
 """
 
-from repro import Deployment
+import repro
+from repro import TrustedLibraryRegistry
 from repro.apps.registry import pattern_case_study
-from repro.core.description import TrustedLibraryRegistry
 from repro.workloads import generate_rules, packet_trace
 
 
@@ -24,38 +24,44 @@ def main() -> None:
         malicious_fraction=0.3, seed=42,
     )
 
-    deployment = Deployment(seed=b"virus-scanner")
     case = pattern_case_study(rules)
 
-    scanners = []
-    for name in ("scanner-tenant-a", "scanner-tenant-b"):
-        libs = TrustedLibraryRegistry()
-        libs.register(case.library)
-        app = deployment.create_application(name, libs)
-        scanners.append((app, case.deduplicable(app)))
+    def libs() -> TrustedLibraryRegistry:
+        registry = TrustedLibraryRegistry()
+        registry.register(case.library)
+        return registry
+
+    session_a = repro.connect(
+        app_name="scanner-tenant-a", libraries=libs(), seed=b"virus-scanner"
+    )
+    session_b = session_a.sibling("scanner-tenant-b", libraries=libs())
+    scanners = [
+        (session, case.deduplicable(session.app))
+        for session in (session_a, session_b)
+    ]
 
     alerts = 0
     for index, payload in enumerate(trace):
-        app, scan = scanners[index % 2]  # packets load-balanced across tenants
+        session, scan = scanners[index % 2]  # packets load-balanced across tenants
         matches = scan(payload)
         alerts += len(matches)
-        app.runtime.flush_puts()
+        session.flush_puts()
 
     print(f"packets scanned      : {len(trace)}")
     print(f"rules loaded         : {len(rules)}")
     print(f"alerts raised        : {alerts}")
-    for app, _ in scanners:
-        stats = app.runtime.stats
+    for session, _ in scanners:
+        stats = session.stats
         print(
-            f"{app.name:18s}: {stats.calls} calls, {stats.hits} hits "
+            f"{session.app.name:18s}: {stats.calls} calls, {stats.hits} hits "
             f"({stats.hit_rate():.0%}), {stats.verification_failures} verify failures"
         )
-    store = deployment.store.stats
+    store = session_a.store.stats
     print(f"result store         : {store.gets} GETs ({store.hit_rate():.0%} hit), "
           f"{store.puts} PUTs ({store.puts_duplicate} duplicate)")
 
-    misses = [r.sim_seconds for app, _ in scanners for r in app.runtime.stats.records if not r.hit]
-    hits = [r.sim_seconds for app, _ in scanners for r in app.runtime.stats.records if r.hit]
+    misses = [r.sim_seconds for s, _ in scanners for r in s.stats.records if not r.hit]
+    hits = [r.sim_seconds for s, _ in scanners for r in s.stats.records if r.hit]
     if hits and misses:
         speedup = (sum(misses) / len(misses)) / (sum(hits) / len(hits))
         print(f"mean speedup on hits : {speedup:.0f}x (simulated)")

@@ -3,24 +3,40 @@
 A faithful Python reproduction of the ICDCS 2019 system by Cui, Duan,
 Qin, Wang, and Zhou, built on a simulated SGX substrate (see DESIGN.md).
 
-Quickstart::
+Quickstart — :func:`connect` is the single entry point; it wires the
+whole topology (simulated SGX machines, ResultStore or shard cluster,
+attested channels) plus the session-wide tracer and metrics registry::
 
-    from repro import Deployment, FunctionDescription, TrustedLibrary, TrustedLibraryRegistry
+    import repro
 
-    libs = TrustedLibraryRegistry()
-    libs.register(TrustedLibrary("zlib", "1.2.11").add("bytes deflate(bytes)", my_deflate))
+    session = repro.connect()          # or repro.connect(shards=4)
 
-    deployment = Deployment()
-    app = deployment.create_application("scanner", libs)
-    dedup_deflate = app.deduplicable(FunctionDescription("zlib", "1.2.11", "bytes deflate(bytes)"))
-    compressed = dedup_deflate(data)   # first call computes + stores
-    compressed = dedup_deflate(data)   # second call is a secure cache hit
+    @session.mark(version="1.0")
+    def deflate(data: bytes) -> bytes:
+        ...
+
+    deflate(payload)                   # first call computes + stores
+    deflate(payload)                   # second call is a secure cache hit
+
+    print(session.trace_table())       # the call's connected span tree
+    print(session.to_json(indent=2))   # every component counter, one dict
+
+Ported trusted libraries register the same way as before, through
+:class:`TrustedLibrary` / :class:`FunctionDescription`, and execute via
+``session.execute(description, *args)`` or ``session.deduplicable()``.
+
+The lower-level constructors (:class:`Deployment`,
+:class:`ClusterDeployment`, :class:`DedupRuntime`, ...) remain exported
+for existing code and tests, but direct construction of the deployment
+classes is deprecated in favour of :func:`connect`.
 """
 
+from . import obs
 from .cluster import ClusterConfig, ClusterRouter, ShardRing, StoreCluster
 from .core import (
     CrossAppScheme,
     Deduplicable,
+    DedupResult,
     DedupRuntime,
     FunctionDescription,
     PlaintextScheme,
@@ -30,34 +46,63 @@ from .core import (
     TrustedLibraryRegistry,
 )
 from .deployment import Application, ClusterDeployment, Deployment
-from .errors import SpeedError
+from .errors import (
+    ChannelError,
+    DedupError,
+    NoLiveOwnerError,
+    QuotaExceededError,
+    SpeedError,
+    StoreError,
+    TransportError,
+    VerificationError,
+    error_codes,
+    error_for_code,
+)
+from .obs import MetricsRegistry, Span, Tracer
+from .session import Session, connect
 from .sgx import CostParams, SgxPlatform
 from .store import QuotaPolicy, ResultStore, StoreConfig
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Application",
+    "ChannelError",
     "ClusterConfig",
     "ClusterDeployment",
     "ClusterRouter",
     "CostParams",
     "CrossAppScheme",
     "Deduplicable",
+    "DedupError",
+    "DedupResult",
     "DedupRuntime",
     "Deployment",
     "FunctionDescription",
+    "MetricsRegistry",
+    "NoLiveOwnerError",
     "PlaintextScheme",
+    "QuotaExceededError",
     "QuotaPolicy",
     "ResultStore",
     "RuntimeConfig",
+    "Session",
     "SgxPlatform",
     "ShardRing",
-    "StoreCluster",
     "SingleKeyScheme",
+    "Span",
     "SpeedError",
+    "StoreCluster",
     "StoreConfig",
+    "StoreError",
+    "Tracer",
+    "TransportError",
     "TrustedLibrary",
     "TrustedLibraryRegistry",
+    "VerificationError",
     "__version__",
+    "connect",
+    "error_codes",
+    "error_for_code",
+    "obs",
 ]

@@ -13,7 +13,7 @@ virtual clock (the series whose *shape* should match the paper);
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, replace as dataclass_replace
+from dataclasses import dataclass, field, replace as dataclass_replace
 from typing import Any, Callable
 
 from .reporting import format_table, human_size
@@ -35,9 +35,14 @@ from ..core.tag import derive_locking_hash, derive_tag
 from ..crypto import gcm
 from ..crypto.drbg import HmacDrbg
 from ..crypto.hashes import sha256
-from ..deployment import Deployment
+from ..deployment import (
+    ClusterDeployment as _ClusterDeployment,
+    Deployment as _Deployment,
+)
 from ..errors import SpeedError
 from ..net.messages import GetRequest, PutRequest
+from ..obs.exporters import diff_breakdown
+from ..obs.tracer import Tracer
 from ..sgx.cost_model import SimClock
 from ..store.resultstore import StoreConfig
 from ..workloads import (
@@ -50,6 +55,17 @@ from ..workloads import (
 
 KB = 1024
 MB = 1024 * 1024
+
+
+# The harness assembles topologies by hand on purpose — it measures the
+# exact components repro.connect() would wire together — so it opts out
+# of the user-facing "use repro.connect()" deprecation nudge.
+def Deployment(**kwargs):  # noqa: N802 - drop-in constructor shim
+    return _Deployment(_warn=False, **kwargs)
+
+
+def ClusterDeployment(**kwargs):  # noqa: N802 - drop-in constructor shim
+    return _ClusterDeployment(_warn=False, **kwargs)
 
 
 # ---------------------------------------------------------------------------
@@ -932,6 +948,9 @@ class BatchRow:
     sim_total_s: float
     wall_total_s: float
     identical: bool = True
+    # Per-phase latency totals ({span name: {count, sim_s, wall_s}})
+    # attributed to this row's request loop by the session tracer.
+    phase_breakdown: dict = field(default_factory=dict)
 
     @property
     def transitions_per_call(self) -> float:
@@ -966,9 +985,11 @@ def run_batch_store(
     batch_sizes = batch_sizes or [1, 4, 16, 64, 128]
     rows = []
     for batch in batch_sizes:
+        tracer = Tracer()
         d = Deployment(
             seed=b"batch-store" + batch.to_bytes(4, "big"),
             store_config=StoreConfig(use_sgx=True),
+            tracer=tracer,
         )
         enclave = d.platform.create_enclave("batch-client", b"batch-client-code")
         client = d.store.connect("batch-client-addr", app_enclave=enclave)
@@ -991,6 +1012,7 @@ def run_batch_store(
 
         def sweep(phase: str, requests: list, check) -> BatchRow:
             trans0, rec0 = transitions(), client.records_sent
+            phases0 = tracer.phase_breakdown()
             wall0, sim0 = time.perf_counter(), d.clock.snapshot()
             for chunk in _chunks(requests, batch):
                 if len(chunk) == 1:
@@ -1007,6 +1029,7 @@ def run_batch_store(
                 channel_records=client.records_sent - rec0,
                 sim_total_s=d.clock.since(sim0) / d.clock.params.cpu_freq_hz,
                 wall_total_s=time.perf_counter() - wall0,
+                phase_breakdown=diff_breakdown(phases0, tracer.phase_breakdown()),
             )
 
         rows.append(sweep("put", puts, lambda r: None))
@@ -1043,12 +1066,13 @@ def run_batch_execute(
         case = compress_case_study()
         libs = TrustedLibraryRegistry()
         case.register_into(libs)
-        d = Deployment(seed=b"batch-exec" + tag)
+        d = Deployment(seed=b"batch-exec" + tag, tracer=Tracer())
         return case, d, d.create_application("batch-app", libs, config)
 
     def measure(app, d, body) -> tuple[BatchRow, list]:
         trans0 = app.enclave.transition_count + d.store.enclave.transition_count
         rec0 = app.runtime.client.records_sent
+        phases0 = d.tracer.phase_breakdown()
         wall0, sim0 = time.perf_counter(), d.clock.snapshot()
         results = body()
         trans1 = app.enclave.transition_count + d.store.enclave.transition_count
@@ -1061,6 +1085,9 @@ def run_batch_execute(
             channel_records=app.runtime.client.records_sent - rec0,
             sim_total_s=d.clock.since(sim0) / d.clock.params.cpu_freq_hz,
             wall_total_s=time.perf_counter() - wall0,
+            phase_breakdown=diff_breakdown(
+                phases0, d.tracer.phase_breakdown()
+            ),
         ), results
 
     # Sequential reference: one execute per document, flushing between.
@@ -1212,6 +1239,9 @@ class ClusterRow:
     read_repairs: int         # read-repair PUTs queued during this phase
     results_lost: int         # GETs that found nothing (should be 0)
     baseline_sim_s: float = 0.0  # same-phase 1-shard bottleneck time
+    # Per-phase latency totals ({span name: {count, sim_s, wall_s}})
+    # attributed to this row's request loop by the cluster's tracer.
+    phase_breakdown: dict = field(default_factory=dict)
 
     @property
     def sim_ops_per_s(self) -> float:
@@ -1259,6 +1289,8 @@ def _cluster_phase(d, router, phase, requests, size_bytes, expect_found=False):
     app0 = d.clock.snapshot()
     fail0 = router.stats.failovers
     repair0 = router.stats.read_repairs
+    tracer = d.cluster.tracer
+    phases0 = tracer.phase_breakdown() if tracer.enabled else {}
     lost = 0
     wall0 = time.perf_counter()
     for request in requests:
@@ -1281,6 +1313,10 @@ def _cluster_phase(d, router, phase, requests, size_bytes, expect_found=False):
         failovers=router.stats.failovers - fail0,
         read_repairs=router.stats.read_repairs - repair0,
         results_lost=lost,
+        phase_breakdown=(
+            diff_breakdown(phases0, tracer.phase_breakdown())
+            if tracer.enabled else {}
+        ),
     )
 
 
@@ -1301,8 +1337,6 @@ def run_cluster(
     write stream and shows reads surviving on replicas with zero loss,
     and read-repair refilling the shard after it revives.
     """
-    from ..deployment import ClusterDeployment
-
     shard_counts = shard_counts or [1, 2, 4, 8]
     replication_factors = replication_factors or [1, 2]
     rows: list[ClusterRow] = []
@@ -1323,6 +1357,7 @@ def run_cluster(
             seed=b"bench-cluster" + label,
             n_shards=n,
             replication_factor=rf,
+            tracer=Tracer(),
         )
         enclave = d.platform.create_enclave("cluster-bench", b"cluster-bench-code")
         router = d.cluster.connect("cluster-bench", enclave)
@@ -1340,6 +1375,7 @@ def run_cluster(
     # Failover: 4 shards, RF 2; shard-0 dies after half the writes.
     d = ClusterDeployment(
         seed=b"bench-cluster-failover", n_shards=4, replication_factor=2,
+        tracer=Tracer(),
     )
     enclave = d.platform.create_enclave("cluster-bench", b"cluster-bench-code")
     router = d.cluster.connect("cluster-bench", enclave)

@@ -33,6 +33,7 @@ from .ring import ShardRing
 from .router import ClusterRouter
 from ..errors import SpeedError
 from ..net.transport import FaultInjector, Network
+from ..obs.tracer import NULL_TRACER
 from ..sgx.attestation import AttestationService
 from ..sgx.cost_model import CostParams
 from ..sgx.enclave import Enclave
@@ -76,10 +77,12 @@ class StoreCluster:
         config: ClusterConfig | None = None,
         seed: bytes = b"speed-cluster",
         cost_params: CostParams | None = None,
+        tracer=NULL_TRACER,
     ):
         self.network = network
         self.attestation = attestation_service
         self.config = config or ClusterConfig()
+        self.tracer = NULL_TRACER if tracer is None else tracer
         if self.config.n_shards < 1:
             raise SpeedError("a cluster needs at least one shard")
         if not self.config.store_config.use_sgx:
@@ -117,6 +120,7 @@ class StoreCluster:
             address=f"resultstore@{shard_id}",
             config=self.config.store_config,
             seed=self._seed + b"/store/" + shard_id.encode(),
+            tracer=self.tracer,
         )
         node = ShardNode(shard_id=shard_id, platform=platform, store=store)
         self.shards[shard_id] = node
@@ -182,7 +186,10 @@ class StoreCluster:
                 attestation_service=self.attestation,
             )
         router = ClusterRouter(
-            self.ring, clients, replication_factor=self.config.replication_factor
+            self.ring, clients,
+            replication_factor=self.config.replication_factor,
+            tracer=self.tracer,
+            clock=app_enclave.platform.clock,
         )
         self._routers.append((app_name, app_enclave, router))
         return router

@@ -40,7 +40,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from .ring import ShardRing
-from ..errors import ChannelError, ProtocolError, TransportError
+from ..errors import ChannelError, NoLiveOwnerError, ProtocolError, TransportError
+from ..obs.metrics import namespaced
+from ..obs.tracer import NULL_TRACER
 from ..net.messages import (
     BatchPutResponse,
     ErrorMessage,
@@ -53,7 +55,9 @@ from ..net.messages import (
 )
 from ..net.rpc import RpcClient
 
-NO_LIVE_OWNER = "no live owner"
+# Machine-readable reason carried by GetResponse/PutResponse when every
+# owner shard of a tag was unreachable (== NoLiveOwnerError.code).
+NO_LIVE_OWNER = NoLiveOwnerError.code
 
 # Failures that mean "this shard did not serve the request": the send
 # vanished (dead shard), the reply never arrived, a record was mangled
@@ -78,8 +82,20 @@ class RouterStats:
     repair_acks: int = 0
     repair_rejects: int = 0
 
+    #: Legacy keys with inconsistent spelling and their normalized
+    #: ``router.<metric>`` names (events are plural nouns).
+    _RENAMES = {
+        "gets_routed": "gets",
+        "puts_routed": "puts",
+        "unavailable": "unavailable_gets",
+        "replica_put_rejects": "replica_put_rejections",
+        "repair_rejects": "repair_rejections",
+    }
+
     def snapshot(self) -> dict:
-        return {
+        """Canonical ``router.<metric>`` keys plus the historical
+        un-namespaced keys as aliases for one release."""
+        return namespaced("router", {
             "gets_routed": self.gets_routed,
             "puts_routed": self.puts_routed,
             "get_timeouts": self.get_timeouts,
@@ -92,7 +108,7 @@ class RouterStats:
             "replica_put_rejects": self.replica_put_rejects,
             "repair_acks": self.repair_acks,
             "repair_rejects": self.repair_rejects,
-        }
+        }, renames=self._RENAMES)
 
 
 @dataclass
@@ -115,6 +131,8 @@ class ClusterRouter:
         ring: ShardRing,
         clients: dict[str, RpcClient],
         replication_factor: int = 2,
+        tracer=NULL_TRACER,
+        clock=None,
     ):
         if replication_factor < 1:
             raise ProtocolError("replication factor must be >= 1")
@@ -122,6 +140,10 @@ class ClusterRouter:
         self.replication_factor = replication_factor
         self._clients = dict(clients)
         self.stats = RouterStats()
+        # Observability: spans are recorded on the application machine's
+        # clock (routing happens there); NULL_TRACER makes it all no-ops.
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        self.clock = clock
         self._next_router_id = 1
         # (shard, local id) -> router id, for one-way singles and batches.
         self._single_by_key: dict[tuple[str, int], int] = {}
@@ -177,37 +199,47 @@ class ClusterRouter:
         owners = self._owners(request.tag)
         if skip:
             owners = [s for s in owners if s not in skip]
-        missed_live: list[str] = []
-        timeouts = 0
-        hit: GetResponse | None = None
-        for shard in owners:
-            try:
-                response = self._clients[shard].call(request)
-            except _SHARD_FAILURES:
-                self.stats.get_timeouts += 1
-                timeouts += 1
-                continue
-            if not isinstance(response, GetResponse):
-                raise ProtocolError(
-                    f"shard {shard!r} answered GET with {type(response).__name__}"
-                )
-            if response.found:
-                hit = response
-                break
-            missed_live.append(shard)
-        if hit is None:
-            if not missed_live:
-                # Every reachable owner timed out (or was skipped): the
-                # item is unavailable, not absent.  Fail safe: the
-                # caller recomputes, exactly like a miss.
-                self.stats.unavailable += 1
-                return GetResponse(found=False, reason=NO_LIVE_OWNER)
-            return GetResponse(found=False)
-        if timeouts:
-            self.stats.failovers += 1
-        for shard in missed_live:
-            self._queue_read_repair(shard, request, hit)
-        return hit
+        with self.tracer.span("router.get", clock=self.clock, owners=len(owners)) as span:
+            missed_live: list[str] = []
+            timeouts = 0
+            hit: GetResponse | None = None
+            for shard in owners:
+                with self.tracer.span(
+                    "router.shard_get", clock=self.clock, shard=shard
+                ) as shard_span:
+                    try:
+                        response = self._clients[shard].call(request)
+                    except _SHARD_FAILURES:
+                        self.stats.get_timeouts += 1
+                        timeouts += 1
+                        shard_span.mark("timeout")
+                        continue
+                if not isinstance(response, GetResponse):
+                    raise ProtocolError(
+                        f"shard {shard!r} answered GET with {type(response).__name__}"
+                    )
+                if response.found:
+                    hit = response
+                    break
+                missed_live.append(shard)
+            if hit is None:
+                if not missed_live:
+                    # Every reachable owner timed out (or was skipped): the
+                    # item is unavailable, not absent.  Fail safe: the
+                    # caller recomputes, exactly like a miss.
+                    self.stats.unavailable += 1
+                    span.mark("unavailable")
+                    return GetResponse(found=False, reason=NO_LIVE_OWNER)
+                span.set("outcome", "miss")
+                return GetResponse(found=False)
+            if timeouts:
+                self.stats.failovers += 1
+                self.tracer.event("router.failover", clock=self.clock,
+                                  timeouts=timeouts)
+            span.set("outcome", "hit")
+            for shard in missed_live:
+                self._queue_read_repair(shard, request, hit)
+            return hit
 
     def _queue_read_repair(
         self, shard: str, request: GetRequest, hit: GetResponse
@@ -220,34 +252,44 @@ class ClusterRouter:
             sealed_result=hit.sealed_result,
             app_id=request.app_id,
         )
-        try:
-            local_id = self._clients[shard].send_oneway(repair)
-        except _SHARD_FAILURES:
-            return
+        with self.tracer.span("router.read_repair", clock=self.clock, shard=shard) as span:
+            try:
+                local_id = self._clients[shard].send_oneway(repair)
+            except _SHARD_FAILURES:
+                span.mark("timeout")
+                return
         self._absorb_keys.add((shard, local_id))
         self.stats.read_repairs += 1
 
     def _route_put(self, request: PutRequest) -> Message:
         self.stats.puts_routed += 1
         owners = self._owners(request.tag)
-        authoritative: Message | None = None
-        for index, shard in enumerate(owners):
-            if index:
-                self.stats.replica_puts += 1
-            try:
-                response = self._clients[shard].call(request)
-            except _SHARD_FAILURES:
-                self.stats.put_timeouts += 1
-                continue
+        with self.tracer.span("router.put", clock=self.clock, owners=len(owners)) as span:
+            authoritative: Message | None = None
+            for index, shard in enumerate(owners):
+                if index:
+                    self.stats.replica_puts += 1
+                with self.tracer.span(
+                    "router.shard_put", clock=self.clock, shard=shard
+                ) as shard_span:
+                    try:
+                        response = self._clients[shard].call(request)
+                    except _SHARD_FAILURES:
+                        self.stats.put_timeouts += 1
+                        shard_span.mark("timeout")
+                        continue
+                if authoritative is None:
+                    # The first *live* owner in ring order is authoritative —
+                    # the primary when it is up, else the first replica.
+                    authoritative = response
+                else:
+                    self._count_replica_ack(response)
             if authoritative is None:
-                # The first *live* owner in ring order is authoritative —
-                # the primary when it is up, else the first replica.
-                authoritative = response
-            else:
-                self._count_replica_ack(response)
-        if authoritative is None:
-            raise TransportError(f"{NO_LIVE_OWNER} for tag {request.tag[:8].hex()}")
-        return authoritative
+                span.mark("unavailable")
+                raise NoLiveOwnerError(
+                    f"{NO_LIVE_OWNER} for tag {request.tag[:8].hex()}"
+                )
+            return authoritative
 
     def _count_replica_ack(self, response: Message) -> None:
         if isinstance(response, PutResponse) and response.accepted:
@@ -275,48 +317,55 @@ class ClusterRouter:
         ``found=False`` failures in their original positions.
         """
         n = len(requests)
-        results: list[Message | None] = [None] * n
-        groups: dict[str, list[int]] = {}
-        for i, request in enumerate(requests):
-            owners = self._owners(request.tag)
-            if not owners:
-                self.stats.gets_routed += 1
-                self.stats.unavailable += 1
-                results[i] = GetResponse(found=False, reason=NO_LIVE_OWNER)
-                continue
-            groups.setdefault(owners[0], []).append(i)
-        for shard, indices in sorted(groups.items()):
-            sub = [requests[i] for i in indices]
-            try:
-                if len(sub) == 1:
-                    responses = [self._clients[shard].call(sub[0])]
-                else:
-                    responses = self._clients[shard].call_batch(sub)
-            except _SHARD_FAILURES:
-                # Whole sub-batch lost: route each item through its
-                # replicas (the primary is skipped — it just failed).
-                self.stats.get_timeouts += 1
-                for i in indices:
-                    response = self._route_get(requests[i], skip={shard})
+        batch_span = self.tracer.span("router.batch_get", clock=self.clock, items=n)
+        with batch_span:
+            results: list[Message | None] = [None] * n
+            groups: dict[str, list[int]] = {}
+            for i, request in enumerate(requests):
+                owners = self._owners(request.tag)
+                if not owners:
+                    self.stats.gets_routed += 1
+                    self.stats.unavailable += 1
+                    results[i] = GetResponse(found=False, reason=NO_LIVE_OWNER)
+                    continue
+                groups.setdefault(owners[0], []).append(i)
+            for shard, indices in sorted(groups.items()):
+                sub = [requests[i] for i in indices]
+                with self.tracer.span(
+                    "router.shard_get", clock=self.clock, shard=shard, items=len(sub)
+                ) as shard_span:
+                    try:
+                        if len(sub) == 1:
+                            responses = [self._clients[shard].call(sub[0])]
+                        else:
+                            responses = self._clients[shard].call_batch(sub)
+                    except _SHARD_FAILURES:
+                        # Whole sub-batch lost: route each item through its
+                        # replicas (the primary is skipped — it just failed).
+                        self.stats.get_timeouts += 1
+                        shard_span.mark("timeout")
+                        for i in indices:
+                            response = self._route_get(requests[i], skip={shard})
+                            if response.found:
+                                # Served by a replica after the intended shard
+                                # failed — a failover, same as the single path.
+                                self.stats.failovers += 1
+                                self.tracer.event("router.failover", clock=self.clock)
+                            results[i] = response
+                        continue
+                self.stats.gets_routed += len(sub)
+                for i, response in zip(indices, responses):
+                    if not isinstance(response, GetResponse):
+                        raise ProtocolError(
+                            f"shard {shard!r} answered GET with {type(response).__name__}"
+                        )
                     if response.found:
-                        # Served by a replica after the intended shard
-                        # failed — a failover, same as the single path.
-                        self.stats.failovers += 1
-                    results[i] = response
-                continue
-            self.stats.gets_routed += len(sub)
-            for i, response in zip(indices, responses):
-                if not isinstance(response, GetResponse):
-                    raise ProtocolError(
-                        f"shard {shard!r} answered GET with {type(response).__name__}"
-                    )
-                if response.found:
-                    results[i] = response
-                else:
-                    # Primary miss: fall through to the replicas (and
-                    # read-repair the primary on a replica hit).
-                    self.stats.gets_routed -= 1  # _route_get recounts it
-                    results[i] = self._route_get_after_miss(requests[i], shard)
+                        results[i] = response
+                    else:
+                        # Primary miss: fall through to the replicas (and
+                        # read-repair the primary on a replica hit).
+                        self.stats.gets_routed -= 1  # _route_get recounts it
+                        results[i] = self._route_get_after_miss(requests[i], shard)
         missing = [i for i, r in enumerate(results) if r is None]
         if missing:
             # A shard returned fewer responses than sub-batch items; the
@@ -339,12 +388,16 @@ class ClusterRouter:
         missed_live = [missed_primary]
         timeouts = 0
         for shard in owners:
-            try:
-                response = self._clients[shard].call(request)
-            except _SHARD_FAILURES:
-                self.stats.get_timeouts += 1
-                timeouts += 1
-                continue
+            with self.tracer.span(
+                "router.shard_get", clock=self.clock, shard=shard
+            ) as shard_span:
+                try:
+                    response = self._clients[shard].call(request)
+                except _SHARD_FAILURES:
+                    self.stats.get_timeouts += 1
+                    timeouts += 1
+                    shard_span.mark("timeout")
+                    continue
             if not isinstance(response, GetResponse):
                 raise ProtocolError(
                     f"shard {shard!r} answered GET with {type(response).__name__}"
@@ -352,6 +405,8 @@ class ClusterRouter:
             if response.found:
                 if timeouts:
                     self.stats.failovers += 1
+                    self.tracer.event("router.failover", clock=self.clock,
+                                      timeouts=timeouts)
                 for miss in missed_live:
                     self._queue_read_repair(miss, request, response)
                 return response
@@ -363,43 +418,48 @@ class ClusterRouter:
         in order, the primary's verdict authoritative where it is live."""
         n = len(requests)
         self.stats.puts_routed += n
-        owners_per_item = [self._owners(r.tag) for r in requests]
-        verdicts: list[Message | None] = [None] * n
-        primary_seen = [False] * n
-        groups: dict[str, list[int]] = {}
-        for i, owners in enumerate(owners_per_item):
-            for k, shard in enumerate(owners):
-                groups.setdefault(shard, []).append(i)
-                if k:
-                    self.stats.replica_puts += 1
-        for shard, indices in sorted(groups.items()):
-            sub = [requests[i] for i in indices]
-            try:
-                if len(sub) == 1:
-                    responses = [self._clients[shard].call(sub[0])]
+        with self.tracer.span("router.batch_put", clock=self.clock, items=n):
+            owners_per_item = [self._owners(r.tag) for r in requests]
+            verdicts: list[Message | None] = [None] * n
+            primary_seen = [False] * n
+            groups: dict[str, list[int]] = {}
+            for i, owners in enumerate(owners_per_item):
+                for k, shard in enumerate(owners):
+                    groups.setdefault(shard, []).append(i)
+                    if k:
+                        self.stats.replica_puts += 1
+            for shard, indices in sorted(groups.items()):
+                sub = [requests[i] for i in indices]
+                with self.tracer.span(
+                    "router.shard_put", clock=self.clock, shard=shard, items=len(sub)
+                ) as shard_span:
+                    try:
+                        if len(sub) == 1:
+                            responses = [self._clients[shard].call(sub[0])]
+                        else:
+                            responses = self._clients[shard].call_batch(sub)
+                    except _SHARD_FAILURES:
+                        self.stats.put_timeouts += 1
+                        shard_span.mark("timeout")
+                        continue
+                for i, response in zip(indices, responses):
+                    is_primary = owners_per_item[i] and owners_per_item[i][0] == shard
+                    if is_primary:
+                        if verdicts[i] is not None:
+                            self._count_replica_ack(verdicts[i])
+                        verdicts[i] = response
+                        primary_seen[i] = True
+                    elif verdicts[i] is None:
+                        verdicts[i] = response
+                    else:
+                        self._count_replica_ack(response)
+            out: list[Message] = []
+            for i, verdict in enumerate(verdicts):
+                if verdict is None:
+                    out.append(PutResponse(accepted=False, reason=NO_LIVE_OWNER))
                 else:
-                    responses = self._clients[shard].call_batch(sub)
-            except _SHARD_FAILURES:
-                self.stats.put_timeouts += 1
-                continue
-            for i, response in zip(indices, responses):
-                is_primary = owners_per_item[i] and owners_per_item[i][0] == shard
-                if is_primary:
-                    if verdicts[i] is not None:
-                        self._count_replica_ack(verdicts[i])
-                    verdicts[i] = response
-                    primary_seen[i] = True
-                elif verdicts[i] is None:
-                    verdicts[i] = response
-                else:
-                    self._count_replica_ack(response)
-        out: list[Message] = []
-        for i, verdict in enumerate(verdicts):
-            if verdict is None:
-                out.append(PutResponse(accepted=False, reason=NO_LIVE_OWNER))
-            else:
-                out.append(verdict)
-        return out
+                    out.append(verdict)
+            return out
 
     # -- one-way sends ---------------------------------------------------------
     def send_oneway(self, request: Message) -> int:
@@ -523,8 +583,12 @@ class ClusterRouter:
         for i, item in zip(indices, items):
             if isinstance(item, ErrorMessage):
                 # A per-shard failure verdict; rejected is the closest
-                # per-item shape a merged batch response can carry.
-                item = PutResponse(accepted=False, reason=f"error {item.code}")
+                # per-item shape a merged batch response can carry.  The
+                # reason stays machine-readable: errors.StoreError's code
+                # plus the numeric wire code.
+                item = PutResponse(
+                    accepted=False, reason=f"store_error:{item.code}"
+                )
             if pending.emitted or i in pending.primary_seen:
                 self._count_replica_ack(item)
                 continue

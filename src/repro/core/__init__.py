@@ -24,7 +24,7 @@ from .description import (
     TrustedLibraryRegistry,
     code_fingerprint,
 )
-from .runtime import DedupRuntime, RuntimeConfig
+from .runtime import DedupResult, DedupRuntime, RuntimeConfig
 from .scheme import (
     CrossAppScheme,
     PlaintextScheme,
@@ -58,6 +58,7 @@ __all__ = [
     "CallRecord",
     "CrossAppScheme",
     "Deduplicable",
+    "DedupResult",
     "DedupRuntime",
     "FunctionProfile",
     "FloatParser",

@@ -58,6 +58,10 @@ def deduplicable_marker(app: Application):
                 native_factor=native_factor,
             )
 
+            # The wrapper is a pure shim: every surface (plain call,
+            # result-carrying call, batch map) is the Deduplicable's own
+            # code path, so decorated and hand-wrapped functions behave
+            # identically down to argument marshalling and tags.
             @functools.wraps(func)
             def wrapper(*args):
                 return dedup(*args)
@@ -65,6 +69,9 @@ def deduplicable_marker(app: Application):
             wrapper.original = func
             wrapper.deduplicable = dedup
             wrapper.description = description
+            wrapper.call_result = dedup.call_result
+            wrapper.map = dedup.map
+            wrapper.map_results = dedup.map_results
             return wrapper
 
         return decorate

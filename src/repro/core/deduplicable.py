@@ -18,10 +18,10 @@ The Python rendering of the paper's C++ template API::
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Sequence
 
 from .description import FunctionDescription
-from .runtime import DedupRuntime
+from .runtime import DedupResult, DedupRuntime
 from .serialization import AnyParser, Parser, TupleParser
 
 
@@ -62,28 +62,56 @@ class Deduplicable:
         with runtime.enclave.ecall("deduplicable_create"):
             runtime.libraries.lookup(description)
 
-    def __call__(self, *args: Any) -> Any:
-        """Invoke the function with deduplication, "as normal"."""
+    def _resolve_args(self, args: tuple) -> tuple[Any, Parser | None, bool]:
+        """Map a ``*args`` call onto (input value, input parser, unpack).
+
+        This is the single argument-marshalling code path shared by
+        direct calls, the decorator front end, and the batch entry
+        points, so every surface agrees on how multi-argument calls are
+        serialized (and therefore on the tags they derive).
+        """
         if not args:
             raise TypeError("a deduplicated call needs at least one argument")
         if len(args) == 1:
-            input_value: Any = args[0]
-            input_parser = self._input_parser
-            unpack = False
+            return args[0], self._input_parser, False
+        if self._input_parser is not None:
+            input_parser: Parser = self._input_parser
         else:
-            input_value = tuple(args)
-            if self._input_parser is not None:
-                input_parser = self._input_parser
-            else:
-                registry = self.runtime.parsers
-                input_parser = TupleParser(*(AnyParser(registry) for _ in args))
-            unpack = True
-        return self.runtime.execute(
+            registry = self.runtime.parsers
+            input_parser = TupleParser(*(AnyParser(registry) for _ in args))
+        return tuple(args), input_parser, True
+
+    def __call__(self, *args: Any) -> Any:
+        """Invoke the function with deduplication, "as normal"."""
+        return self.call_result(*args).value
+
+    def call_result(self, *args: Any) -> DedupResult:
+        """Invoke with deduplication; return the full
+        :class:`~repro.core.runtime.DedupResult` (value + hit/source/tag
+        + span ids) instead of the bare value."""
+        input_value, input_parser, unpack = self._resolve_args(args)
+        return self.runtime.execute_result(
             self.description,
             input_value,
             input_parser=input_parser,
             result_parser=self._result_parser,
             unpack_args=unpack,
+            native_factor=self.native_factor,
+        )
+
+    def map(self, inputs: Sequence[Any]) -> list[Any]:
+        """Run a whole batch of single-argument calls in one enclave
+        entry (:meth:`DedupRuntime.execute_many`)."""
+        return [r.value for r in self.map_results(inputs)]
+
+    def map_results(self, inputs: Sequence[Any]) -> list[DedupResult]:
+        """Batch variant of :meth:`call_result`: one
+        :class:`~repro.core.runtime.DedupResult` per input."""
+        return self.runtime.execute_many_results(
+            self.description,
+            list(inputs),
+            input_parser=self._input_parser,
+            result_parser=self._result_parser,
             native_factor=self.native_factor,
         )
 

@@ -60,7 +60,32 @@ from ..net.messages import (
     PutResponse,
 )
 from ..net.rpc import RpcClient
+from ..obs.tracer import NULL_TRACER
 from ..sgx.enclave import Enclave
+
+
+@dataclass(frozen=True)
+class DedupResult:
+    """Per-item outcome of a deduplicated call.
+
+    ``execute``/``execute_many`` return plain values; the ``*_result``
+    variants return this wrapper so callers can see *how* each value was
+    obtained without digging through stats:
+
+    * ``source`` — ``"l1"`` (served from the in-enclave cache),
+      ``"store"`` (verified store hit, Algorithm 2) or ``"computed"``
+      (fresh execution, Algorithm 1);
+    * ``span_id``/``trace_id`` — the call's root span when a tracer is
+      attached (``None`` under the default :data:`NULL_TRACER`).
+    """
+
+    value: Any
+    hit: bool
+    l1_hit: bool
+    tag: bytes
+    source: str
+    span_id: int | None = None
+    trace_id: int | None = None
 
 
 @dataclass
@@ -120,6 +145,7 @@ class DedupRuntime:
         libraries: TrustedLibraryRegistry,
         parsers: ParserRegistry | None = None,
         config: RuntimeConfig | None = None,
+        tracer=NULL_TRACER,
     ):
         self.enclave = enclave
         self.client = client
@@ -128,6 +154,10 @@ class DedupRuntime:
         self.config = config or RuntimeConfig()
         self.clock = enclave.platform.clock
         self.stats = RuntimeStats()
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        if self.tracer.enabled:
+            # The app enclave's transitions belong to this call's trace.
+            self.enclave.tracer = self.tracer
         self._pending_puts: list[PutRequest] = []
         # Correlation id -> number of PUT items awaiting a response.
         self._inflight_puts: dict[int, int] = {}
@@ -150,62 +180,90 @@ class DedupRuntime:
         native_factor: float = 1.0,
     ) -> Any:
         """Run one deduplicated computation and return its result."""
+        return self.execute_result(
+            description, input_value, input_parser, result_parser,
+            unpack_args, native_factor,
+        ).value
+
+    def execute_result(
+        self,
+        description: FunctionDescription,
+        input_value: Any,
+        input_parser: Parser | None = None,
+        result_parser: Parser | None = None,
+        unpack_args: bool = False,
+        native_factor: float = 1.0,
+    ) -> DedupResult:
+        """Like :meth:`execute`, but returns the full per-call
+        :class:`DedupResult` (value, hit/source, tag, span ids)."""
         input_parser = input_parser or AnyParser(self.parsers)
         result_parser = result_parser or AnyParser(self.parsers)
         wall_start = time.perf_counter()
         sim_start = self.clock.snapshot()
 
-        with self.enclave.ecall("dedup_execute"):
-            func = self.libraries.lookup(description)
-            func_identity = self.libraries.function_identity(description)
-            input_bytes = input_parser.encode(input_value)
-            tag = derive_tag(func_identity, input_bytes, self.clock)
+        with self.tracer.span(
+            "runtime.execute", clock=self.clock, func=str(description)
+        ) as root:
+            with self.enclave.ecall("dedup_execute"):
+                func = self.libraries.lookup(description)
+                func_identity = self.libraries.function_identity(description)
+                with self.tracer.span("runtime.tag", clock=self.clock):
+                    input_bytes = input_parser.encode(input_value)
+                    tag = derive_tag(func_identity, input_bytes, self.clock)
 
-            result_value = None
-            hit = False
-            l1_hit = False
-            result_len = 0
+                result_value = None
+                hit = False
+                l1_hit = False
+                result_len = 0
 
-            attempt_dedup = self.config.dedup_enabled
-            adaptive = self.config.adaptive
-            if attempt_dedup and adaptive is not None:
-                attempt_dedup = adaptive.should_attempt_dedup(func_identity)
-            compute_sim_seconds = 0.0
+                attempt_dedup = self.config.dedup_enabled
+                adaptive = self.config.adaptive
+                if attempt_dedup and adaptive is not None:
+                    attempt_dedup = adaptive.should_attempt_dedup(func_identity)
+                compute_sim_seconds = 0.0
 
-            if attempt_dedup and self.l1_cache is not None:
-                cached = self.l1_cache.get(tag)
-                if cached is not None:
-                    hit = l1_hit = True
-                    result_len = len(cached)
-                    result_value = result_parser.decode(cached)
+                if attempt_dedup and self.l1_cache is not None:
+                    with self.tracer.span("runtime.l1_lookup", clock=self.clock) as l1s:
+                        cached = self.l1_cache.get(tag)
+                        l1s.set("hit", cached is not None)
+                    if cached is not None:
+                        hit = l1_hit = True
+                        result_len = len(cached)
+                        result_value = result_parser.decode(cached)
 
-            if attempt_dedup and not hit:
-                response = self._get(tag, len(input_bytes))
-                if response.found:
-                    protected = ProtectedResult(
-                        challenge=response.challenge,
-                        wrapped_key=response.wrapped_key,
-                        sealed_result=response.sealed_result,
+                if attempt_dedup and not hit:
+                    response = self._get(tag, len(input_bytes))
+                    if response.found:
+                        protected = ProtectedResult(
+                            challenge=response.challenge,
+                            wrapped_key=response.wrapped_key,
+                            sealed_result=response.sealed_result,
+                        )
+                        with self.tracer.span("runtime.verify", clock=self.clock) as vs:
+                            outcome = verify_and_recover(
+                                self.config.scheme, func_identity, input_bytes, tag,
+                                protected, self.clock,
+                            )
+                            vs.set("ok", outcome.ok)
+                        if outcome.ok:
+                            hit = True
+                            result_len = len(outcome.result_bytes)
+                            result_value = result_parser.decode(outcome.result_bytes)
+                            if self.l1_cache is not None:
+                                self.l1_cache.put(tag, outcome.result_bytes)
+                        else:
+                            self.stats.verification_failures += 1
+
+                if not hit:
+                    result_value, result_len, compute_sim_seconds = self._compute_and_put(
+                        func, description, func_identity, input_value, input_bytes,
+                        tag, result_parser, unpack_args, native_factor,
+                        store_result=attempt_dedup,
                     )
-                    outcome = verify_and_recover(
-                        self.config.scheme, func_identity, input_bytes, tag,
-                        protected, self.clock,
-                    )
-                    if outcome.ok:
-                        hit = True
-                        result_len = len(outcome.result_bytes)
-                        result_value = result_parser.decode(outcome.result_bytes)
-                        if self.l1_cache is not None:
-                            self.l1_cache.put(tag, outcome.result_bytes)
-                    else:
-                        self.stats.verification_failures += 1
-
-            if not hit:
-                result_value, result_len, compute_sim_seconds = self._compute_and_put(
-                    func, description, func_identity, input_value, input_bytes,
-                    tag, result_parser, unpack_args, native_factor,
-                    store_result=attempt_dedup,
-                )
+            source = "l1" if l1_hit else ("store" if hit else "computed")
+            root.set("source", source)
+            root_span_id = root.span_id
+            root_trace_id = self.tracer.current_trace_id
 
         wall = time.perf_counter() - wall_start
         sim = self.clock.since(sim_start) / self.clock.params.cpu_freq_hz
@@ -227,7 +285,15 @@ class DedupRuntime:
                 l1_hit=l1_hit,
             )
         )
-        return result_value
+        return DedupResult(
+            value=result_value,
+            hit=hit,
+            l1_hit=l1_hit,
+            tag=tag,
+            source=source,
+            span_id=root_span_id,
+            trace_id=root_trace_id,
+        )
 
     def execute_many(
         self,
@@ -248,6 +314,25 @@ class DedupRuntime:
         cannot be attributed to a single item are split evenly across the
         batch's records, so per-batch sums match the totals.
         """
+        return [
+            r.value
+            for r in self.execute_many_results(
+                description, inputs, input_parser, result_parser,
+                unpack_args, native_factor,
+            )
+        ]
+
+    def execute_many_results(
+        self,
+        description: FunctionDescription,
+        inputs: Sequence[Any],
+        input_parser: Parser | None = None,
+        result_parser: Parser | None = None,
+        unpack_args: bool = False,
+        native_factor: float = 1.0,
+    ) -> list[DedupResult]:
+        """Like :meth:`execute_many`, but returns per-item
+        :class:`DedupResult` wrappers instead of bare values."""
         inputs = list(inputs)
         if not inputs:
             return []
@@ -255,74 +340,94 @@ class DedupRuntime:
         result_parser = result_parser or AnyParser(self.parsers)
         n = len(inputs)
         items = [_BatchItem(input_value=value) for value in inputs]
+        item_span_ids: list[int | None] = [None] * n
         adaptive = self.config.adaptive
         wall_start = time.perf_counter()
         sim_start = self.clock.snapshot()
 
-        with self.enclave.ecall("dedup_execute_batch"):
-            func = self.libraries.lookup(description)
-            func_identity = self.libraries.function_identity(description)
+        with self.tracer.span(
+            "runtime.execute_batch", clock=self.clock,
+            func=str(description), items=n,
+        ):
+            batch_trace_id = self.tracer.current_trace_id
+            with self.enclave.ecall("dedup_execute_batch"):
+                func = self.libraries.lookup(description)
+                func_identity = self.libraries.function_identity(description)
 
-            # Stage 1: derive every tag; serve what the L1 already holds.
-            for item in items:
-                with self._item_meter(item):
-                    item.input_bytes = input_parser.encode(item.input_value)
-                    item.tag = derive_tag(func_identity, item.input_bytes, self.clock)
-                    attempt = self.config.dedup_enabled
-                    if attempt and adaptive is not None:
-                        attempt = adaptive.should_attempt_dedup(func_identity)
-                    item.attempt_dedup = attempt
-                    if attempt and self.l1_cache is not None:
-                        cached = self.l1_cache.get(item.tag)
-                        if cached is not None:
-                            item.hit = item.l1_hit = True
-                            item.result_len = len(cached)
-                            item.result_value = result_parser.decode(cached)
-
-            # Stage 2: one multi-tag duplicate check for everything the
-            # L1 could not answer (Algorithm 2, lines 2-3, batched).
-            lookups = [i for i in items if i.attempt_dedup and not i.hit]
-            if lookups:
-                requests = [
-                    GetRequest(tag=i.tag, app_id=self.config.app_id) for i in lookups
-                ]
-                payload = sum(len(i.tag) + 64 for i in lookups)
-                with self.enclave.ocall("batch_get_request", in_bytes=payload):
-                    responses = self.client.call_batch(requests)
-                for item, response in zip(lookups, responses):
-                    if not isinstance(response, GetResponse):
-                        raise DedupError(
-                            f"store answered GET with {type(response).__name__}"
+                # Stage 1: derive every tag; serve what the L1 already holds.
+                for index, item in enumerate(items):
+                    with self.tracer.span(
+                        "runtime.item", clock=self.clock, index=index
+                    ) as item_span, self._item_meter(item):
+                        item.input_bytes = input_parser.encode(item.input_value)
+                        item.tag = derive_tag(
+                            func_identity, item.input_bytes, self.clock
                         )
-                    if not response.found:
+                        attempt = self.config.dedup_enabled
+                        if attempt and adaptive is not None:
+                            attempt = adaptive.should_attempt_dedup(func_identity)
+                        item.attempt_dedup = attempt
+                        if attempt and self.l1_cache is not None:
+                            cached = self.l1_cache.get(item.tag)
+                            if cached is not None:
+                                item.hit = item.l1_hit = True
+                                item.result_len = len(cached)
+                                item.result_value = result_parser.decode(cached)
+                        item_span.set("l1_hit", item.l1_hit)
+                        item_span_ids[index] = item_span.span_id
+
+                # Stage 2: one multi-tag duplicate check for everything the
+                # L1 could not answer (Algorithm 2, lines 2-3, batched).
+                lookups = [
+                    (index, item)
+                    for index, item in enumerate(items)
+                    if item.attempt_dedup and not item.hit
+                ]
+                if lookups:
+                    requests = [
+                        GetRequest(tag=item.tag, app_id=self.config.app_id)
+                        for _, item in lookups
+                    ]
+                    payload = sum(len(item.tag) + 64 for _, item in lookups)
+                    with self.enclave.ocall("batch_get_request", in_bytes=payload):
+                        responses = self.client.call_batch(requests)
+                    for (index, item), response in zip(lookups, responses):
+                        if not isinstance(response, GetResponse):
+                            raise DedupError(
+                                f"store answered GET with {type(response).__name__}"
+                            )
+                        if not response.found:
+                            continue
+                        with self.tracer.span(
+                            "runtime.verify", clock=self.clock, index=index
+                        ) as vs, self._item_meter(item):
+                            self._verify_batch_hit(
+                                item, response, func_identity, result_parser
+                            )
+                            vs.set("ok", item.hit)
+
+                # Stage 3: compute the misses in input order (Algorithm 1).
+                sync_puts: list[PutRequest] = []
+                for item in items:
+                    if item.hit:
                         continue
                     with self._item_meter(item):
-                        self._verify_batch_hit(
-                            item, response, func_identity, result_parser
+                        self._compute_batch_item(
+                            item, func, func_identity, result_parser,
+                            unpack_args, native_factor, sync_puts,
                         )
 
-            # Stage 3: compute the misses in input order (Algorithm 1).
-            sync_puts: list[PutRequest] = []
-            for item in items:
-                if item.hit:
-                    continue
-                with self._item_meter(item):
-                    self._compute_batch_item(
-                        item, func, func_identity, result_parser,
-                        unpack_args, native_factor, sync_puts,
-                    )
-
-            # Stage 4: ship all synchronous PUTs as one record/OCALL.
-            if sync_puts:
-                payload = sum(len(p.sealed_result) + 128 for p in sync_puts)
-                with self.enclave.ocall("batch_put_request", in_bytes=payload):
-                    responses = self.client.call_batch(sync_puts)
-                self.stats.puts_sent += len(sync_puts)
-                for response in responses:
-                    if isinstance(response, PutResponse) and response.accepted:
-                        self.stats.puts_accepted += 1
-                    else:
-                        self.stats.puts_rejected += 1
+                # Stage 4: ship all synchronous PUTs as one record/OCALL.
+                if sync_puts:
+                    payload = sum(len(p.sealed_result) + 128 for p in sync_puts)
+                    with self.enclave.ocall("batch_put_request", in_bytes=payload):
+                        responses = self.client.call_batch(sync_puts)
+                    self.stats.puts_sent += len(sync_puts)
+                    for response in responses:
+                        if isinstance(response, PutResponse) and response.accepted:
+                            self.stats.puts_accepted += 1
+                        else:
+                            self.stats.puts_rejected += 1
 
         total_wall = time.perf_counter() - wall_start
         total_sim = self.clock.since(sim_start) / self.clock.params.cpu_freq_hz
@@ -330,8 +435,8 @@ class DedupRuntime:
         shared_sim = max(0.0, total_sim - sum(i.direct_sim for i in items)) / n
 
         self.stats.batches += 1
-        results: list[Any] = []
-        for item in items:
+        results: list[DedupResult] = []
+        for index, item in enumerate(items):
             sim = item.direct_sim + shared_sim
             wall = item.direct_wall + shared_wall
             if adaptive is not None and self.config.dedup_enabled:
@@ -353,7 +458,19 @@ class DedupRuntime:
                     batch_size=n,
                 )
             )
-            results.append(item.result_value)
+            results.append(
+                DedupResult(
+                    value=item.result_value,
+                    hit=item.hit,
+                    l1_hit=item.l1_hit,
+                    tag=item.tag,
+                    source="l1" if item.l1_hit else (
+                        "store" if item.hit else "computed"
+                    ),
+                    span_id=item_span_ids[index],
+                    trace_id=batch_trace_id,
+                )
+            )
         return results
 
     # -- batch helpers --------------------------------------------------------
@@ -444,13 +561,14 @@ class DedupRuntime:
         unpack_args: bool,
         native_factor: float,
     ) -> tuple[Any, float]:
-        compute_start = time.perf_counter()
-        if unpack_args:
-            result_value = func(*input_value)
-        else:
-            result_value = func(input_value)
-        compute_wall = time.perf_counter() - compute_start
-        self.clock.charge_compute(compute_wall, native_factor)
+        with self.tracer.span("runtime.compute", clock=self.clock):
+            compute_start = time.perf_counter()
+            if unpack_args:
+                result_value = func(*input_value)
+            else:
+                result_value = func(input_value)
+            compute_wall = time.perf_counter() - compute_start
+            self.clock.charge_compute(compute_wall, native_factor)
         return result_value, compute_wall / native_factor
 
     def _protect_put(
@@ -576,8 +694,10 @@ class DedupRuntime:
         """The runtime's full observability export: every RuntimeStats
         counter plus the in-flight PUT state only the runtime can see."""
         snap = self.stats.snapshot()
-        snap["pending_puts"] = self.pending_put_count
-        snap["puts_unacknowledged"] = self.puts_unacknowledged
+        snap["pending_puts"] = snap["runtime.pending_puts"] = self.pending_put_count
+        snap["puts_unacknowledged"] = snap["runtime.puts_unacknowledged"] = (
+            self.puts_unacknowledged
+        )
         if self.l1_cache is not None:
-            snap["l1_entries"] = len(self.l1_cache)
+            snap["l1_entries"] = snap["runtime.l1_entries"] = len(self.l1_cache)
         return snap

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..obs.metrics import namespaced
+
 
 @dataclass(frozen=True)
 class CallRecord:
@@ -77,16 +79,24 @@ class RuntimeStats:
     def total_sim_seconds(self) -> float:
         return sum(r.sim_seconds for r in self.records)
 
+    #: Legacy snapshot keys whose spelling was inconsistent (mixed
+    #: tense/units) and their normalized ``runtime.<metric>`` names.
+    _RENAMES = {
+        "total_wall_seconds": "wall_seconds_total",
+        "total_sim_seconds": "sim_seconds_total",
+    }
+
     def snapshot(self) -> dict:
         """One flat dict with every counter plus the derived aggregates.
 
         This is the single structure observability consumers (the cluster
-        bench, examples, future exporters) read, instead of picking
-        attributes off the dataclass one by one.  The per-call records
-        list is deliberately excluded — a snapshot is cheap and
-        JSON-ready.
+        bench, examples, the MetricsRegistry) read, instead of picking
+        attributes off the dataclass one by one.  Canonical keys are
+        ``runtime.<metric>``; the historical un-namespaced keys remain as
+        aliases for one release.  The per-call records list is
+        deliberately excluded — a snapshot is cheap and JSON-ready.
         """
-        return {
+        return namespaced("runtime", {
             "calls": self.calls,
             "hits": self.hits,
             "misses": self.misses,
@@ -100,4 +110,4 @@ class RuntimeStats:
             "hit_rate": self.hit_rate(),
             "total_wall_seconds": self.total_wall_seconds(),
             "total_sim_seconds": self.total_sim_seconds(),
-        }
+        }, renames=self._RENAMES)

@@ -12,6 +12,7 @@ scaled-out variant — one application machine talking to an N-shard
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from .cluster import ClusterConfig, StoreCluster
@@ -21,6 +22,7 @@ from .core.runtime import DedupRuntime, RuntimeConfig
 from .core.serialization import Parser
 from .errors import SpeedError
 from .net.transport import FaultInjector, Network
+from .obs.tracer import NULL_TRACER
 from .sgx.attestation import AttestationService
 from .sgx.cost_model import CostParams
 from .sgx.enclave import Enclave
@@ -64,8 +66,19 @@ class Deployment:
         epc_usable_bytes: int | None = None,
         fault_injector: FaultInjector | None = None,
         attestation_service: AttestationService | None = None,
+        tracer=NULL_TRACER,
+        _warn: bool = True,
     ):
+        if _warn:
+            warnings.warn(
+                "constructing Deployment directly is deprecated; use "
+                "repro.connect() — it wires the same topology plus the "
+                "session-wide tracer and metrics registry",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self.attestation = attestation_service or AttestationService()
+        self.tracer = NULL_TRACER if tracer is None else tracer
         platform_kwargs = {}
         if epc_usable_bytes is not None:
             platform_kwargs["epc_usable_bytes"] = epc_usable_bytes
@@ -80,6 +93,7 @@ class Deployment:
         self.store = ResultStore(
             self.platform, self.network, address=f"resultstore@{machine}",
             config=store_config, seed=seed + b"/store",
+            tracer=self.tracer,
         )
         self._apps: dict[str, Application] = {}
 
@@ -103,7 +117,9 @@ class Deployment:
             app_enclave=enclave if self.store.config.use_sgx else None,
         )
         config = runtime_config or RuntimeConfig(app_id=name)
-        runtime = DedupRuntime(enclave, client, libraries, config=config)
+        runtime = DedupRuntime(
+            enclave, client, libraries, config=config, tracer=self.tracer
+        )
         app = Application(name=name, enclave=enclave, runtime=runtime)
         self._apps[name] = app
         return app
@@ -138,8 +154,19 @@ class ClusterDeployment:
         shard_epc_usable_bytes: int | None = None,
         fault_injector: FaultInjector | None = None,
         attestation_service: AttestationService | None = None,
+        tracer=NULL_TRACER,
+        _warn: bool = True,
     ):
+        if _warn:
+            warnings.warn(
+                "constructing ClusterDeployment directly is deprecated; use "
+                "repro.connect(shards=...) — it wires the same topology plus "
+                "the session-wide tracer and metrics registry",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self.attestation = attestation_service or AttestationService()
+        self.tracer = NULL_TRACER if tracer is None else tracer
         platform_kwargs = {}
         if epc_usable_bytes is not None:
             platform_kwargs["epc_usable_bytes"] = epc_usable_bytes
@@ -163,6 +190,7 @@ class ClusterDeployment:
             ),
             seed=seed + b"/cluster",
             cost_params=cost_params,
+            tracer=self.tracer,
         )
         self._apps: dict[str, Application] = {}
 
@@ -184,7 +212,9 @@ class ClusterDeployment:
         enclave = self.platform.create_enclave(name, code_identity)
         router = self.cluster.connect(name, enclave)
         config = runtime_config or RuntimeConfig(app_id=name)
-        runtime = DedupRuntime(enclave, router, libraries, config=config)
+        runtime = DedupRuntime(
+            enclave, router, libraries, config=config, tracer=self.tracer
+        )
         app = Application(name=name, enclave=enclave, runtime=runtime)
         self._apps[name] = app
         return app

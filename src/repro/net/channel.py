@@ -23,6 +23,7 @@ from ..crypto.drbg import HmacDrbg
 from ..crypto.gcm import AesGcm
 from ..crypto.hashes import sha256
 from ..errors import ChannelError, IntegrityError
+from ..obs.tracer import NULL_TRACER
 from ..sgx.cost_model import SimClock
 from ..sgx.enclave import Enclave
 from ..sgx.measurement import Measurement
@@ -45,6 +46,10 @@ class ChannelEndpoint:
         self._label = label
         self._send_seq = 0
         self._recv_seq = 0
+        # Observability: a Session points this at its shared tracer so
+        # every seal/open shows up as a channel.encrypt/decrypt span.
+        self.tracer = NULL_TRACER
+        self.trace_clock = clock
 
     @property
     def records_protected(self) -> int:
@@ -56,13 +61,15 @@ class ChannelEndpoint:
 
     def protect(self, payload: bytes) -> bytes:
         """Seal one record; output is ``seq(8) || tag(16) || ciphertext``."""
-        seq = self._send_seq
-        self._send_seq += 1
-        self._clock.charge_aead_encrypt(len(payload))
-        ct, tag = self._send.encrypt(
-            self._iv(self._label, seq), payload, aad=b"speed/record" + seq.to_bytes(8, "big")
-        )
-        return seq.to_bytes(8, "big") + tag + ct
+        with self.tracer.span("channel.encrypt", clock=self.trace_clock, bytes=len(payload)):
+            seq = self._send_seq
+            self._send_seq += 1
+            self._clock.charge_aead_encrypt(len(payload))
+            ct, tag = self._send.encrypt(
+                self._iv(self._label, seq), payload,
+                aad=b"speed/record" + seq.to_bytes(8, "big"),
+            )
+            return seq.to_bytes(8, "big") + tag + ct
 
     def unprotect(self, record: bytes) -> bytes:
         """Open one record, enforcing monotonic sequencing.
@@ -73,22 +80,25 @@ class ChannelEndpoint:
         may legitimately skip numbers it spent on messages that were
         lost before reaching us).
         """
-        if len(record) < 24:
-            raise ChannelError("record too short")
-        seq = int.from_bytes(record[:8], "big")
-        if seq < self._recv_seq:
-            raise ChannelError(f"record replayed or stale: got {seq}, want >= {self._recv_seq}")
-        tag, ct = record[8:24], record[24:]
-        self._clock.charge_aead_decrypt(len(ct))
-        try:
-            payload = self._recv.decrypt(
-                self._iv(self._label ^ 1, seq), ct, tag,
-                aad=b"speed/record" + seq.to_bytes(8, "big"),
-            )
-        except IntegrityError as exc:
-            raise ChannelError("record authentication failed") from exc
-        self._recv_seq = seq + 1
-        return payload
+        with self.tracer.span("channel.decrypt", clock=self.trace_clock, bytes=len(record)):
+            if len(record) < 24:
+                raise ChannelError("record too short")
+            seq = int.from_bytes(record[:8], "big")
+            if seq < self._recv_seq:
+                raise ChannelError(
+                    f"record replayed or stale: got {seq}, want >= {self._recv_seq}"
+                )
+            tag, ct = record[8:24], record[24:]
+            self._clock.charge_aead_decrypt(len(ct))
+            try:
+                payload = self._recv.decrypt(
+                    self._iv(self._label ^ 1, seq), ct, tag,
+                    aad=b"speed/record" + seq.to_bytes(8, "big"),
+                )
+            except IntegrityError as exc:
+                raise ChannelError("record authentication failed") from exc
+            self._recv_seq = seq + 1
+            return payload
 
 
 class NullChannelEndpoint(ChannelEndpoint):
@@ -102,6 +112,8 @@ class NullChannelEndpoint(ChannelEndpoint):
     def __init__(self):  # noqa: D107 - intentionally skips parent init
         self._send_seq = 0
         self._recv_seq = 0
+        self.tracer = NULL_TRACER
+        self.trace_clock = None
 
     def protect(self, payload: bytes) -> bytes:
         seq = self._send_seq

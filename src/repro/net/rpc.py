@@ -42,6 +42,7 @@ from .messages import (
 )
 from .transport import Endpoint
 from ..errors import ProtocolError, TransportError
+from ..obs.tracer import NULL_TRACER
 
 
 class RpcServer:
@@ -97,11 +98,20 @@ class RpcServer:
 class RpcClient:
     """Synchronous caller; also supports fire-and-forget sends."""
 
-    def __init__(self, endpoint: Endpoint, channel: ChannelEndpoint, server_address: str):
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        channel: ChannelEndpoint,
+        server_address: str,
+        tracer=NULL_TRACER,
+        clock=None,
+    ):
         self._endpoint = endpoint
         self._channel = channel
         self._server_address = server_address
         self._next_request_id = 1
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        self.clock = clock
         # Responses addressed to one-way sends that arrived while a sync
         # call was scanning the inbox; surfaced by drain_responses().
         self._stray_responses: list[Message] = []
@@ -141,22 +151,26 @@ class RpcClient:
         could not even parse the offending request, so it could not echo
         an id) is surfaced to this caller.
         """
-        request_id = self._fresh_request_id()
-        self._send(with_request_id(request, request_id))
-        while self._endpoint.pending():
-            response = self._recv_one()
-            if response.request_id == request_id:
-                if isinstance(response, ErrorMessage):
+        with self.tracer.span(
+            "rpc.call", clock=self.clock,
+            message=type(request).__name__, server=self._server_address,
+        ):
+            request_id = self._fresh_request_id()
+            self._send(with_request_id(request, request_id))
+            while self._endpoint.pending():
+                response = self._recv_one()
+                if response.request_id == request_id:
+                    if isinstance(response, ErrorMessage):
+                        raise ProtocolError(
+                            f"server error {response.code}: {response.detail}"
+                        )
+                    return response
+                if isinstance(response, ErrorMessage) and response.request_id == 0:
                     raise ProtocolError(
                         f"server error {response.code}: {response.detail}"
                     )
-                return response
-            if isinstance(response, ErrorMessage) and response.request_id == 0:
-                raise ProtocolError(
-                    f"server error {response.code}: {response.detail}"
-                )
-            self._stray_responses.append(response)
-        raise TransportError("no response arrived (server reactor not attached?)")
+                self._stray_responses.append(response)
+            raise TransportError("no response arrived (server reactor not attached?)")
 
     def call_batch(self, requests: Sequence[Message]) -> list[Message]:
         """Issue a uniform batch of GETs or PUTs under one channel record.
@@ -193,15 +207,23 @@ class RpcClient:
         """Fire-and-forget (used by the asynchronous PUT path); returns the
         assigned correlation id so the caller can match the eventual
         response from :meth:`drain_responses`."""
-        request_id = self._fresh_request_id()
-        self._send(with_request_id(request, request_id))
-        return request_id
+        with self.tracer.span(
+            "rpc.send", clock=self.clock,
+            message=type(request).__name__, server=self._server_address,
+        ):
+            request_id = self._fresh_request_id()
+            self._send(with_request_id(request, request_id))
+            return request_id
 
     def send_oneway_batch(self, requests: Sequence[PutRequest]) -> int:
         """Fire-and-forget an entire PUT batch as one channel record."""
-        request_id = self._fresh_request_id()
-        self._send(with_request_id(BatchPutRequest(items=tuple(requests)), request_id))
-        return request_id
+        with self.tracer.span(
+            "rpc.send", clock=self.clock,
+            message="BatchPutRequest", server=self._server_address, items=len(requests),
+        ):
+            request_id = self._fresh_request_id()
+            self._send(with_request_id(BatchPutRequest(items=tuple(requests)), request_id))
+            return request_id
 
     def drain_responses(self) -> list[Message]:
         """Collect any responses to one-way sends (off the critical path).

@@ -1,0 +1,148 @@
+"""Exporters: span trees and metrics as JSON lines or human tables.
+
+Two audiences:
+
+* machines — :func:`spans_to_jsonl` / :func:`write_spans_jsonl` emit one
+  JSON object per span, and :func:`phase_breakdown` aggregates any span
+  list into the per-phase latency dict the benchmark JSON embeds;
+* humans — :func:`format_trace` renders a parent/child-indented table
+  of one trace, :func:`format_phase_breakdown` and
+  :func:`format_metrics` render aligned counter tables.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Mapping, Sequence
+
+from .tracer import Span, SpanNode, build_tree
+
+
+def spans_to_jsonl(spans: Sequence[Span]) -> str:
+    """One JSON object per line per span, in the given order."""
+    return "".join(json.dumps(span.to_dict(), sort_keys=True) + "\n" for span in spans)
+
+
+def write_spans_jsonl(spans: Sequence[Span], path: str | pathlib.Path) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(spans_to_jsonl(spans))
+    return path
+
+
+def phase_breakdown(spans: Sequence[Span]) -> dict[str, dict]:
+    """Aggregate a span list per phase name.
+
+    Same shape as :meth:`~repro.obs.tracer.Tracer.phase_breakdown`, but
+    computed from an explicit list (e.g. one trace, or the spans between
+    two benchmark marks).
+    """
+    totals: dict[str, list] = {}
+    for span in spans:
+        entry = totals.setdefault(span.name, [0, 0.0, 0.0, 0])
+        entry[0] += 1
+        entry[1] += span.wall_seconds
+        entry[2] += span.sim_seconds
+        if span.status != "ok":
+            entry[3] += 1
+    return {
+        name: {
+            "count": entry[0],
+            "wall_seconds": entry[1],
+            "sim_seconds": entry[2],
+            "errors": entry[3],
+        }
+        for name, entry in sorted(totals.items())
+    }
+
+
+def diff_breakdown(before: Mapping[str, dict], after: Mapping[str, dict]) -> dict[str, dict]:
+    """Per-phase delta between two :meth:`Tracer.phase_breakdown` reads
+    (used to attribute cumulative totals to one benchmark row)."""
+    out: dict[str, dict] = {}
+    for name, totals in after.items():
+        base = before.get(name, {})
+        delta = {
+            key: totals[key] - base.get(key, 0 if key in ("count", "errors") else 0.0)
+            for key in ("count", "wall_seconds", "sim_seconds", "errors")
+        }
+        if delta["count"] or delta["errors"]:
+            out[name] = delta
+    return out
+
+
+def _format_rows(headers: list[str], rows: list[list[str]], title: str | None) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def _attr_summary(span: Span, limit: int = 48) -> str:
+    parts = []
+    for key, value in span.attrs.items():
+        if isinstance(value, bytes):
+            value = value[:4].hex() + "…"
+        parts.append(f"{key}={value}")
+    text = " ".join(parts)
+    return text if len(text) <= limit else text[: limit - 1] + "…"
+
+
+def format_trace(spans: Sequence[Span], title: str | None = None) -> str:
+    """Render one trace as an indented span table.
+
+    Indentation follows parent/child links; durations are shown in both
+    simulated and wall milliseconds.
+    """
+    rows: list[list[str]] = []
+
+    def walk(node: SpanNode, depth: int) -> None:
+        span = node.span
+        rows.append([
+            "  " * depth + span.name,
+            f"{span.sim_seconds * 1e3:.3f}",
+            f"{span.wall_seconds * 1e3:.3f}",
+            span.status,
+            _attr_summary(span),
+        ])
+        for child in node.children:
+            walk(child, depth + 1)
+
+    for root in build_tree(list(spans)):
+        walk(root, 0)
+    return _format_rows(["span", "sim ms", "wall ms", "status", "attrs"], rows, title)
+
+
+def format_phase_breakdown(breakdown: Mapping[str, dict], title: str | None = None) -> str:
+    rows = [
+        [
+            name,
+            str(entry["count"]),
+            f"{entry['sim_seconds'] * 1e3:.3f}",
+            f"{entry['wall_seconds'] * 1e3:.3f}",
+            f"{entry['sim_seconds'] / entry['count'] * 1e6:.1f}" if entry["count"] else "-",
+            str(entry["errors"]),
+        ]
+        for name, entry in breakdown.items()
+    ]
+    return _format_rows(
+        ["phase", "count", "sim ms", "wall ms", "sim us/op", "errors"],
+        rows, title or "Per-phase latency breakdown",
+    )
+
+
+def format_metrics(snapshot: Mapping[str, float], title: str | None = None) -> str:
+    rows = []
+    for key in sorted(snapshot):
+        value = snapshot[key]
+        rows.append([key, f"{value:.6g}" if isinstance(value, float) else str(value)])
+    return _format_rows(["metric", "value"], rows, title or "Metrics")

@@ -1,0 +1,351 @@
+"""The unified public entry point: :func:`connect` / :class:`Session`.
+
+Historically every caller hand-assembled the topology — a platform, a
+network, a :class:`~repro.deployment.Deployment` or
+:class:`~repro.deployment.ClusterDeployment`, an application, parsers,
+and (since this release) a tracer and a metrics registry.  A
+:class:`Session` packages all of it behind one object::
+
+    import repro
+
+    session = repro.connect()                       # single-store machine
+    session = repro.connect(shards=4, replication_factor=2)  # sharded
+
+    @session.mark(version="1.0")
+    def normalize(data: bytes) -> bytes:
+        ...
+
+    normalize(payload)            # deduplicated call, as normal
+    print(session.trace_table())  # the call's connected span tree
+    print(session.to_json())      # every component's counters, one dict
+
+The session owns one :class:`~repro.obs.Tracer` and threads it through
+the runtime, the application enclave, both channel endpoints, the router
+(in cluster mode), and every store shard — so a single
+:meth:`Session.execute` yields one connected span tree covering tag
+derivation, enclave transitions, channel crypto, RPC, shard routing, and
+store metadata/blob access.  It also owns one
+:class:`~repro.obs.MetricsRegistry` with every component's stats
+registered as live sources, unifying the historical per-component
+``snapshot()`` shapes behind one ``snapshot()``/``to_json()`` contract.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from .cluster.router import ClusterRouter
+from .core.decorator import deduplicable_marker
+from .core.deduplicable import Deduplicable
+from .core.description import FunctionDescription, TrustedLibrary, TrustedLibraryRegistry
+from .core.runtime import DedupResult, RuntimeConfig
+from .core.serialization import Parser
+from .deployment import Application, ClusterDeployment, Deployment
+from .errors import SpeedError
+from .obs.exporters import format_phase_breakdown, format_trace
+from .obs.metrics import MetricsRegistry, strip_aliases
+from .obs.tracer import NULL_TRACER, SlowCall, Span, SpanNode, Tracer
+from .sgx.cost_model import CostParams
+from .store.resultstore import StoreConfig
+
+
+def connect(
+    *,
+    shards: int = 0,
+    replication_factor: int = 2,
+    app_name: str = "app",
+    machine: str | None = None,
+    libraries: TrustedLibraryRegistry | None = None,
+    seed: bytes = b"speed-session",
+    attestation_service: Any = None,
+    store_config: StoreConfig | None = None,
+    runtime_config: RuntimeConfig | None = None,
+    cost_params: CostParams | None = None,
+    vnodes: int = 32,
+    epc_usable_bytes: int | None = None,
+    shard_epc_usable_bytes: int | None = None,
+    tracing: bool = True,
+    max_spans: int = 50_000,
+    slow_sim_threshold_s: float | None = None,
+    slow_wall_threshold_s: float | None = None,
+) -> "Session":
+    """Assemble a full SPEED deployment and return its :class:`Session`.
+
+    ``shards=0`` (the default) wires the paper's Fig. 1 single-machine
+    topology: one simulated SGX machine running the application and the
+    ResultStore.  ``shards >= 1`` wires the scaled-out topology instead:
+    one application machine in front of an N-shard cluster with
+    ``replication_factor`` copies of every entry.
+
+    ``tracing=False`` swaps the tracer for the no-op
+    :data:`~repro.obs.NULL_TRACER` (metrics sources stay live).
+
+    ``machine`` names the application machine, and a shared
+    ``attestation_service`` lets several sessions attest each other's
+    enclaves (the cross-machine replication story); both default to the
+    deployment's own defaults when omitted.
+    """
+    tracer: Tracer | Any
+    if tracing:
+        tracer = Tracer(
+            max_spans=max_spans,
+            slow_sim_threshold_s=slow_sim_threshold_s,
+            slow_wall_threshold_s=slow_wall_threshold_s,
+        )
+    else:
+        tracer = NULL_TRACER
+    libraries = libraries or TrustedLibraryRegistry()
+    extra: dict[str, Any] = {}
+    if machine is not None:
+        extra["machine"] = machine
+    if attestation_service is not None:
+        extra["attestation_service"] = attestation_service
+
+    if shards <= 0:
+        deployment: Deployment | ClusterDeployment = Deployment(
+            seed=seed,
+            store_config=store_config,
+            cost_params=cost_params,
+            epc_usable_bytes=epc_usable_bytes,
+            tracer=tracer,
+            _warn=False,
+            **extra,
+        )
+    else:
+        deployment = ClusterDeployment(
+            seed=seed,
+            n_shards=shards,
+            replication_factor=replication_factor,
+            vnodes=vnodes,
+            store_config=store_config,
+            cost_params=cost_params,
+            epc_usable_bytes=epc_usable_bytes,
+            shard_epc_usable_bytes=shard_epc_usable_bytes,
+            tracer=tracer,
+            _warn=False,
+            **extra,
+        )
+    app = deployment.create_application(app_name, libraries, runtime_config)
+    return Session(deployment, app, tracer)
+
+
+class Session:
+    """One connected application plus its observability surface."""
+
+    def __init__(
+        self,
+        deployment: "Deployment | ClusterDeployment",
+        app: Application,
+        tracer: "Tracer | Any" = NULL_TRACER,
+    ):
+        self.deployment = deployment
+        self.app = app
+        self.runtime = app.runtime
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        self.metrics = MetricsRegistry()
+        self._deduplicables: dict[FunctionDescription, Deduplicable] = {}
+        self._mark = deduplicable_marker(app)
+        self.metrics.register_source("runtime", self.runtime.snapshot)
+        if isinstance(deployment, ClusterDeployment):
+            router = self.runtime.client
+            if isinstance(router, ClusterRouter):
+                self.metrics.register_source("router", router.stats.snapshot)
+            for shard_id, node in sorted(deployment.cluster.shards.items()):
+                self.metrics.register_source(
+                    f"store.{shard_id}", self._shard_source(node.store)
+                )
+        else:
+            self.metrics.register_source(
+                "store", deployment.store.stats.snapshot
+            )
+
+    @staticmethod
+    def _shard_source(store) -> Callable[[], dict]:
+        """Per-shard metrics source: strip legacy aliases and the generic
+        ``store.`` prefix so the registry re-homes the counters under
+        ``store.<shard_id>.<metric>``."""
+        def read() -> dict:
+            return {
+                key.split(".", 1)[1]: value
+                for key, value in strip_aliases(store.stats.snapshot()).items()
+            }
+        return read
+
+    def sibling(
+        self,
+        app_name: str,
+        libraries: TrustedLibraryRegistry | None = None,
+        runtime_config: RuntimeConfig | None = None,
+    ) -> "Session":
+        """A second application on this session's deployment.
+
+        This is the paper's cross-application story: the sibling gets its
+        own enclave and runtime but shares the store (or cluster), the
+        attestation service, and the tracer — so results one application
+        computes are hits for the other, and both show up in one trace.
+        By default the sibling shares this session's library registry.
+        """
+        libraries = libraries if libraries is not None else self.runtime.libraries
+        app = self.deployment.create_application(
+            app_name, libraries, runtime_config
+        )
+        return Session(self.deployment, app, self.tracer)
+
+    # -- registration ---------------------------------------------------------
+    def register(self, library: TrustedLibrary) -> "Session":
+        """Register a trusted library with the application runtime."""
+        self.runtime.libraries.register(library)
+        return self
+
+    def mark(
+        self,
+        version: str = "0.0",
+        signature: str | None = None,
+        input_parser: Parser | None = None,
+        result_parser: Parser | None = None,
+        native_factor: float = 1.0,
+    ) -> Callable[[Callable], Callable]:
+        """Decorator marking a self-defined function as deduplicable
+        (the :func:`~repro.core.decorator.deduplicable_marker` front end
+        bound to this session's application)."""
+        return self._mark(
+            version=version,
+            signature=signature,
+            input_parser=input_parser,
+            result_parser=result_parser,
+            native_factor=native_factor,
+        )
+
+    def deduplicable(
+        self,
+        description: FunctionDescription,
+        input_parser: Parser | None = None,
+        result_parser: Parser | None = None,
+        native_factor: float = 1.0,
+    ) -> Deduplicable:
+        """The Deduplicable version of a registered function (cached per
+        description when no custom parsers are supplied)."""
+        custom = (
+            input_parser is not None
+            or result_parser is not None
+            or native_factor != 1.0
+        )
+        if not custom and description in self._deduplicables:
+            return self._deduplicables[description]
+        dedup = self.app.deduplicable(
+            description,
+            input_parser=input_parser,
+            result_parser=result_parser,
+            native_factor=native_factor,
+        )
+        if not custom:
+            self._deduplicables[description] = dedup
+        return dedup
+
+    # -- execution ------------------------------------------------------------
+    def execute(self, description: FunctionDescription, *args: Any) -> Any:
+        """Run one deduplicated call of a registered function."""
+        return self.deduplicable(description)(*args)
+
+    def execute_result(
+        self, description: FunctionDescription, *args: Any
+    ) -> DedupResult:
+        """Like :meth:`execute`, returning the full
+        :class:`~repro.core.runtime.DedupResult`."""
+        return self.deduplicable(description).call_result(*args)
+
+    def execute_many(
+        self, description: FunctionDescription, inputs: Sequence[Any]
+    ) -> list[Any]:
+        """Run a batch under one enclave entry (see
+        :meth:`~repro.core.runtime.DedupRuntime.execute_many`)."""
+        return self.deduplicable(description).map(inputs)
+
+    def execute_many_results(
+        self, description: FunctionDescription, inputs: Sequence[Any]
+    ) -> list[DedupResult]:
+        return self.deduplicable(description).map_results(inputs)
+
+    def flush_puts(self) -> int:
+        """Drain the asynchronous PUT queue off the critical path."""
+        return self.runtime.flush_puts()
+
+    # -- topology -------------------------------------------------------------
+    @property
+    def is_cluster(self) -> bool:
+        return isinstance(self.deployment, ClusterDeployment)
+
+    @property
+    def cluster(self):
+        """The shard cluster (cluster sessions only)."""
+        if not self.is_cluster:
+            raise SpeedError("this session runs a single store, not a cluster")
+        return self.deployment.cluster
+
+    @property
+    def store(self):
+        """The single ResultStore (non-cluster sessions only)."""
+        if self.is_cluster:
+            raise SpeedError("this session runs a cluster; use .cluster")
+        return self.deployment.store
+
+    @property
+    def clock(self):
+        """The application machine's simulated clock."""
+        return self.deployment.clock
+
+    @property
+    def platform(self):
+        """The application machine's simulated SGX platform."""
+        return self.deployment.platform
+
+    @property
+    def enclave(self):
+        """This application's enclave."""
+        return self.app.enclave
+
+    @property
+    def stats(self):
+        """This application's runtime counters (RuntimeStats)."""
+        return self.runtime.stats
+
+    def kill_shard(self, shard_id: str) -> None:
+        self.cluster.kill_shard(shard_id)
+
+    def revive_shard(self, shard_id: str) -> None:
+        self.cluster.revive_shard(shard_id)
+
+    # -- observability ---------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Every component's counters, one flat canonical dict."""
+        return self.metrics.snapshot()
+
+    def to_json(self, indent: int | None = None) -> str:
+        return self.metrics.to_json(indent=indent)
+
+    def last_trace(self) -> list[Span]:
+        """All spans of the most recent traced request."""
+        return self.tracer.last_trace() if self.tracer.enabled else []
+
+    def trace_tree(self) -> list[SpanNode]:
+        """Parent/child-linked roots of the most recent trace."""
+        return self.tracer.tree() if self.tracer.enabled else []
+
+    def trace_table(self, title: str | None = None) -> str:
+        """The most recent trace as an indented human-readable table."""
+        return format_trace(self.last_trace(), title=title)
+
+    def phase_breakdown(self) -> dict:
+        """Cumulative per-phase latency totals (wall + simulated)."""
+        return self.tracer.phase_breakdown() if self.tracer.enabled else {}
+
+    def phase_table(self, title: str | None = None) -> str:
+        return format_phase_breakdown(self.phase_breakdown(), title=title)
+
+    def slow_calls(self) -> list[SlowCall]:
+        """The slow-call log (spans over the configured thresholds)."""
+        return list(self.tracer.slow_log) if self.tracer.enabled else []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "cluster" if self.is_cluster else "single-store"
+        return f"<Session app={self.app.name!r} {kind}>"

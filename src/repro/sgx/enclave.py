@@ -23,6 +23,7 @@ from .measurement import Measurement
 from .sealing import SealedBlob, SealPolicy, seal_data, unseal_data
 from ..crypto.drbg import HmacDrbg
 from ..errors import EnclaveError
+from ..obs.tracer import NULL_TRACER
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .platform import SgxPlatform
@@ -37,13 +38,26 @@ class _Transition:
         self._name = name
         self._in_bytes = in_bytes
         self._out_bytes = out_bytes
+        self._span = None
 
     def __enter__(self):
+        tracer = self._enclave.tracer
+        if tracer.enabled:
+            self._span = tracer.span(
+                f"sgx.{self._kind}",
+                clock=self._enclave.platform.clock,
+                op=self._name,
+                enclave=self._enclave.name,
+            )
+            self._span.__enter__()
         self._enclave._enter_transition(self._kind, self._name, self._in_bytes)
         return self
 
     def __exit__(self, exc_type, exc, tb):
         self._enclave._exit_transition(self._kind, self._out_bytes)
+        if self._span is not None:
+            self._span.__exit__(exc_type, exc, tb)
+            self._span = None
         return False
 
 
@@ -67,6 +81,9 @@ class Enclave:
         self._destroyed = False
         self.ecall_count = 0
         self.ocall_count = 0
+        # Observability: a Session points this at its shared tracer so
+        # boundary crossings surface as sgx.ecall/sgx.ocall spans.
+        self.tracer = NULL_TRACER
 
     # -- boundary --------------------------------------------------------
     @property

@@ -22,6 +22,8 @@ from .quota import QuotaManager, QuotaPolicy
 from ..crypto.drbg import HmacDrbg
 from ..crypto.hashes import DIGEST_SIZE
 from ..errors import ProtocolError, QuotaExceededError, StoreError
+from ..obs.metrics import namespaced
+from ..obs.tracer import NULL_TRACER
 from ..net.channel import (
     ChannelEndpoint,
     NullChannelEndpoint,
@@ -95,9 +97,20 @@ class StoreStats:
     def hit_rate(self) -> float:
         return self.hits / self.gets if self.gets else 0.0
 
+    #: Legacy keys with inconsistent spelling and their normalized
+    #: ``store.<metric>`` names.
+    _RENAMES = {
+        "puts_duplicate": "puts_duplicated",
+        "tamper_detected": "tampers_detected",
+    }
+
     def snapshot(self) -> dict:
-        """Flat, JSON-ready counter export (mirrors RuntimeStats.snapshot)."""
-        return {
+        """Flat, JSON-ready counter export (mirrors RuntimeStats.snapshot).
+
+        Canonical keys are ``store.<metric>``; the historical
+        un-namespaced keys remain as aliases for one release.
+        """
+        return namespaced("store", {
             "gets": self.gets,
             "hits": self.hits,
             "puts": self.puts,
@@ -106,7 +119,7 @@ class StoreStats:
             "evictions": self.evictions,
             "tamper_detected": self.tamper_detected,
             "hit_rate": self.hit_rate(),
-        }
+        }, renames=self._RENAMES)
 
 
 def plain_channel_pair(clock, seed: bytes) -> tuple[ChannelEndpoint, ChannelEndpoint]:
@@ -133,17 +146,23 @@ class ResultStore:
         address: str = "resultstore",
         config: StoreConfig | None = None,
         seed: bytes = b"resultstore-seed",
+        tracer=NULL_TRACER,
     ):
         self.platform = platform
         self.network = network
         self.address = address
         self.config = config or StoreConfig()
+        # Observability: store-side spans are recorded on this machine's
+        # clock; the enclave inherits the tracer so its ECALL/OCALL
+        # transitions appear in the same trace.
+        self.tracer = NULL_TRACER if tracer is None else tracer
         self.endpoint = network.endpoint(address, platform.clock)
         self.enclave: Enclave | None = None
         if self.config.use_sgx:
             self.enclave = platform.create_enclave(
                 f"resultstore@{address}", STORE_CODE_IDENTITY, signer=STORE_SIGNER
             )
+            self.enclave.tracer = self.tracer
         if self.config.oblivious_metadata:
             self._dict: MetadataDict | ObliviousMetadataDict = ObliviousMetadataDict(
                 capacity=self.config.oblivious_capacity,
@@ -216,8 +235,17 @@ class ResultStore:
             # Fig. 6 "w/o SGX": the paper runs the same operations fully
             # outside enclaves, so no protected channel exists.
             client_chan, server_chan = null_channel_pair()
+        # Channel crypto spans: the server side is charged to this
+        # machine's clock, the client side to the application's.
+        server_chan.tracer = self.tracer
+        server_chan.trace_clock = self.platform.clock
+        client_chan.tracer = self.tracer
+        client_chan.trace_clock = client_clock
         self._channels[client_address] = server_chan
-        return RpcClient(endpoint, client_chan, self.address)
+        return RpcClient(
+            endpoint, client_chan, self.address,
+            tracer=self.tracer, clock=client_clock,
+        )
 
     # -- reactor -------------------------------------------------------------
     def pump(self) -> None:
@@ -245,7 +273,8 @@ class ResultStore:
             try:
                 response = self._dispatch(request)
             except QuotaExceededError as exc:
-                response = PutResponse(accepted=False, reason=str(exc))
+                # Machine-readable code first, human detail after.
+                response = PutResponse(accepted=False, reason=f"{exc.code}: {exc}")
             except Exception as exc:
                 response = ErrorMessage(code=500, detail=str(exc))
         return channel.protect(encode_message(with_request_id(response, request_id)))
@@ -270,75 +299,93 @@ class ResultStore:
 
     # -- GET -----------------------------------------------------------------
     def _handle_get(self, request: GetRequest) -> GetResponse:
-        self.stats.gets += 1
-        if len(request.tag) != DIGEST_SIZE:
-            raise ProtocolError(f"tag must be {DIGEST_SIZE} bytes")
-        entry = self._dict.get(request.tag, touch=self._touch)
-        if entry is None:
-            return GetResponse(found=False)
-        sealed = self._blobs.get(entry.blob_ref)
-        if self.config.blobs_in_epc:
-            extent = self._epc_blob_extents.get(entry.blob_ref)
-            if extent is not None:
-                self._touch("store/blobs", extent[0], extent[1])
-        else:
-            # Copying the ciphertext across the enclave boundary.
-            self.platform.clock.charge_marshal(len(sealed))
-        if self.config.verify_blob_digest:
-            self.platform.clock.charge_hash(len(sealed))
-            if blob_digest(sealed) != entry.blob_digest:
-                # Untrusted memory was modified: drop the poisoned entry and
-                # let the application recompute (fail-safe, §III-D).
-                self.stats.tamper_detected += 1
-                self._evict_entry(entry)
+        with self.tracer.span("store.get", clock=self.platform.clock) as get_span:
+            self.stats.gets += 1
+            if len(request.tag) != DIGEST_SIZE:
+                raise ProtocolError(f"tag must be {DIGEST_SIZE} bytes")
+            with self.tracer.span("store.lookup", clock=self.platform.clock):
+                entry = self._dict.get(request.tag, touch=self._touch)
+            if entry is None:
+                get_span.set("found", False)
                 return GetResponse(found=False)
-        self.stats.hits += 1
-        return GetResponse(
-            found=True,
-            challenge=entry.challenge,
-            wrapped_key=entry.wrapped_key,
-            sealed_result=sealed,
-        )
+            with self.tracer.span("store.blob_read", clock=self.platform.clock) as read_span:
+                sealed = self._blobs.get(entry.blob_ref)
+                read_span.set("bytes", len(sealed))
+                if self.config.blobs_in_epc:
+                    extent = self._epc_blob_extents.get(entry.blob_ref)
+                    if extent is not None:
+                        self._touch("store/blobs", extent[0], extent[1])
+                else:
+                    # Copying the ciphertext across the enclave boundary.
+                    self.platform.clock.charge_marshal(len(sealed))
+                if self.config.verify_blob_digest:
+                    self.platform.clock.charge_hash(len(sealed))
+                    if blob_digest(sealed) != entry.blob_digest:
+                        # Untrusted memory was modified: drop the poisoned
+                        # entry and let the application recompute
+                        # (fail-safe, §III-D).
+                        self.stats.tamper_detected += 1
+                        self._evict_entry(entry)
+                        read_span.mark("tampered")
+                        get_span.set("found", False)
+                        return GetResponse(found=False)
+            self.stats.hits += 1
+            get_span.set("found", True)
+            return GetResponse(
+                found=True,
+                challenge=entry.challenge,
+                wrapped_key=entry.wrapped_key,
+                sealed_result=sealed,
+            )
 
     # -- PUT -----------------------------------------------------------------
     def _handle_put(self, request: PutRequest) -> PutResponse:
-        self.stats.puts += 1
-        if len(request.tag) != DIGEST_SIZE:
-            raise ProtocolError(f"tag must be {DIGEST_SIZE} bytes")
-        # Empty challenge/wrapped key = the single-key scheme of §III-B;
-        # the cross-application scheme always sends both.
-        if len(request.challenge) not in (0, CHALLENGE_SIZE):
-            raise ProtocolError(f"challenge must be empty or {CHALLENGE_SIZE} bytes")
-        if len(request.wrapped_key) not in (0, WRAPPED_KEY_SIZE):
-            raise ProtocolError(f"wrapped key must be empty or {WRAPPED_KEY_SIZE} bytes")
-        if request.tag in self._dict:
-            # Deterministic tags mean one ciphertext version suffices
-            # (§IV-B remark); the first stored version wins.
-            self.stats.puts_duplicate += 1
-            return PutResponse(accepted=True, reason="already stored")
-        size = len(request.sealed_result)
-        if self._quota is not None:
-            self._quota.admit_put(request.app_id, size)
-        self._make_room(size)
-        self.platform.clock.charge_hash(size)  # blob digest
-        ref = self._blobs.put(request.sealed_result)
-        if self.config.blobs_in_epc:
-            self._epc_blob_extents[ref] = (self._epc_blob_cursor, size)
-            self._touch("store/blobs", self._epc_blob_cursor, size)
-            self._epc_blob_cursor += size
-        else:
-            self.platform.clock.charge_marshal(size)  # ciphertext leaves the enclave
-        entry = MetadataEntry(
-            tag=request.tag,
-            challenge=request.challenge,
-            wrapped_key=request.wrapped_key,
-            blob_ref=ref,
-            blob_digest=blob_digest(request.sealed_result),
-            size=size,
-            app_id=request.app_id,
-        )
-        self._dict.put(entry, touch=self._touch)
-        return PutResponse(accepted=True)
+        with self.tracer.span("store.put", clock=self.platform.clock) as put_span:
+            self.stats.puts += 1
+            if len(request.tag) != DIGEST_SIZE:
+                raise ProtocolError(f"tag must be {DIGEST_SIZE} bytes")
+            # Empty challenge/wrapped key = the single-key scheme of §III-B;
+            # the cross-application scheme always sends both.
+            if len(request.challenge) not in (0, CHALLENGE_SIZE):
+                raise ProtocolError(f"challenge must be empty or {CHALLENGE_SIZE} bytes")
+            if len(request.wrapped_key) not in (0, WRAPPED_KEY_SIZE):
+                raise ProtocolError(f"wrapped key must be empty or {WRAPPED_KEY_SIZE} bytes")
+            with self.tracer.span("store.lookup", clock=self.platform.clock):
+                duplicate = request.tag in self._dict
+            if duplicate:
+                # Deterministic tags mean one ciphertext version suffices
+                # (§IV-B remark); the first stored version wins.
+                self.stats.puts_duplicate += 1
+                put_span.set("outcome", "duplicate")
+                return PutResponse(accepted=True, reason="already stored")
+            size = len(request.sealed_result)
+            if self._quota is not None:
+                self._quota.admit_put(request.app_id, size)
+            self._make_room(size)
+            with self.tracer.span(
+                "store.blob_write", clock=self.platform.clock, bytes=size
+            ):
+                self.platform.clock.charge_hash(size)  # blob digest
+                ref = self._blobs.put(request.sealed_result)
+                if self.config.blobs_in_epc:
+                    self._epc_blob_extents[ref] = (self._epc_blob_cursor, size)
+                    self._touch("store/blobs", self._epc_blob_cursor, size)
+                    self._epc_blob_cursor += size
+                else:
+                    # Ciphertext leaves the enclave.
+                    self.platform.clock.charge_marshal(size)
+            entry = MetadataEntry(
+                tag=request.tag,
+                challenge=request.challenge,
+                wrapped_key=request.wrapped_key,
+                blob_ref=ref,
+                blob_digest=blob_digest(request.sealed_result),
+                size=size,
+                app_id=request.app_id,
+            )
+            self._dict.put(entry, touch=self._touch)
+            put_span.set("outcome", "stored")
+            return PutResponse(accepted=True)
 
     # -- batch handlers -------------------------------------------------------
     # The whole batch is served inside the single ECALL that pump() opened
@@ -358,10 +405,8 @@ class ResultStore:
         for item in request.items:
             try:
                 results.append(self._handle_put(item))
-            except QuotaExceededError as exc:
-                results.append(PutResponse(accepted=False, reason=str(exc)))
-            except ProtocolError as exc:
-                results.append(PutResponse(accepted=False, reason=str(exc)))
+            except (QuotaExceededError, ProtocolError) as exc:
+                results.append(PutResponse(accepted=False, reason=f"{exc.code}: {exc}"))
         return BatchPutResponse(items=tuple(results))
 
     def _make_room(self, incoming: int) -> None:
@@ -375,7 +420,10 @@ class ResultStore:
             entries = self._dict.entries()
             if not entries:
                 raise StoreError("capacity too small for a single entry")
-            self._evict_entry(self._policy.select_victim(entries))
+            with self.tracer.span(
+                "store.evict", clock=self.platform.clock, policy=self.config.eviction
+            ):
+                self._evict_entry(self._policy.select_victim(entries))
             self.stats.evictions += 1
 
     def _evict_entry(self, entry: MetadataEntry) -> None:

@@ -1,0 +1,80 @@
+"""Unit tests for span/metric exporters (repro.obs.exporters)."""
+
+import json
+
+from repro.obs.exporters import (
+    diff_breakdown,
+    format_metrics,
+    format_phase_breakdown,
+    format_trace,
+    phase_breakdown,
+    spans_to_jsonl,
+    write_spans_jsonl,
+)
+from repro.obs.tracer import Tracer
+
+
+def _sample_spans():
+    tracer = Tracer()
+    with tracer.span("root", kind="demo"):
+        with tracer.span("child"):
+            pass
+        with tracer.span("child"):
+            pass
+    return tracer.spans()
+
+
+def test_spans_to_jsonl_one_object_per_span():
+    spans = _sample_spans()
+    lines = spans_to_jsonl(spans).strip().split("\n")
+    assert len(lines) == 3
+    decoded = [json.loads(line) for line in lines]
+    assert {d["name"] for d in decoded} == {"root", "child"}
+    root = next(d for d in decoded if d["name"] == "root")
+    assert root["parent_id"] is None
+    assert root["attrs"] == {"kind": "demo"}
+
+
+def test_write_spans_jsonl(tmp_path):
+    path = write_spans_jsonl(_sample_spans(), tmp_path / "out" / "trace.jsonl")
+    assert path.exists()
+    assert len(path.read_text().strip().split("\n")) == 3
+
+
+def test_phase_breakdown_aggregates_per_name():
+    breakdown = phase_breakdown(_sample_spans())
+    assert breakdown["child"]["count"] == 2
+    assert breakdown["root"]["count"] == 1
+    assert breakdown["root"]["errors"] == 0
+
+
+def test_diff_breakdown_reports_only_changed_phases():
+    before = {"get": {"count": 2, "wall_seconds": 1.0, "sim_seconds": 0.5, "errors": 0}}
+    after = {
+        "get": {"count": 5, "wall_seconds": 2.5, "sim_seconds": 1.25, "errors": 1},
+        "put": {"count": 1, "wall_seconds": 0.1, "sim_seconds": 0.05, "errors": 0},
+        "idle": {"count": 0, "wall_seconds": 0.0, "sim_seconds": 0.0, "errors": 0},
+    }
+    delta = diff_breakdown(before, after)
+    assert delta["get"] == {"count": 3, "wall_seconds": 1.5,
+                            "sim_seconds": 0.75, "errors": 1}
+    assert delta["put"]["count"] == 1  # new phase counts from zero
+    assert "idle" not in delta         # zero-count phases are dropped
+
+
+def test_format_trace_indents_children():
+    text = format_trace(_sample_spans(), title="demo trace")
+    lines = text.split("\n")
+    assert lines[0] == "demo trace"
+    root_line = next(line for line in lines if line.startswith("root"))
+    child_lines = [line for line in lines if line.lstrip().startswith("child")]
+    assert "kind=demo" in root_line
+    assert len(child_lines) == 2
+    assert all(line.startswith("  child") for line in child_lines)
+
+
+def test_format_phase_breakdown_and_metrics_render():
+    text = format_phase_breakdown(phase_breakdown(_sample_spans()))
+    assert "phase" in text and "child" in text and "root" in text
+    table = format_metrics({"runtime.calls": 2, "store.hit_rate": 0.5})
+    assert "runtime.calls" in table and "0.5" in table
