@@ -25,6 +25,14 @@ fi
 echo "== tier-1 tests =="
 PYTHONPATH=src python -m pytest -x -q || status=1
 
+# A ~30s deterministic simulation smoke: three fixed seeds through the
+# fault-simulation harness (drops, duplicates, delays, corruption,
+# crashes, partitions).  Any invariant violation prints a one-line
+# `--seed N` repro string and fails the check.
+echo "== sim smoke (seeds 3..5) =="
+PYTHONPATH=src python -m repro.simtest --runs 3 --start-seed 3 --steps 25 \
+    || status=1
+
 if [ "$status" -ne 0 ]; then
     echo "CHECK FAILED" >&2
 fi

@@ -165,6 +165,26 @@ class StoreCluster:
     def revive_shard(self, shard_id: str) -> None:
         self.fault.revive(self._node(shard_id).address)
 
+    def restart_shard(self, shard_id: str):
+        """Crash-*restart* a shard through the persistence path: seal a
+        snapshot of its state, wipe the in-memory dictionary and blob
+        arena (the crash), restore from the sealed image inside the
+        (reused) store enclave, and let traffic reach it again.  Unlike
+        :meth:`kill_shard`'s crash-pause, state round-trips through
+        :mod:`repro.store.persistence`, so restore bugs become losses the
+        simulation harness can observe.  Returns the
+        :class:`~repro.store.persistence.RestoreReport`.
+        """
+        from ..store.persistence import restore_store, snapshot_store
+
+        node = self._node(shard_id)
+        self.fault.kill(node.address)
+        sealed = snapshot_store(node.store)
+        node.store.clear()
+        report = restore_store(node.store, sealed)
+        self.fault.revive(node.address)
+        return report
+
     def shard_alive(self, shard_id: str) -> bool:
         return not self.fault.is_dead(self._node(shard_id).address)
 

@@ -40,7 +40,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from .ring import ShardRing
-from ..errors import ChannelError, NoLiveOwnerError, ProtocolError, TransportError
+from ..errors import (
+    ChannelError,
+    CircuitOpenError,
+    NoLiveOwnerError,
+    ProtocolError,
+    TransportError,
+)
+from ..net.circuit import OPEN, BreakerConfig, CircuitBreaker
+from ..net.rpc import RetryPolicy
 from ..obs.metrics import namespaced
 from ..obs.tracer import NULL_TRACER
 from ..net.messages import (
@@ -81,6 +89,9 @@ class RouterStats:
     replica_put_rejects: int = 0
     repair_acks: int = 0
     repair_rejects: int = 0
+    # Calls the per-shard circuit breaker refused without touching the
+    # wire (failing fast instead of paying another timeout).
+    circuit_skips: int = 0
 
     #: Legacy keys with inconsistent spelling and their normalized
     #: ``router.<metric>`` names (events are plural nouns).
@@ -108,6 +119,7 @@ class RouterStats:
             "replica_put_rejects": self.replica_put_rejects,
             "repair_acks": self.repair_acks,
             "repair_rejects": self.repair_rejects,
+            "circuit_skips": self.circuit_skips,
         }, renames=self._RENAMES)
 
 
@@ -133,6 +145,7 @@ class ClusterRouter:
         replication_factor: int = 2,
         tracer=NULL_TRACER,
         clock=None,
+        breaker_config: BreakerConfig | None = None,
     ):
         if replication_factor < 1:
             raise ProtocolError("replication factor must be >= 1")
@@ -140,6 +153,8 @@ class ClusterRouter:
         self.replication_factor = replication_factor
         self._clients = dict(clients)
         self.stats = RouterStats()
+        self.breaker_config = breaker_config
+        self._breakers: dict[str, CircuitBreaker] = {}
         # Observability: spans are recorded on the application machine's
         # clock (routing happens there); NULL_TRACER makes it all no-ops.
         self.tracer = NULL_TRACER if tracer is None else tracer
@@ -165,10 +180,78 @@ class ClusterRouter:
         if shard_id in self._clients:
             raise ProtocolError(f"already connected to shard {shard_id!r}")
         self._clients[shard_id] = client
+        if self._retry_policy is not None:
+            client.retry_policy = self._retry_policy
 
     def detach_shard(self, shard_id: str) -> None:
         """Forget a shard that left the ring (its pending acks are void)."""
         self._clients.pop(shard_id, None)
+        self._breakers.pop(shard_id, None)
+
+    # -- hardening knobs -------------------------------------------------------
+    _retry_policy: "RetryPolicy | None" = None
+
+    def set_retry_policy(self, policy: RetryPolicy | None) -> None:
+        """Apply one retry policy to every per-shard client (including
+        shards attached later)."""
+        self._retry_policy = policy
+        for client in self._clients.values():
+            client.retry_policy = policy
+
+    def enable_breakers(self, config: BreakerConfig | None = None) -> None:
+        """Turn on per-shard circuit breakers (idempotent; existing
+        breaker state is discarded)."""
+        self.breaker_config = config or BreakerConfig()
+        self._breakers.clear()
+
+    def _breaker(self, shard: str) -> CircuitBreaker | None:
+        if self.breaker_config is None:
+            return None
+        breaker = self._breakers.get(shard)
+        if breaker is None:
+            breaker = CircuitBreaker(self.breaker_config, clock=self.clock)
+            self._breakers[shard] = breaker
+        return breaker
+
+    def _call_shard(self, shard: str, request: Message) -> Message:
+        """One synchronous shard call through that shard's breaker."""
+        breaker = self._breaker(shard)
+        if breaker is not None and not breaker.allow():
+            self.stats.circuit_skips += 1
+            raise CircuitOpenError(f"circuit open for shard {shard!r}")
+        try:
+            response = self._clients[shard].call(request)
+        except _SHARD_FAILURES:
+            if breaker is not None:
+                breaker.record_failure()
+            raise
+        if breaker is not None:
+            breaker.record_success()
+        return response
+
+    def _call_shard_batch(self, shard: str, requests: list) -> list[Message]:
+        breaker = self._breaker(shard)
+        if breaker is not None and not breaker.allow():
+            self.stats.circuit_skips += 1
+            raise CircuitOpenError(f"circuit open for shard {shard!r}")
+        try:
+            responses = self._clients[shard].call_batch(requests)
+        except _SHARD_FAILURES:
+            if breaker is not None:
+                breaker.record_failure()
+            raise
+        if breaker is not None:
+            breaker.record_success()
+        return responses
+
+    def _oneway_allowed(self, shard: str) -> bool:
+        """Breaker gate for fire-and-forget sends (no response to learn
+        from, so only the open/closed state is consulted)."""
+        breaker = self._breaker(shard)
+        if breaker is not None and not breaker.allow():
+            self.stats.circuit_skips += 1
+            return False
+        return True
 
     @property
     def records_sent(self) -> int:
@@ -208,7 +291,7 @@ class ClusterRouter:
                     "router.shard_get", clock=self.clock, shard=shard
                 ) as shard_span:
                     try:
-                        response = self._clients[shard].call(request)
+                        response = self._call_shard(shard, request)
                     except _SHARD_FAILURES:
                         self.stats.get_timeouts += 1
                         timeouts += 1
@@ -253,6 +336,9 @@ class ClusterRouter:
             app_id=request.app_id,
         )
         with self.tracer.span("router.read_repair", clock=self.clock, shard=shard) as span:
+            if not self._oneway_allowed(shard):
+                span.mark("circuit_open")
+                return
             try:
                 local_id = self._clients[shard].send_oneway(repair)
             except _SHARD_FAILURES:
@@ -273,7 +359,7 @@ class ClusterRouter:
                     "router.shard_put", clock=self.clock, shard=shard
                 ) as shard_span:
                     try:
-                        response = self._clients[shard].call(request)
+                        response = self._call_shard(shard, request)
                     except _SHARD_FAILURES:
                         self.stats.put_timeouts += 1
                         shard_span.mark("timeout")
@@ -336,9 +422,9 @@ class ClusterRouter:
                 ) as shard_span:
                     try:
                         if len(sub) == 1:
-                            responses = [self._clients[shard].call(sub[0])]
+                            responses = [self._call_shard(shard, sub[0])]
                         else:
-                            responses = self._clients[shard].call_batch(sub)
+                            responses = self._call_shard_batch(shard, sub)
                     except _SHARD_FAILURES:
                         # Whole sub-batch lost: route each item through its
                         # replicas (the primary is skipped — it just failed).
@@ -392,7 +478,7 @@ class ClusterRouter:
                 "router.shard_get", clock=self.clock, shard=shard
             ) as shard_span:
                 try:
-                    response = self._clients[shard].call(request)
+                    response = self._call_shard(shard, request)
                 except _SHARD_FAILURES:
                     self.stats.get_timeouts += 1
                     timeouts += 1
@@ -435,9 +521,9 @@ class ClusterRouter:
                 ) as shard_span:
                     try:
                         if len(sub) == 1:
-                            responses = [self._clients[shard].call(sub[0])]
+                            responses = [self._call_shard(shard, sub[0])]
                         else:
-                            responses = self._clients[shard].call_batch(sub)
+                            responses = self._call_shard_batch(shard, sub)
                     except _SHARD_FAILURES:
                         self.stats.put_timeouts += 1
                         shard_span.mark("timeout")
@@ -471,6 +557,8 @@ class ClusterRouter:
         for index, shard in enumerate(self._owners(request.tag)):
             if index:
                 self.stats.replica_puts += 1
+            if not self._oneway_allowed(shard):
+                continue  # breaker open: the PUT stays unacknowledged
             local_id = self._clients[shard].send_oneway(request)
             key = (shard, local_id)
             keys.add(key)
@@ -495,6 +583,8 @@ class ClusterRouter:
                 if k:
                     self.stats.replica_puts += 1
         for shard, indices in sorted(groups.items()):
+            if not self._oneway_allowed(shard):
+                continue  # breaker open: those items stay unacknowledged
             sub = [requests[i] for i in indices]
             if len(sub) == 1:
                 local_id = self._clients[shard].send_oneway(sub[0])
@@ -601,3 +691,35 @@ class ClusterRouter:
                 self._count_replica_ack(item)
             else:
                 pending.verdicts[i] = item
+
+    # -- observability ---------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Routing counters plus breaker states and the per-shard
+        clients' retry/duplication counters, aggregated under canonical
+        ``router.<metric>`` keys (``router.breaker.<shard>.state`` per
+        breaker)."""
+        snap = self.stats.snapshot()
+        snap["router.retries"] = sum(
+            c.retries for c in self._clients.values()
+        )
+        snap["router.backoff_seconds_total"] = sum(
+            c.backoff_seconds_total for c in self._clients.values()
+        )
+        snap["router.records_rejected"] = sum(
+            c.records_rejected for c in self._clients.values()
+        )
+        snap["router.duplicate_responses_dropped"] = sum(
+            c.duplicates_dropped for c in self._clients.values()
+        )
+        snap["router.circuit_opens"] = sum(
+            b.opens for b in self._breakers.values()
+        )
+        snap["router.open_circuits"] = sum(
+            1 for b in self._breakers.values() if b.state == OPEN
+        )
+        for shard in sorted(self._breakers):
+            breaker = self._breakers[shard]
+            snap[f"router.breaker.{shard}.state"] = breaker.state
+            snap[f"router.breaker.{shard}.opens"] = breaker.opens
+            snap[f"router.breaker.{shard}.skips"] = breaker.skips
+        return snap

@@ -49,7 +49,13 @@ from .serialization import AnyParser, Parser, ParserRegistry, default_registry
 from .stats import CallRecord, RuntimeStats
 from .tag import derive_tag
 from .verification import verify_and_recover
-from ..errors import DedupError
+from ..errors import (
+    ChannelError,
+    DedupError,
+    NoLiveOwnerError,
+    ProtocolError,
+    TransportError,
+)
 from ..net.messages import (
     BatchPutResponse,
     ErrorMessage,
@@ -62,6 +68,10 @@ from ..net.messages import (
 from ..net.rpc import RpcClient
 from ..obs.tracer import NULL_TRACER
 from ..sgx.enclave import Enclave
+
+# Failures meaning "the store did not serve this request": the send or
+# reply was lost/garbled, retries ran out, or no owner shard was live.
+_STORE_FAILURES = (TransportError, ChannelError, ProtocolError)
 
 
 @dataclass(frozen=True)
@@ -86,6 +96,9 @@ class DedupResult:
     source: str
     span_id: int | None = None
     trace_id: int | None = None
+    # True when the store was unreachable and the value was computed
+    # locally under graceful degradation (source is ``"computed"``).
+    degraded: bool = False
 
 
 @dataclass
@@ -106,6 +119,12 @@ class RuntimeConfig:
     # workloads with repeated tags).
     l1_cache_entries: int = 0
     l1_cache_bytes: int | None = None
+    # Graceful degradation: when the store is unreachable (transport
+    # failure, exhausted retries, no live owner shard), compute locally
+    # instead of surfacing the error — correctness is preserved because
+    # the miss path (Algorithm 1) recomputes anyway; only deduplication
+    # is lost.  Off by default: fail-fast keeps store outages visible.
+    degrade_on_store_failure: bool = False
 
 
 @dataclass
@@ -118,6 +137,7 @@ class _BatchItem:
     attempt_dedup: bool = False
     hit: bool = False
     l1_hit: bool = False
+    degraded: bool = False
     result_value: Any = None
     result_len: int = 0
     compute_sim: float = 0.0
@@ -161,6 +181,11 @@ class DedupRuntime:
         self._pending_puts: list[PutRequest] = []
         # Correlation id -> number of PUT items awaiting a response.
         self._inflight_puts: dict[int, int] = {}
+        # Correlation id -> the tags those PUT items carried, in order,
+        # so acks can be attributed to tags (the simulation harness's
+        # durability invariant: an acknowledged tag must stay servable).
+        self._inflight_put_tags: dict[int, tuple[bytes, ...]] = {}
+        self.acked_put_tags: set[bytes] = set()
         self.l1_cache: L1ResultCache | None = None
         if self.config.l1_cache_entries > 0:
             self.l1_cache = L1ResultCache(
@@ -231,8 +256,23 @@ class DedupRuntime:
                         result_len = len(cached)
                         result_value = result_parser.decode(cached)
 
+                degraded = False
                 if attempt_dedup and not hit:
-                    response = self._get(tag, len(input_bytes))
+                    try:
+                        response = self._get(tag, len(input_bytes))
+                    except _STORE_FAILURES:
+                        if not self.config.degrade_on_store_failure:
+                            raise
+                        degraded = True
+                        response = GetResponse(found=False)
+                    if (
+                        not response.found
+                        and response.reason == NoLiveOwnerError.code
+                        and self.config.degrade_on_store_failure
+                    ):
+                        # The router answered "unavailable, recompute":
+                        # same degradation, reported in-band.
+                        degraded = True
                     if response.found:
                         protected = ProtectedResult(
                             challenge=response.challenge,
@@ -283,6 +323,7 @@ class DedupRuntime:
                 wall_seconds=wall,
                 sim_seconds=sim,
                 l1_hit=l1_hit,
+                degraded=degraded,
             )
         )
         return DedupResult(
@@ -293,6 +334,7 @@ class DedupRuntime:
             source=source,
             span_id=root_span_id,
             trace_id=root_trace_id,
+            degraded=degraded,
         )
 
     def execute_many(
@@ -389,14 +431,29 @@ class DedupRuntime:
                         for _, item in lookups
                     ]
                     payload = sum(len(item.tag) + 64 for _, item in lookups)
-                    with self.enclave.ocall("batch_get_request", in_bytes=payload):
-                        responses = self.client.call_batch(requests)
+                    try:
+                        with self.enclave.ocall("batch_get_request", in_bytes=payload):
+                            responses = self.client.call_batch(requests)
+                    except _STORE_FAILURES:
+                        if not self.config.degrade_on_store_failure:
+                            raise
+                        # The whole duplicate check was lost: every item
+                        # degrades to local computation (stage 3).
+                        for _, item in lookups:
+                            item.degraded = True
+                        responses = []
+                        lookups = []
                     for (index, item), response in zip(lookups, responses):
                         if not isinstance(response, GetResponse):
                             raise DedupError(
                                 f"store answered GET with {type(response).__name__}"
                             )
                         if not response.found:
+                            if (
+                                response.reason == NoLiveOwnerError.code
+                                and self.config.degrade_on_store_failure
+                            ):
+                                item.degraded = True
                             continue
                         with self.tracer.span(
                             "runtime.verify", clock=self.clock, index=index
@@ -420,14 +477,22 @@ class DedupRuntime:
                 # Stage 4: ship all synchronous PUTs as one record/OCALL.
                 if sync_puts:
                     payload = sum(len(p.sealed_result) + 128 for p in sync_puts)
-                    with self.enclave.ocall("batch_put_request", in_bytes=payload):
-                        responses = self.client.call_batch(sync_puts)
-                    self.stats.puts_sent += len(sync_puts)
-                    for response in responses:
-                        if isinstance(response, PutResponse) and response.accepted:
-                            self.stats.puts_accepted += 1
-                        else:
-                            self.stats.puts_rejected += 1
+                    try:
+                        with self.enclave.ocall("batch_put_request", in_bytes=payload):
+                            responses = self.client.call_batch(sync_puts)
+                    except _STORE_FAILURES:
+                        if not self.config.degrade_on_store_failure:
+                            raise
+                        self.stats.puts_sent += len(sync_puts)
+                        self.stats.puts_failed += len(sync_puts)
+                    else:
+                        self.stats.puts_sent += len(sync_puts)
+                        for put, response in zip(sync_puts, responses):
+                            if isinstance(response, PutResponse) and response.accepted:
+                                self.stats.puts_accepted += 1
+                                self.acked_put_tags.add(put.tag)
+                            else:
+                                self.stats.puts_rejected += 1
 
         total_wall = time.perf_counter() - wall_start
         total_sim = self.clock.since(sim_start) / self.clock.params.cpu_freq_hz
@@ -456,6 +521,7 @@ class DedupRuntime:
                     sim_seconds=sim,
                     l1_hit=item.l1_hit,
                     batch_size=n,
+                    degraded=item.degraded and not item.hit,
                 )
             )
             results.append(
@@ -469,6 +535,7 @@ class DedupRuntime:
                     ),
                     span_id=item_span_ids[index],
                     trace_id=batch_trace_id,
+                    degraded=item.degraded and not item.hit,
                 )
             )
         return results
@@ -618,11 +685,19 @@ class DedupRuntime:
         return result_value, len(result_bytes), compute_sim
 
     def _send_put_sync(self, put: PutRequest) -> None:
-        with self.enclave.ocall("put_request", in_bytes=len(put.sealed_result) + 128):
-            response = self.client.call(put)
+        try:
+            with self.enclave.ocall("put_request", in_bytes=len(put.sealed_result) + 128):
+                response = self.client.call(put)
+        except _STORE_FAILURES:
+            if not self.config.degrade_on_store_failure:
+                raise
+            self.stats.puts_sent += 1
+            self.stats.puts_failed += 1
+            return
         self.stats.puts_sent += 1
         if isinstance(response, PutResponse) and response.accepted:
             self.stats.puts_accepted += 1
+            self.acked_put_tags.add(put.tag)
         else:
             self.stats.puts_rejected += 1
 
@@ -650,9 +725,11 @@ class DedupRuntime:
         if len(puts) == 1:
             request_id = self.client.send_oneway(puts[0])
             self._inflight_puts[request_id] = 1
+            self._inflight_put_tags[request_id] = (puts[0].tag,)
         elif puts:
             request_id = self.client.send_oneway_batch(puts)
             self._inflight_puts[request_id] = len(puts)
+            self._inflight_put_tags[request_id] = tuple(p.tag for p in puts)
         self.stats.puts_sent += len(puts)
         self._account_put_responses(self.client.drain_responses())
         return len(puts)
@@ -665,15 +742,20 @@ class DedupRuntime:
                 # uncorrelated decode error): the affected PUTs remain
                 # in puts_unacknowledged rather than being guessed at.
                 continue
+            tags = self._inflight_put_tags.pop(response.request_id, ())
             if isinstance(response, PutResponse):
                 if response.accepted:
                     self.stats.puts_accepted += 1
+                    if tags:
+                        self.acked_put_tags.add(tags[0])
                 else:
                     self.stats.puts_rejected += 1
             elif isinstance(response, BatchPutResponse):
-                for item in response.items:
+                for index, item in enumerate(response.items):
                     if item.accepted:
                         self.stats.puts_accepted += 1
+                        if index < len(tags):
+                            self.acked_put_tags.add(tags[index])
                     else:
                         self.stats.puts_rejected += 1
             elif isinstance(response, ErrorMessage):
@@ -697,6 +779,9 @@ class DedupRuntime:
         snap["pending_puts"] = snap["runtime.pending_puts"] = self.pending_put_count
         snap["puts_unacknowledged"] = snap["runtime.puts_unacknowledged"] = (
             self.puts_unacknowledged
+        )
+        snap["puts_acked_unique"] = snap["runtime.puts_acked_unique"] = len(
+            self.acked_put_tags
         )
         if self.l1_cache is not None:
             snap["l1_entries"] = snap["runtime.l1_entries"] = len(self.l1_cache)

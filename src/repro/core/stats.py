@@ -33,6 +33,10 @@ class CallRecord:
     sim_seconds: float
     l1_hit: bool = False
     batch_size: int = 1
+    # The store was unreachable and the runtime computed locally instead
+    # of failing (graceful degradation — Algorithm 1's path, entered for
+    # availability rather than novelty).  Mutually exclusive with hit.
+    degraded: bool = False
 
 
 @dataclass
@@ -51,6 +55,10 @@ class RuntimeStats:
     calls: int = 0
     hits: int = 0
     misses: int = 0
+    # Store unreachable, computed locally: a third, mutually exclusive
+    # call outcome, so hits + misses + degraded == calls always holds
+    # (the simulation harness asserts this conservation invariant).
+    degraded: int = 0
     l1_hits: int = 0
     batches: int = 0
     verification_failures: int = 0
@@ -64,6 +72,8 @@ class RuntimeStats:
         self.calls += 1
         if record.hit:
             self.hits += 1
+        elif record.degraded:
+            self.degraded += 1
         else:
             self.misses += 1
         if record.l1_hit:
@@ -84,6 +94,7 @@ class RuntimeStats:
     _RENAMES = {
         "total_wall_seconds": "wall_seconds_total",
         "total_sim_seconds": "sim_seconds_total",
+        "degraded": "degraded_calls",
     }
 
     def snapshot(self) -> dict:
@@ -100,6 +111,7 @@ class RuntimeStats:
             "calls": self.calls,
             "hits": self.hits,
             "misses": self.misses,
+            "degraded": self.degraded,
             "l1_hits": self.l1_hits,
             "batches": self.batches,
             "verification_failures": self.verification_failures,

@@ -80,6 +80,30 @@ class NoLiveOwnerError(TransportError):
     code = "no_live_owner"
 
 
+class RetryExhaustedError(TransportError):
+    """A retried RPC ran out of attempts without a usable response.
+
+    Subclasses :class:`TransportError` so callers that treat a shard
+    timeout as "this shard did not serve the request" (the cluster
+    router's failover logic) need no special case for retried clients.
+    """
+
+    code = "retry_exhausted"
+
+
+class CircuitOpenError(TransportError):
+    """A per-shard circuit breaker refused the call without sending.
+
+    Raised by the cluster router when a shard's breaker is open: the
+    shard failed repeatedly in the recent past, so the router fails fast
+    instead of paying another timeout.  Also a :class:`TransportError`
+    subclass — to the routing layer an open circuit *is* an unreachable
+    shard.
+    """
+
+    code = "circuit_open"
+
+
 class ChannelError(SpeedError):
     """Secure-channel handshake or record protection failed."""
 

@@ -20,10 +20,21 @@ Batching: :meth:`RpcClient.call_batch` ships a uniform list of GET or PUT
 requests as one ``BATCH_*`` message, so the whole batch costs one channel
 record (one AEAD seal/open per direction) and one server-side ECALL
 instead of N of each.
+
+Fault tolerance: an optional :class:`RetryPolicy` makes :meth:`RpcClient.call`
+retry transient failures with exponential backoff (charged to the
+SimClock) and *deterministic* jitter.  Retries reuse the original
+correlation id, so a retried PUT whose first copy actually arrived is a
+store-side duplicate ("already stored", accepted) rather than a double
+write — idempotency keyed by correlation id.  Wire-duplicated or
+replayed response records are rejected by the channel's sequence check
+(counted, not fatal), and duplicate response *ids* that survive an
+unsequenced channel are dropped before they can reach the wrong waiter.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from .channel import ChannelEndpoint
@@ -41,8 +52,41 @@ from .messages import (
     with_request_id,
 )
 from .transport import Endpoint
-from ..errors import ProtocolError, TransportError
+from ..crypto.hashes import tagged_hash
+from ..errors import ChannelError, ProtocolError, RetryExhaustedError, TransportError
 from ..obs.tracer import NULL_TRACER
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff schedule for synchronous calls.
+
+    ``max_attempts=1`` (the default) disables retries entirely, keeping
+    the historical fail-fast behaviour.  The delay before attempt ``k``
+    (k >= 1 retries) is ``base_delay_s * multiplier**(k-1)`` capped at
+    ``max_delay_s``, reduced by up to ``jitter`` (a 0..1 fraction) using
+    a hash of (server, correlation id, attempt) — deterministic, so
+    simulated runs replay identically, yet decorrelated across callers.
+    """
+
+    max_attempts: int = 1
+    base_delay_s: float = 200e-6
+    multiplier: float = 2.0
+    max_delay_s: float = 20e-3
+    jitter: float = 0.5
+    # A correlated ErrorMessage (server code 500) or an uncorrelated 400
+    # (the server could not parse a corrupted record) is deterministic
+    # for a fixed request *unless* the wire mangled it — under active
+    # fault injection retrying it is the right call.
+    retry_protocol_errors: bool = False
+
+    def delay_for(self, retry_index: int, salt: bytes) -> float:
+        raw = min(self.max_delay_s, self.base_delay_s * self.multiplier**retry_index)
+        if not self.jitter:
+            return raw
+        digest = tagged_hash(b"rpc/backoff", salt, retry_index.to_bytes(4, "big"))
+        fraction = int.from_bytes(digest[:8], "big") / 2**64
+        return raw * (1.0 - self.jitter * fraction)
 
 
 class RpcServer:
@@ -105,6 +149,7 @@ class RpcClient:
         server_address: str,
         tracer=NULL_TRACER,
         clock=None,
+        retry_policy: RetryPolicy | None = None,
     ):
         self._endpoint = endpoint
         self._channel = channel
@@ -112,9 +157,19 @@ class RpcClient:
         self._next_request_id = 1
         self.tracer = NULL_TRACER if tracer is None else tracer
         self.clock = clock
+        self.retry_policy = retry_policy
         # Responses addressed to one-way sends that arrived while a sync
         # call was scanning the inbox; surfaced by drain_responses().
         self._stray_responses: list[Message] = []
+        self._stray_ids: set[int] = set()
+        # Correlation ids already answered: a later response with the same
+        # id is a duplicate (wire-level or replayed) and must never reach
+        # another waiter.
+        self._seen_response_ids: set[int] = set()
+        self.retries = 0
+        self.backoff_seconds_total = 0.0
+        self.records_rejected = 0
+        self.duplicates_dropped = 0
 
     @property
     def server_address(self) -> str:
@@ -150,27 +205,82 @@ class RpcClient:
         than returned here.  An uncorrelated ``ErrorMessage`` (the server
         could not even parse the offending request, so it could not echo
         an id) is surfaced to this caller.
+
+        With a :class:`RetryPolicy` attached, transient failures (no
+        response, and optionally server errors) are retried under the
+        *same* correlation id after a backoff charged to the SimClock —
+        a retried PUT whose first copy landed is deduplicated store-side.
         """
         with self.tracer.span(
             "rpc.call", clock=self.clock,
             message=type(request).__name__, server=self._server_address,
         ):
             request_id = self._fresh_request_id()
-            self._send(with_request_id(request, request_id))
-            while self._endpoint.pending():
+            request = with_request_id(request, request_id)
+            policy = self.retry_policy
+            attempts = max(1, policy.max_attempts) if policy is not None else 1
+            last_error: Exception | None = None
+            for attempt in range(attempts):
+                if attempt:
+                    self.retries += 1
+                    self._charge_backoff(policy, attempt - 1, request_id)
+                try:
+                    self._send(request)
+                    return self._await_response(request_id)
+                except TransportError as exc:
+                    last_error = exc
+                except ProtocolError as exc:
+                    if policy is None or not policy.retry_protocol_errors:
+                        raise
+                    last_error = exc
+            assert last_error is not None
+            if attempts > 1:
+                raise RetryExhaustedError(
+                    f"request {request_id} to {self._server_address!r} failed "
+                    f"after {attempts} attempts: {last_error}"
+                ) from last_error
+            raise last_error
+
+    def _charge_backoff(self, policy: RetryPolicy, retry_index: int, request_id: int) -> None:
+        salt = self._server_address.encode() + request_id.to_bytes(8, "big")
+        delay = policy.delay_for(retry_index, salt)
+        self.backoff_seconds_total += delay
+        if self.clock is not None:
+            self.clock.charge_seconds(delay, "backoff")
+
+    def _await_response(self, request_id: int) -> Message:
+        """Scan the inbox for the response correlated with ``request_id``.
+
+        Records the channel rejects (duplicated/reordered/corrupted wire
+        records fail the sequence or AEAD check) are counted and skipped
+        rather than aborting the call; responses whose correlation id was
+        already answered are dropped so a replay can never be delivered
+        to a different waiter.
+        """
+        while self._endpoint.pending():
+            try:
                 response = self._recv_one()
-                if response.request_id == request_id:
-                    if isinstance(response, ErrorMessage):
-                        raise ProtocolError(
-                            f"server error {response.code}: {response.detail}"
-                        )
-                    return response
-                if isinstance(response, ErrorMessage) and response.request_id == 0:
+            except ChannelError:
+                self.records_rejected += 1
+                continue
+            rid = response.request_id
+            if rid == request_id:
+                self._seen_response_ids.add(rid)
+                if isinstance(response, ErrorMessage):
                     raise ProtocolError(
                         f"server error {response.code}: {response.detail}"
                     )
-                self._stray_responses.append(response)
-            raise TransportError("no response arrived (server reactor not attached?)")
+                return response
+            if isinstance(response, ErrorMessage) and rid == 0:
+                raise ProtocolError(
+                    f"server error {response.code}: {response.detail}"
+                )
+            if rid in self._seen_response_ids or rid in self._stray_ids:
+                self.duplicates_dropped += 1
+                continue
+            self._stray_ids.add(rid)
+            self._stray_responses.append(response)
+        raise TransportError("no response arrived (server reactor not attached?)")
 
     def call_batch(self, requests: Sequence[Message]) -> list[Message]:
         """Issue a uniform batch of GETs or PUTs under one channel record.
@@ -229,13 +339,39 @@ class RpcClient:
         """Collect any responses to one-way sends (off the critical path).
 
         Includes responses that a synchronous :meth:`call` encountered and
-        set aside while scanning for its own reply.
+        set aside while scanning for its own reply.  Undecryptable records
+        and responses whose correlation id was already delivered are
+        counted and dropped, exactly as in :meth:`call` — an id is handed
+        out at most once.
         """
-        out: list[Message] = self._stray_responses
+        pending: list[Message] = self._stray_responses
         self._stray_responses = []
+        self._stray_ids.clear()
         while self._endpoint.pending():
-            out.append(self._recv_one())
+            try:
+                pending.append(self._recv_one())
+            except ChannelError:
+                self.records_rejected += 1
+        out: list[Message] = []
+        for response in pending:
+            rid = response.request_id
+            if rid != 0 and rid in self._seen_response_ids:
+                self.duplicates_dropped += 1
+                continue
+            if rid != 0:
+                self._seen_response_ids.add(rid)
+            out.append(response)
         return out
+
+    def snapshot(self) -> dict:
+        """Canonical ``rpc.<metric>`` counters for the metrics registry."""
+        return {
+            "rpc.retries": self.retries,
+            "rpc.backoff_seconds_total": self.backoff_seconds_total,
+            "rpc.records_rejected": self.records_rejected,
+            "rpc.duplicate_responses_dropped": self.duplicates_dropped,
+            "rpc.records_sent": self.records_sent,
+        }
 
 
 def attach_reactor(network, address: str, server: RpcServer) -> None:

@@ -68,6 +68,9 @@ def connect(
     max_spans: int = 50_000,
     slow_sim_threshold_s: float | None = None,
     slow_wall_threshold_s: float | None = None,
+    fault_injector: Any = None,
+    retry_policy: Any = None,
+    breaker_config: Any = None,
 ) -> "Session":
     """Assemble a full SPEED deployment and return its :class:`Session`.
 
@@ -84,6 +87,14 @@ def connect(
     ``attestation_service`` lets several sessions attest each other's
     enclaves (the cross-machine replication story); both default to the
     deployment's own defaults when omitted.
+
+    The hardening knobs are optional and off by default:
+    ``fault_injector`` supplies a pre-configured
+    :class:`~repro.net.transport.FaultInjector` (e.g. one carrying a
+    simulation :class:`~repro.simtest.FaultPlan`); ``retry_policy``
+    applies an :class:`~repro.net.rpc.RetryPolicy` to every store
+    client; ``breaker_config`` enables per-shard circuit breakers on the
+    cluster router (cluster sessions only).
     """
     tracer: Tracer | Any
     if tracing:
@@ -100,6 +111,8 @@ def connect(
         extra["machine"] = machine
     if attestation_service is not None:
         extra["attestation_service"] = attestation_service
+    if fault_injector is not None:
+        extra["fault_injector"] = fault_injector
 
     if shards <= 0:
         deployment: Deployment | ClusterDeployment = Deployment(
@@ -126,6 +139,14 @@ def connect(
             **extra,
         )
     app = deployment.create_application(app_name, libraries, runtime_config)
+    client = app.runtime.client
+    if isinstance(client, ClusterRouter):
+        if retry_policy is not None:
+            client.set_retry_policy(retry_policy)
+        if breaker_config is not None:
+            client.enable_breakers(breaker_config)
+    elif retry_policy is not None:
+        client.retry_policy = retry_policy
     return Session(deployment, app, tracer)
 
 
@@ -146,15 +167,19 @@ class Session:
         self._deduplicables: dict[FunctionDescription, Deduplicable] = {}
         self._mark = deduplicable_marker(app)
         self.metrics.register_source("runtime", self.runtime.snapshot)
+        self.metrics.register_source("net", deployment.network.snapshot)
         if isinstance(deployment, ClusterDeployment):
             router = self.runtime.client
             if isinstance(router, ClusterRouter):
-                self.metrics.register_source("router", router.stats.snapshot)
+                self.metrics.register_source("router", router.snapshot)
             for shard_id, node in sorted(deployment.cluster.shards.items()):
                 self.metrics.register_source(
                     f"store.{shard_id}", self._shard_source(node.store)
                 )
         else:
+            self.metrics.register_source(
+                "rpc", self.runtime.client.snapshot
+            )
             self.metrics.register_source(
                 "store", deployment.store.stats.snapshot
             )
@@ -288,6 +313,16 @@ class Session:
         if self.is_cluster:
             raise SpeedError("this session runs a cluster; use .cluster")
         return self.deployment.store
+
+    @property
+    def network(self):
+        """The deployment's simulated network (fault-injection surface)."""
+        return self.deployment.network
+
+    @property
+    def fault(self):
+        """The network's fault injector."""
+        return self.deployment.network.ensure_fault_injector()
 
     @property
     def clock(self):

@@ -1,0 +1,97 @@
+"""The global invariants every simulated scenario must uphold.
+
+These are the harness's oracle: whatever the fault schedule did — drops,
+duplicates, reorderings, corruption, crashes, partitions — a healed
+cluster must satisfy all four.  Each check returns a list of
+:class:`Violation`; an empty list means the invariant held.
+
+1. **Durability** — no acknowledged PUT is lost: every tag the store
+   accepted (minus those whose only ciphertext the adversary destroyed)
+   is still held by at least one shard after healing.
+2. **Correctness** — every value a deduplicated call returned equals the
+   direct execution of the function (checked inline by the runner; a
+   store hit that fails the paper's Fig. 3 verification is recomputed,
+   so a wrong value can only come from a protocol bug).
+3. **Confidentiality** — no plaintext input or result bytes ever appear
+   in any message on the wire (the honest-but-curious adversary taps
+   every delivery).
+4. **Conservation** — every call is exactly one of hit, miss, or
+   degraded: ``hits + misses + degraded == calls``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed invariant, with enough context to chase it."""
+
+    invariant: str
+    detail: str
+    repro: str = ""
+
+    def __str__(self) -> str:
+        line = f"INVARIANT VIOLATED [{self.invariant}]: {self.detail}"
+        if self.repro:
+            line += f"  (replay: {self.repro})"
+        return line
+
+
+def check_durability(acked_tags, corrupted_tags, cluster, repro: str = "") -> list:
+    """No acknowledged PUT lost: every acked tag still has a holder.
+
+    Tags whose blobs the scenario deliberately corrupted are excluded —
+    the store *must* evict a blob whose digest no longer matches (that
+    is the tamper-detection working), and the adversary may have hit
+    every replica.
+    """
+    violations = []
+    for tag in sorted(acked_tags):
+        if tag in corrupted_tags:
+            continue
+        if not cluster.holders_of(tag):
+            violations.append(Violation(
+                "durability",
+                f"acknowledged tag {tag.hex()[:16]} held by no shard after heal",
+                repro,
+            ))
+    return violations
+
+
+def check_confidentiality(secrets, wire_payloads, repro: str = "") -> list:
+    """No plaintext secret bytes on the wire.
+
+    ``secrets`` maps a label (e.g. ``"result[3]"``) to plaintext bytes;
+    every tapped payload is scanned for every secret.  Secrets here are
+    32+ byte hash outputs, so substring matches cannot be coincidental.
+    """
+    violations = []
+    for label in sorted(secrets):
+        secret = secrets[label]
+        for payload in wire_payloads:
+            if secret and secret in payload:
+                violations.append(Violation(
+                    "confidentiality",
+                    f"plaintext of {label} observed in a wire message "
+                    f"({len(payload)} bytes)",
+                    repro,
+                ))
+                break  # one sighting per secret is enough to report
+    return violations
+
+
+def check_conservation(stats, repro: str = "") -> list:
+    """hits + misses + degraded == calls, and none negative."""
+    total = stats.hits + stats.misses + stats.degraded
+    if total == stats.calls and min(
+        stats.hits, stats.misses, stats.degraded, stats.calls
+    ) >= 0:
+        return []
+    return [Violation(
+        "conservation",
+        f"hits({stats.hits}) + misses({stats.misses}) + "
+        f"degraded({stats.degraded}) != calls({stats.calls})",
+        repro,
+    )]

@@ -1,0 +1,391 @@
+"""The scenario runner: one seeded, fully deterministic chaos run.
+
+:func:`run_scenario` assembles a sharded SPEED deployment through the
+public :func:`repro.connect` API with the hardened client path enabled
+(retries, per-shard circuit breakers, graceful degradation), arms a
+seeded :class:`~repro.simtest.schedule.FaultPlan`, and drives a
+randomized workload interleaved with topology faults: shard crashes,
+crash-restarts through the sealing/persistence path, partitions, slow
+links, and deliberate corruption of untrusted memory and store
+metadata.  After the scenario it heals the cluster, lets everything
+settle, and checks the four global invariants
+(:mod:`repro.simtest.invariants`).
+
+Everything observable is derived from ``SimConfig.seed``: the workload,
+the op sequence, every fault decision.  The run emits a trace of
+deterministic event lines whose SHA-256 digest is byte-identical across
+replays of the same config — the property the ``--seed`` repro strings
+rely on, and which a regression test pins.
+
+Wall-clock and simulated-time figures are deliberately **excluded** from
+the trace: the simulated clock charges measured host time for in-enclave
+compute, so any value derived from it would break replay equality.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field, replace
+
+from .invariants import (
+    Violation,
+    check_confidentiality,
+    check_conservation,
+    check_durability,
+)
+from .schedule import FaultPlan
+from ..crypto.hashes import tagged_hash
+from ..core.runtime import RuntimeConfig
+from ..errors import SpeedError
+from ..net.circuit import BreakerConfig
+from ..net.rpc import RetryPolicy
+from ..net.transport import FaultInjector, corrupt_payload
+from ..session import connect
+
+#: Weighted op mix for the random scenario walk.  Workload ops dominate;
+#: topology faults and corruption are the seasoning.
+_OPS = (
+    ("call", 46),
+    ("batch", 10),
+    ("flush", 8),
+    ("kill", 6),
+    ("revive", 6),
+    ("restart", 5),
+    ("partition", 5),
+    ("heal", 5),
+    ("slow", 4),
+    ("corrupt_blob", 3),
+    ("corrupt_meta", 2),
+)
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """One scenario, fully determined by these fields."""
+
+    seed: int
+    steps: int = 40
+    shards: int = 3
+    replication_factor: int = 2
+    inputs: int = 6
+    drop_rate: float = 0.03
+    duplicate_rate: float = 0.03
+    delay_rate: float = 0.05
+    corrupt_rate: float = 0.02
+    max_delay: int = 3
+    # Shrinking toggles: each disables one class of scenario op.
+    crash_ops: bool = True
+    partition_ops: bool = True
+    corruption_ops: bool = True
+
+    def repro_string(self) -> str:
+        """The one-liner that replays this exact scenario."""
+        parts = [f"python -m repro.simtest --seed {self.seed}"]
+        if self.steps != 40:
+            parts.append(f"--steps {self.steps}")
+        if self.shards != 3:
+            parts.append(f"--shards {self.shards}")
+        return " ".join(parts)
+
+
+@dataclass
+class ScenarioResult:
+    """Everything one scenario produced."""
+
+    config: SimConfig
+    trace: list = field(default_factory=list)
+    violations: list = field(default_factory=list)
+    counters: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def digest(self) -> str:
+        """SHA-256 over the trace — byte-identical across replays."""
+        return hashlib.sha256("\n".join(self.trace).encode()).hexdigest()
+
+    @property
+    def repro(self) -> str:
+        return self.config.repro_string()
+
+    def summary(self) -> str:
+        verdict = "OK" if self.ok else f"{len(self.violations)} VIOLATION(S)"
+        return (
+            f"seed={self.config.seed} steps={self.config.steps} "
+            f"shards={self.config.shards} calls={self.counters.get('runtime.calls', 0)} "
+            f"hits={self.counters.get('runtime.hits', 0)} "
+            f"degraded={self.counters.get('runtime.degraded_calls', 0)} "
+            f"digest={self.digest[:16]} {verdict}"
+        )
+
+
+#: Counters included in the trace tail (and ScenarioResult.counters).
+#: Only order- and platform-deterministic integers belong here — never
+#: anything derived from the simulated or wall clock.
+_TRACE_COUNTERS = (
+    "runtime.calls",
+    "runtime.hits",
+    "runtime.misses",
+    "runtime.degraded_calls",
+    "runtime.l1_hits",
+    "runtime.verification_failures",
+    "runtime.puts_sent",
+    "runtime.puts_accepted",
+    "runtime.puts_rejected",
+    "runtime.puts_failed",
+    "runtime.puts_unacknowledged",
+    "runtime.puts_acked_unique",
+    "net.messages",
+    "net.dropped",
+    "net.corrupted",
+    "net.duplicated",
+    "net.delayed",
+    "router.retries",
+    "router.records_rejected",
+    "router.duplicate_responses_dropped",
+    "router.circuit_opens",
+    "router.circuit_skips",
+)
+
+
+def _workload_result(input_bytes: bytes) -> bytes:
+    """The scenario workload, as plain Python — the correctness oracle
+    computes expected values through this same function."""
+    return tagged_hash(b"simtest/workload", input_bytes) * 2
+
+
+def run_scenario(config: SimConfig) -> ScenarioResult:
+    """Run one seeded scenario end to end and check every invariant."""
+    repro = config.repro_string()
+    trace: list[str] = []
+    violations: list[Violation] = []
+
+    plan = FaultPlan(
+        seed=config.seed,
+        drop_rate=config.drop_rate,
+        duplicate_rate=config.duplicate_rate,
+        delay_rate=config.delay_rate,
+        corrupt_rate=config.corrupt_rate,
+        max_delay=config.max_delay,
+    )
+    injector = FaultInjector()  # plan armed only after setup/attestation
+    session = connect(
+        shards=config.shards,
+        replication_factor=config.replication_factor,
+        seed=b"simtest/" + str(config.seed).encode(),
+        tracing=False,
+        fault_injector=injector,
+        retry_policy=RetryPolicy(max_attempts=4, retry_protocol_errors=True),
+        # Deterministic skip-count recovery: the simulated clock charges
+        # measured host time for compute, so a time-based breaker would
+        # not replay.
+        breaker_config=BreakerConfig(
+            failure_threshold=3, reset_timeout_s=None, reset_after_skips=6
+        ),
+        runtime_config=RuntimeConfig(degrade_on_store_failure=True),
+    )
+
+    @session.mark(version="1.0")
+    def sim_workload(data: bytes) -> bytes:
+        return _workload_result(data)
+
+    # The honest-but-curious adversary: record every wire payload.
+    wire: list[bytes] = []
+    session.network.add_tap(lambda source, dest, payload: wire.append(payload))
+
+    pool = [
+        tagged_hash(b"simtest/input", str(config.seed).encode(), i.to_bytes(4, "big"))
+        for i in range(config.inputs)
+    ]
+    expected = [_workload_result(data) for data in pool]
+    secrets = {}
+    for i, data in enumerate(pool):
+        secrets[f"input[{i}]"] = data
+        secrets[f"result[{i}]"] = expected[i]
+
+    cluster = session.cluster
+    shard_ids = list(cluster.shard_ids)
+    store_addr = {sid: cluster.shards[sid].address for sid in shard_ids}
+    client_addr = {sid: f"app->{sid}" for sid in shard_ids}
+    dead: set[str] = set()
+    partitioned: set[str] = set()
+    corrupted_tags: set[bytes] = set()
+
+    rng = random.Random(config.seed)
+    ops = [name for name, _ in _OPS]
+    weights = [weight for _, weight in _OPS]
+
+    def check_value(label: str, index: int, value: bytes) -> None:
+        if value != expected[index]:
+            violations.append(Violation(
+                "correctness",
+                f"{label} for input[{index}] returned wrong bytes",
+                repro,
+            ))
+
+    injector.plan = plan  # arm the schedule; setup traffic stays clean
+    for step in range(config.steps):
+        op = rng.choices(ops, weights=weights)[0]
+        if op in ("kill", "revive", "restart") and not config.crash_ops:
+            op = "call"
+        if op in ("partition", "heal", "slow") and not config.partition_ops:
+            op = "call"
+        if op in ("corrupt_blob", "corrupt_meta") and not config.corruption_ops:
+            op = "call"
+
+        try:
+            if op == "call":
+                index = rng.randrange(len(pool))
+                result = sim_workload.call_result(pool[index])
+                check_value("call", index, result.value)
+                trace.append(
+                    f"step={step} op=call input={index} "
+                    f"source={result.source} degraded={result.degraded}"
+                )
+            elif op == "batch":
+                indices = [rng.randrange(len(pool)) for _ in range(rng.randint(2, 5))]
+                results = sim_workload.map_results([pool[i] for i in indices])
+                for i, result in zip(indices, results):
+                    check_value("batch", i, result.value)
+                outcomes = ",".join(r.source for r in results)
+                trace.append(
+                    f"step={step} op=batch inputs={indices} outcomes={outcomes}"
+                )
+            elif op == "flush":
+                flushed = session.flush_puts()
+                trace.append(f"step={step} op=flush puts={flushed}")
+            elif op == "kill":
+                alive = [s for s in shard_ids if s not in dead]
+                if len(alive) > 1:  # keep at least one shard reachable
+                    sid = rng.choice(alive)
+                    cluster.kill_shard(sid)
+                    dead.add(sid)
+                    trace.append(f"step={step} op=kill shard={sid}")
+                else:
+                    trace.append(f"step={step} op=kill skipped")
+            elif op == "revive":
+                if dead:
+                    sid = rng.choice(sorted(dead))
+                    cluster.revive_shard(sid)
+                    dead.discard(sid)
+                    trace.append(f"step={step} op=revive shard={sid}")
+                else:
+                    trace.append(f"step={step} op=revive skipped")
+            elif op == "restart":
+                alive = [s for s in shard_ids if s not in dead]
+                if alive:
+                    sid = rng.choice(alive)
+                    report = cluster.restart_shard(sid)
+                    trace.append(
+                        f"step={step} op=restart shard={sid} "
+                        f"restored={report.entries_restored}"
+                    )
+                else:
+                    trace.append(f"step={step} op=restart skipped")
+            elif op == "partition":
+                candidates = [s for s in shard_ids if s not in partitioned]
+                if len(candidates) > 1:  # never partition the whole cluster
+                    sid = rng.choice(candidates)
+                    plan.block(client_addr[sid], store_addr[sid])
+                    plan.block(store_addr[sid], client_addr[sid])
+                    partitioned.add(sid)
+                    trace.append(f"step={step} op=partition shard={sid}")
+                else:
+                    trace.append(f"step={step} op=partition skipped")
+            elif op == "heal":
+                plan.heal()
+                partitioned.clear()
+                trace.append(f"step={step} op=heal")
+            elif op == "slow":
+                sid = rng.choice(shard_ids)
+                ticks = rng.randint(1, config.max_delay)
+                plan.set_slow(store_addr[sid], ticks)
+                trace.append(f"step={step} op=slow shard={sid} ticks={ticks}")
+            elif op == "corrupt_blob":
+                sid = rng.choice(shard_ids)
+                store = cluster.shards[sid].store
+                tags = store.stored_tags()
+                if tags:
+                    tag = tags[rng.randrange(len(tags))]
+                    store.blobstore.tamper(store.blob_ref_of(tag))
+                    corrupted_tags.add(tag)
+                    trace.append(
+                        f"step={step} op=corrupt_blob shard={sid} "
+                        f"tag={tag.hex()[:12]}"
+                    )
+                else:
+                    trace.append(f"step={step} op=corrupt_blob skipped")
+            elif op == "corrupt_meta":
+                sid = rng.choice(shard_ids)
+                store = cluster.shards[sid].store
+                tags = store.stored_tags()
+                if tags:
+                    tag = tags[rng.randrange(len(tags))]
+                    entry = store.metadata_entry(tag)
+                    entry.wrapped_key = corrupt_payload(entry.wrapped_key)
+                    trace.append(
+                        f"step={step} op=corrupt_meta shard={sid} "
+                        f"tag={tag.hex()[:12]}"
+                    )
+                else:
+                    trace.append(f"step={step} op=corrupt_meta skipped")
+        except SpeedError as exc:
+            # The hardened client path (retry -> failover -> degrade)
+            # should absorb every injected fault; an error surfacing to
+            # the application is itself a finding.
+            violations.append(Violation(
+                "liveness",
+                f"step {step} op {op} raised {type(exc).__name__}: {exc}",
+                repro,
+            ))
+            trace.append(f"step={step} op={op} error={type(exc).__name__}")
+
+    # -- heal and settle -------------------------------------------------------
+    injector.plan = None
+    plan.heal()
+    for sid in sorted(dead):
+        cluster.revive_shard(sid)
+    dead.clear()
+    session.network.flush_delayed()
+    for _ in range(3):
+        session.flush_puts()
+        session.network.flush_delayed()
+    trace.append("phase=settle")
+
+    # -- invariants ------------------------------------------------------------
+    violations.extend(check_durability(
+        session.runtime.acked_put_tags, corrupted_tags, cluster, repro,
+    ))
+    violations.extend(check_confidentiality(secrets, wire, repro))
+    violations.extend(check_conservation(session.stats, repro))
+
+    snap = session.snapshot()
+    counters = {key: snap[key] for key in _TRACE_COUNTERS if key in snap}
+    for key in sorted(counters):
+        trace.append(f"counter {key}={counters[key]}")
+    for violation in violations:
+        trace.append(str(violation))
+
+    return ScenarioResult(
+        config=config, trace=trace, violations=violations, counters=counters,
+    )
+
+
+def run_seeds(seeds, **overrides) -> list[ScenarioResult]:
+    """Run one scenario per seed (the CI sweep entry point)."""
+    return [run_scenario(SimConfig(seed=seed, **overrides)) for seed in seeds]
+
+
+def replay_check(config: SimConfig) -> tuple[ScenarioResult, ScenarioResult, bool]:
+    """Run a config twice; True iff the traces are byte-identical."""
+    first = run_scenario(config)
+    second = run_scenario(config)
+    return first, second, first.digest == second.digest
+
+
+def with_steps(config: SimConfig, steps: int) -> SimConfig:
+    """A copy of ``config`` truncated to ``steps`` scenario steps."""
+    return replace(config, steps=steps)

@@ -515,6 +515,18 @@ class ResultStore:
             removed += 1
         return removed
 
+    def clear(self) -> int:
+        """Drop every entry and blob (a crashed store process loses its
+        in-memory state); quota held by contributing apps is released.
+        Returns the number of entries dropped."""
+        if self.enclave is not None and not self.enclave.inside:
+            with self.enclave.ecall("clear"):
+                return self.clear()
+        entries = self._dict.entries()
+        for entry in entries:
+            self._evict_entry(entry)
+        return len(entries)
+
     # -- introspection -----------------------------------------------------------
     def __len__(self) -> int:
         return len(self._dict)
@@ -525,6 +537,17 @@ class ResultStore:
     def entry_hits(self, tag: bytes) -> int:
         entry = self._dict.peek(tag)
         return entry.hits if entry else 0
+
+    def stored_tags(self) -> list[bytes]:
+        """Every tag currently held, sorted (tests/diagnostics only —
+        no eviction state is touched)."""
+        return sorted(entry.tag for entry in self._dict.entries())
+
+    def metadata_entry(self, tag: bytes):
+        """The live in-enclave entry for ``tag``, or None.  Adversarial
+        tests mutate it to model a compromised metadata dictionary; the
+        paper's Fig. 3 verification must reject anything they change."""
+        return self._dict.peek(tag)
 
     @property
     def blobstore(self) -> BlobStore:

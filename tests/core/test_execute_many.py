@@ -136,10 +136,11 @@ class TestFlushAccounting:
         assert app.runtime.puts_unacknowledged == 0
 
     def test_dropped_batch_response_stays_unacknowledged(self):
-        # Wire messages: 0 batch-GET, 1 its response, 2 batch-PUT,
-        # 3 batch-PUT response (dropped).
+        # Store→app edge: 0 batch-GET response, 1 batch-PUT response
+        # (dropped).  Indices count per (source, dest) edge.
+        store_to_app = ("resultstore@machine-0", "batch-app@machine-0", 1)
         d = Deployment(seed=b"em-drop",
-                       fault_injector=FaultInjector(drop_indices={3}))
+                       fault_injector=FaultInjector(drop_indices={store_to_app}))
         app = d.create_application("batch-app", make_libs())
         app.runtime.execute_many(DOUBLE_DESC, [b"a", b"b"])
         app.runtime.flush_puts()

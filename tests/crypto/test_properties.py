@@ -1,0 +1,103 @@
+"""Property-based round trips for the crypto layer (tests/proptest.py):
+decrypt∘encrypt = identity, and any one-bit tamper is rejected."""
+
+import dataclasses
+
+import pytest
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.gcm import IV_SIZE, open_, seal
+from repro.crypto.mle import ConvergentEncryption, RandomizedConvergentEncryption
+from repro.errors import IntegrityError
+
+from ..proptest import byte_strings, for_all, integers
+
+
+def flip_bit(data: bytes, bit_index: int) -> bytes:
+    index, bit = divmod(bit_index % (len(data) * 8), 8)
+    return data[:index] + bytes([data[index] ^ (1 << bit)]) + data[index + 1:]
+
+
+KEY = byte_strings(min_len=16, max_len=16)
+IV = byte_strings(min_len=IV_SIZE, max_len=IV_SIZE)
+MESSAGE = byte_strings(max_len=48)
+AAD = byte_strings(max_len=16)
+
+
+class TestGcm:
+    @staticmethod
+    @for_all(KEY, IV, MESSAGE, AAD, runs=15)
+    def test_open_seal_roundtrip(key, iv, message, aad):
+        assert open_(key, seal(key, iv, message, aad), aad) == message
+
+    @staticmethod
+    @for_all(KEY, IV, MESSAGE, integers(0, 10_000), runs=15)
+    def test_one_bit_tamper_rejected(key, iv, message, bit):
+        sealed = seal(key, iv, message)
+        with pytest.raises(IntegrityError):
+            open_(key, flip_bit(sealed, bit))
+
+    @staticmethod
+    @for_all(KEY, IV, MESSAGE, AAD, runs=10)
+    def test_aad_is_authenticated(key, iv, message, aad):
+        sealed = seal(key, iv, message, aad)
+        with pytest.raises(IntegrityError):
+            open_(key, sealed, aad + b"x")
+
+
+class TestConvergentEncryption:
+    @staticmethod
+    @for_all(MESSAGE, runs=20)
+    def test_decrypt_encrypt_identity(message):
+        ce = ConvergentEncryption()
+        assert ce.decrypt(ce.encrypt(message), message) == message
+
+    @staticmethod
+    @for_all(MESSAGE, runs=20)
+    def test_deterministic_tag_and_ciphertext(message):
+        ce = ConvergentEncryption()
+        a, b = ce.encrypt(message), ce.encrypt(message)
+        assert a.tag == b.tag
+        assert a.sealed == b.sealed
+
+    @staticmethod
+    @for_all(byte_strings(min_len=1, max_len=48), integers(0, 10_000), runs=15)
+    def test_tampered_ciphertext_rejected(message, bit):
+        ce = ConvergentEncryption()
+        ct = ce.encrypt(message)
+        tampered = dataclasses.replace(ct, sealed=flip_bit(ct.sealed, bit))
+        with pytest.raises(IntegrityError):
+            ce.decrypt(tampered, message)
+
+
+class TestRandomizedConvergentEncryption:
+    @staticmethod
+    @for_all(MESSAGE, runs=15)
+    def test_decrypt_encrypt_identity(message):
+        rce = RandomizedConvergentEncryption(HmacDrbg(b"prop", b"rce"))
+        assert rce.decrypt(rce.encrypt(message), message) == message
+
+    @staticmethod
+    @for_all(MESSAGE, runs=10)
+    def test_randomized_ciphertexts_share_the_tag(message):
+        rce = RandomizedConvergentEncryption(HmacDrbg(b"prop", b"rce"))
+        a, b = rce.encrypt(message), rce.encrypt(message)
+        assert a.tag == b.tag          # server can still deduplicate
+        assert a.sealed != b.sealed    # but ciphertexts are randomized
+
+    @staticmethod
+    @for_all(byte_strings(min_len=1, max_len=48), integers(0, 10_000), runs=10)
+    def test_tampered_sealed_rejected(message, bit):
+        rce = RandomizedConvergentEncryption(HmacDrbg(b"prop", b"rce"))
+        ct = rce.encrypt(message)
+        tampered = dataclasses.replace(ct, sealed=flip_bit(ct.sealed, bit))
+        with pytest.raises(IntegrityError):
+            rce.decrypt(tampered, message)
+
+    @staticmethod
+    @for_all(byte_strings(min_len=1, max_len=48), runs=10)
+    def test_wrong_message_cannot_unwrap(message):
+        rce = RandomizedConvergentEncryption(HmacDrbg(b"prop", b"rce"))
+        ct = rce.encrypt(message)
+        with pytest.raises(IntegrityError):
+            rce.decrypt(ct, message + b"\x00")

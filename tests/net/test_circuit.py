@@ -1,0 +1,89 @@
+"""Circuit breaker state machine: both recovery clocks."""
+
+import pytest
+
+from repro.net.circuit import CLOSED, HALF_OPEN, OPEN, BreakerConfig, CircuitBreaker
+from repro.sgx.cost_model import SimClock
+
+
+class TestConfig:
+    def test_needs_a_recovery_clock(self):
+        with pytest.raises(ValueError):
+            BreakerConfig(reset_timeout_s=None, reset_after_skips=None)
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BreakerConfig(failure_threshold=0)
+
+
+class TestSkipRecovery:
+    def cfg(self):
+        return BreakerConfig(
+            failure_threshold=2, reset_timeout_s=None, reset_after_skips=3
+        )
+
+    def test_opens_after_threshold_failures(self):
+        breaker = CircuitBreaker(self.cfg())
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.opens == 1
+
+    def test_success_resets_the_failure_count(self):
+        breaker = CircuitBreaker(self.cfg())
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_open_refuses_then_half_opens_after_skips(self):
+        breaker = CircuitBreaker(self.cfg())
+        breaker.record_failure()
+        breaker.record_failure()
+        refused = [breaker.allow() for _ in range(3)]
+        assert refused == [False, False, False]
+        assert breaker.skips == 3
+        assert breaker.allow() is True  # the probe
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_probe_success_closes(self):
+        breaker = CircuitBreaker(self.cfg())
+        breaker.record_failure()
+        breaker.record_failure()
+        for _ in range(4):
+            breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow() is True
+
+    def test_half_open_probe_failure_reopens_immediately(self):
+        breaker = CircuitBreaker(self.cfg())
+        breaker.record_failure()
+        breaker.record_failure()
+        for _ in range(4):
+            breaker.allow()
+        assert breaker.state == HALF_OPEN
+        breaker.record_failure()  # one failure suffices in half-open
+        assert breaker.state == OPEN
+        assert breaker.opens == 2
+
+
+class TestTimeoutRecovery:
+    def test_half_opens_after_simulated_time(self):
+        clock = SimClock()
+        breaker = CircuitBreaker(
+            BreakerConfig(failure_threshold=1, reset_timeout_s=0.5), clock=clock
+        )
+        breaker.record_failure()
+        assert breaker.allow() is False
+        clock.charge_seconds(1.0, "other")
+        assert breaker.allow() is True
+        assert breaker.state == HALF_OPEN
+
+    def test_snapshot_shape(self):
+        breaker = CircuitBreaker(BreakerConfig(failure_threshold=1))
+        breaker.record_failure()
+        breaker.allow()
+        snap = breaker.snapshot()
+        assert snap == {"state": OPEN, "opens": 1, "skips": 1}

@@ -1,0 +1,81 @@
+"""Property-based round trips for the wire framing layer."""
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.net.framing import FieldReader, FieldWriter
+
+from ..proptest import byte_strings, for_all, integers, lists_of, sampled_from
+
+# A random message schema: a list of (kind, value) fields.
+_FIELD_KINDS = ("u8", "u32", "u64", "boolean", "blob", "text")
+
+
+def _field_gen():
+    kind = sampled_from(_FIELD_KINDS)
+    payload = byte_strings(max_len=24)
+    number = integers(0, 2**32 - 1)
+
+    def sample(rng):
+        k = kind(rng)
+        if k == "u8":
+            return (k, rng.randint(0, 255))
+        if k == "u32":
+            return (k, number(rng))
+        if k == "u64":
+            return (k, rng.randint(0, 2**64 - 1))
+        if k == "boolean":
+            return (k, rng.random() < 0.5)
+        if k == "blob":
+            return (k, payload(rng))
+        return (k, payload(rng).hex())  # valid UTF-8 text
+
+    def shrinker(value):
+        k, v = value
+        if k in ("u8", "u32", "u64") and v:
+            yield (k, 0)
+        if k == "boolean" and v:
+            yield (k, False)
+        if k in ("blob", "text") and v:
+            yield (k, v[: len(v) // 2])
+
+    from ..proptest import Gen
+    return Gen(sample, shrinker)
+
+
+FIELDS = lists_of(_field_gen(), max_len=6)
+
+
+def _encode(fields) -> bytes:
+    writer = FieldWriter()
+    for kind, value in fields:
+        getattr(writer, kind)(value)
+    return writer.getvalue()
+
+
+def _decode(data: bytes, fields):
+    reader = FieldReader(data)
+    out = [(kind, getattr(reader, kind)()) for kind, _ in fields]
+    reader.expect_end()
+    return out
+
+
+class TestFraming:
+    @staticmethod
+    @for_all(FIELDS, runs=60)
+    def test_reader_writer_roundtrip(fields):
+        assert _decode(_encode(fields), fields) == fields
+
+    @staticmethod
+    @for_all(lists_of(_field_gen(), min_len=1, max_len=6), runs=60)
+    def test_truncation_always_detected(fields):
+        data = _encode(fields)
+        assert data  # at least one field => at least one byte
+        with pytest.raises(SerializationError):
+            _decode(data[:-1], fields)
+
+    @staticmethod
+    @for_all(FIELDS, byte_strings(min_len=1, max_len=8), runs=40)
+    def test_trailing_garbage_always_detected(fields, garbage):
+        with pytest.raises(SerializationError):
+            _decode(_encode(fields) + garbage, fields)

@@ -1,0 +1,168 @@
+"""A miniature property-based testing runner (stdlib only).
+
+The dev extras list hypothesis, but the container baseline cannot assume
+it; this module provides the 10% of it these tests need: seeded random
+generators, a ``for_all`` decorator that runs a property N times, and
+greedy shrinking to a minimal counterexample.  Failures report the seed
+and both the original and the shrunk inputs, so a red property replays
+deterministically.
+
+Usage::
+
+    from tests.proptest import for_all, byte_strings, integers
+
+    @for_all(byte_strings(max_len=64), runs=50)
+    def test_roundtrip(data):
+        assert decode(encode(data)) == data
+
+The decorated function becomes a zero-argument pytest test.  Seeds
+derive from the property's name (stable across runs and platforms);
+pass ``seed=`` to pin one explicitly.
+"""
+
+from __future__ import annotations
+
+import functools
+import random
+import zlib
+
+
+class Gen:
+    """A value generator plus its shrink strategy."""
+
+    def __init__(self, sample, shrinker=None):
+        self._sample = sample
+        self._shrinker = shrinker
+
+    def __call__(self, rng: random.Random):
+        return self._sample(rng)
+
+    def shrinks(self, value):
+        """Candidate simpler values, most aggressive first."""
+        if self._shrinker is None:
+            return
+        yield from self._shrinker(value)
+
+
+# -- generators ---------------------------------------------------------------
+def integers(lo: int = 0, hi: int = 2**32 - 1) -> Gen:
+    def shrinker(value):
+        if value == lo:
+            return
+        yield lo
+        # Binary descent: successively smaller jumps towards ``value`` let the
+        # greedy shrinker converge on the exact failure boundary.
+        delta = value - lo
+        while delta > 1:
+            delta //= 2
+            yield value - delta
+
+    return Gen(lambda rng: rng.randint(lo, hi), shrinker)
+
+
+def byte_strings(min_len: int = 0, max_len: int = 64) -> Gen:
+    def sample(rng):
+        length = rng.randint(min_len, max_len)
+        return rng.randbytes(length)
+
+    def shrinker(value):
+        if len(value) > min_len:
+            yield value[:min_len]
+            yield value[: max(min_len, len(value) // 2)]
+            yield value[:-1]
+        if value and any(value):
+            yield bytes(len(value))  # all zeros, same length
+
+    return Gen(sample, shrinker)
+
+
+def sampled_from(choices) -> Gen:
+    choices = list(choices)
+
+    def shrinker(value):
+        index = choices.index(value)
+        if index > 0:
+            yield choices[0]
+
+    return Gen(lambda rng: rng.choice(choices), shrinker)
+
+
+def lists_of(element: Gen, min_len: int = 0, max_len: int = 8) -> Gen:
+    def sample(rng):
+        return [element(rng) for _ in range(rng.randint(min_len, max_len))]
+
+    def shrinker(value):
+        if len(value) > min_len:
+            yield value[:min_len]
+            yield value[: max(min_len, len(value) // 2)]
+            yield value[:-1]
+        for index, item in enumerate(value):
+            for smaller in element.shrinks(item):
+                yield value[:index] + [smaller] + value[index + 1:]
+                break  # one element-shrink per position keeps this bounded
+
+    return Gen(sample, shrinker)
+
+
+# -- the runner ---------------------------------------------------------------
+def _holds(prop, values) -> bool:
+    try:
+        prop(*values)
+    except Exception:
+        return False
+    return True
+
+
+def _shrink(prop, gens, values, budget: int = 300):
+    current = list(values)
+    improved = True
+    while improved and budget > 0:
+        improved = False
+        for index, gen in enumerate(gens):
+            for candidate in gen.shrinks(current[index]):
+                if budget <= 0:
+                    return current
+                budget -= 1
+                trial = list(current)
+                trial[index] = candidate
+                if trial != current and not _holds(prop, trial):
+                    current = trial
+                    improved = True
+                    break
+            if improved:
+                break
+    return current
+
+
+def for_all(*gens: Gen, runs: int = 100, seed: int | None = None):
+    """Decorator: run ``prop`` against ``runs`` random inputs, shrinking
+    any counterexample before reporting it."""
+
+    def decorate(prop):
+        @functools.wraps(prop)
+        def runner():
+            base_seed = (
+                seed if seed is not None else zlib.crc32(prop.__name__.encode())
+            )
+            rng = random.Random(base_seed)
+            for run in range(runs):
+                values = [gen(rng) for gen in gens]
+                try:
+                    prop(*values)
+                except Exception as exc:
+                    minimal = _shrink(prop, gens, values)
+                    raise AssertionError(
+                        f"property {prop.__name__} falsified on run {run} "
+                        f"(seed={base_seed}):\n"
+                        f"  original: {values!r}\n"
+                        f"  minimal:  {minimal!r}\n"
+                        f"  error: {type(exc).__name__}: {exc}"
+                    ) from exc
+
+        # functools.wraps records ``__wrapped__``; pytest would follow it and
+        # mistake the property's arguments for fixtures.
+        del runner.__wrapped__
+        runner.property = prop  # the raw N-argument predicate, for reuse
+        return runner
+
+    return decorate

@@ -1,0 +1,95 @@
+"""Scenario runner: replayability, invariants, CLI."""
+
+import pytest
+
+from repro.simtest import SimConfig, run_scenario
+from repro.simtest.__main__ import main
+
+# Small scenarios keep the tier-1 suite fast; the slow_sim sweep below
+# covers volume.
+FAST = dict(steps=25, shards=3)
+
+
+class TestReplayability:
+    def test_same_seed_replays_byte_identical_trace(self):
+        config = SimConfig(seed=11, **FAST)
+        first = run_scenario(config)
+        second = run_scenario(config)
+        assert first.trace == second.trace
+        assert first.digest == second.digest
+        assert first.counters == second.counters
+
+    def test_different_seeds_diverge(self):
+        a = run_scenario(SimConfig(seed=1, **FAST))
+        b = run_scenario(SimConfig(seed=2, **FAST))
+        assert a.digest != b.digest
+
+    def test_repro_string_round_trips_through_config(self):
+        config = SimConfig(seed=42, steps=10, shards=2)
+        assert "--seed 42" in config.repro_string()
+        assert "--steps 10" in config.repro_string()
+        assert "--shards 2" in config.repro_string()
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("seed", [3, 9, 17])
+    def test_fixed_seeds_uphold_all_invariants(self, seed):
+        result = run_scenario(SimConfig(seed=seed, **FAST))
+        assert result.ok, "\n".join(str(v) for v in result.violations)
+
+    def test_conservation_counts_add_up(self):
+        result = run_scenario(SimConfig(seed=9, **FAST))
+        c = result.counters
+        assert (
+            c["runtime.hits"] + c["runtime.misses"] + c["runtime.degraded_calls"]
+            == c["runtime.calls"]
+        )
+
+    def test_faults_actually_fired(self):
+        # Sanity: the schedule is live, not a no-op pass-through.
+        result = run_scenario(SimConfig(seed=9, **FAST))
+        c = result.counters
+        assert c["net.dropped"] + c["net.corrupted"] + c["net.delayed"] > 0
+
+    def test_corruption_ops_are_survivable(self):
+        # A corruption-heavy walk: tampered blobs/metadata must be
+        # rejected and recomputed, never returned.
+        config = SimConfig(seed=13, steps=30, shards=2,
+                           crash_ops=False, partition_ops=False)
+        result = run_scenario(config)
+        assert result.ok, "\n".join(str(v) for v in result.violations)
+
+
+@pytest.mark.slow_sim
+class TestSweep:
+    def test_fifty_generated_schedules_pass(self):
+        failures = []
+        for seed in range(50):
+            result = run_scenario(SimConfig(seed=seed))
+            if not result.ok:
+                failures.append(result)
+        assert not failures, "\n".join(
+            violation_line
+            for result in failures
+            for violation_line in (result.repro, *map(str, result.violations))
+        )
+
+
+class TestCli:
+    def test_single_seed_exits_zero_and_prints_digest(self, capsys):
+        code = main(["--seed", "3", "--steps", "12", "--shards", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "digest=" in out and "OK" in out
+
+    def test_cli_output_is_deterministic(self, capsys):
+        main(["--seed", "3", "--steps", "12", "--shards", "2"])
+        first = capsys.readouterr().out
+        main(["--seed", "3", "--steps", "12", "--shards", "2"])
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_trace_flag_prints_event_lines(self, capsys):
+        main(["--seed", "3", "--steps", "12", "--shards", "2", "--trace"])
+        out = capsys.readouterr().out
+        assert "op=" in out and "phase=settle" in out

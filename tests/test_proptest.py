@@ -1,0 +1,85 @@
+"""The mini property runner itself: failure detection and shrinking."""
+
+import pytest
+
+from .proptest import byte_strings, for_all, integers, lists_of, sampled_from
+
+
+class TestForAll:
+    def test_passing_property_runs_clean(self):
+        @for_all(integers(0, 100), runs=50)
+        def prop(value):
+            assert 0 <= value <= 100
+
+        prop()  # no exception
+
+    def test_failing_property_raises_with_seed_and_minimal(self):
+        @for_all(integers(0, 1000), runs=200)
+        def prop(value):
+            assert value < 500
+
+        with pytest.raises(AssertionError) as excinfo:
+            prop()
+        message = str(excinfo.value)
+        assert "seed=" in message
+        assert "minimal:" in message
+
+    def test_shrinks_integer_counterexample_to_boundary(self):
+        captured = {}
+
+        @for_all(integers(0, 10_000), runs=300, seed=7)
+        def prop(value):
+            assert value < 1000
+
+        with pytest.raises(AssertionError) as excinfo:
+            prop()
+        # Greedy shrinking walks down to the smallest failing value.
+        minimal = int(str(excinfo.value).split("minimal:  [")[1].split("]")[0])
+        assert minimal == 1000
+        assert not captured
+
+    def test_shrinks_bytes_towards_empty(self):
+        @for_all(byte_strings(max_len=64), runs=200, seed=3)
+        def prop(data):
+            assert len(data) < 5
+
+        with pytest.raises(AssertionError) as excinfo:
+            prop()
+        minimal = eval(str(excinfo.value).split("minimal:  [")[1].split("]")[0])
+        assert len(minimal) == 5
+
+    def test_seed_makes_failures_reproducible(self):
+        def build():
+            @for_all(integers(0, 10**9), runs=50, seed=11)
+            def prop(value):
+                assert value % 7 != 0
+
+            return prop
+
+        first = pytest.raises(AssertionError, build()).value
+        second = pytest.raises(AssertionError, build()).value
+        assert str(first) == str(second)
+
+
+class TestGenerators:
+    def test_sampled_from_only_yields_choices(self):
+        @for_all(sampled_from(["a", "b", "c"]), runs=60)
+        def prop(value):
+            assert value in ("a", "b", "c")
+
+        prop()
+
+    def test_lists_respect_bounds(self):
+        @for_all(lists_of(integers(0, 9), min_len=2, max_len=4), runs=60)
+        def prop(items):
+            assert 2 <= len(items) <= 4
+            assert all(0 <= item <= 9 for item in items)
+
+        prop()
+
+    def test_byte_strings_respect_bounds(self):
+        @for_all(byte_strings(min_len=3, max_len=3), runs=40)
+        def prop(data):
+            assert len(data) == 3
+
+        prop()
