@@ -24,19 +24,27 @@ remain available as aliases on the component snapshots for one release
 from __future__ import annotations
 
 import json
+import threading
 from typing import Callable, Mapping
 
 
 class Counter:
-    """Monotonic event counter."""
+    """Monotonic event counter.
 
-    __slots__ = ("value",)
+    ``inc`` is a read-modify-write, so it holds a lock: the pipelined
+    engine's thread-stress suite increments the same counter from many
+    threads and expects exact totals.
+    """
+
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, n: int = 1) -> None:
-        self.value += n
+        with self._lock:
+            self.value += n
 
 
 class Gauge:
@@ -55,7 +63,7 @@ class Histogram:
     """Streaming distribution: exact count/sum/min/max plus a bounded
     sample reservoir for quantile estimates."""
 
-    __slots__ = ("count", "total", "min", "max", "_samples", "_max_samples")
+    __slots__ = ("count", "total", "min", "max", "_samples", "_max_samples", "_lock")
 
     def __init__(self, max_samples: int = 1024) -> None:
         self.count = 0
@@ -64,30 +72,34 @@ class Histogram:
         self.max = float("-inf")
         self._samples: list[float] = []
         self._max_samples = max_samples
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
-        if len(self._samples) < self._max_samples:
-            self._samples.append(value)
-        else:
-            # Deterministic decimation: overwrite round-robin so the
-            # reservoir keeps tracking the stream without randomness
-            # (the simulation is reproducible by construction).
-            self._samples[self.count % self._max_samples] = value
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            if len(self._samples) < self._max_samples:
+                self._samples.append(value)
+            else:
+                # Deterministic decimation: overwrite round-robin so the
+                # reservoir keeps tracking the stream without randomness
+                # (the simulation is reproducible by construction).
+                self._samples[self.count % self._max_samples] = value
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        if not self._samples:
+        with self._lock:
+            samples = list(self._samples)
+        if not samples:
             return 0.0
-        ordered = sorted(self._samples)
+        ordered = sorted(samples)
         index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
         return ordered[index]
 
@@ -135,28 +147,31 @@ class MetricsRegistry:
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
         self._sources: dict[str, Callable[[], Mapping[str, float]]] = {}
+        # Guards registry *structure* (instrument/source creation and the
+        # snapshot walk); instruments carry their own locks for updates.
+        self._lock = threading.Lock()
 
     # -- instruments ---------------------------------------------------------
     def counter(self, name: str) -> Counter:
         try:
             return self._counters[name]
         except KeyError:
-            counter = self._counters[name] = Counter()
-            return counter
+            with self._lock:
+                return self._counters.setdefault(name, Counter())
 
     def gauge(self, name: str) -> Gauge:
         try:
             return self._gauges[name]
         except KeyError:
-            gauge = self._gauges[name] = Gauge()
-            return gauge
+            with self._lock:
+                return self._gauges.setdefault(name, Gauge())
 
     def histogram(self, name: str) -> Histogram:
         try:
             return self._histograms[name]
         except KeyError:
-            histogram = self._histograms[name] = Histogram()
-            return histogram
+            with self._lock:
+                return self._histograms.setdefault(name, Histogram())
 
     # -- sources -------------------------------------------------------------
     def register_source(
@@ -166,24 +181,36 @@ class MetricsRegistry:
         numeric dict.  Dotted keys are taken as already canonical;
         un-dotted keys (legacy aliases) are folded in under
         ``<component>.<key>`` only when no canonical twin exists."""
-        self._sources[component] = source
+        with self._lock:
+            self._sources[component] = source
 
     def unregister_source(self, component: str) -> None:
-        self._sources.pop(component, None)
+        with self._lock:
+            self._sources.pop(component, None)
 
     # -- reading -------------------------------------------------------------
     def snapshot(self) -> dict:
         """One flat, JSON-ready dict over all instruments and sources,
-        canonical ``component.metric`` keys only."""
+        canonical ``component.metric`` keys only.
+
+        Safe to call while other threads create instruments: the
+        registry dicts are copied under the lock, then read lock-free
+        (each instrument's own lock keeps its numbers consistent).
+        """
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+            sources = dict(self._sources)
         out: dict = {}
-        for name, counter in self._counters.items():
+        for name, counter in counters.items():
             out[name] = counter.value
-        for name, gauge in self._gauges.items():
+        for name, gauge in gauges.items():
             out[name] = gauge.value
-        for name, histogram in self._histograms.items():
+        for name, histogram in histograms.items():
             for stat, value in histogram.summary().items():
                 out[f"{name}.{stat}"] = value
-        for component, source in self._sources.items():
+        for component, source in sources.items():
             raw = source()
             for key, value in raw.items():
                 if "." in key:

@@ -26,6 +26,7 @@ allocation per call.
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from dataclasses import dataclass, field
 from time import perf_counter
@@ -206,7 +207,12 @@ class Tracer:
         slow_log_entries: int = 256,
     ):
         self._spans: deque[Span] = deque(maxlen=max_spans)
-        self._stack: list[_OpenSpan] = []
+        # Each thread gets its own span stack: context propagation stays
+        # a stack discipline per thread, and concurrent spans never see
+        # each other as parents.  Shared buffers (ring buffer, phase
+        # totals, id allocation, slow log) are guarded by one lock.
+        self._local = threading.local()
+        self._lock = threading.Lock()
         self._next_span_id = 1
         self._next_trace_id = 1
         self._last_trace_id: int | None = None
@@ -215,6 +221,13 @@ class Tracer:
         self._slow_sim = slow_sim_threshold_s
         self._slow_wall = slow_wall_threshold_s
         self.slow_log: deque[SlowCall] = deque(maxlen=slow_log_entries)
+
+    @property
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     # -- recording -----------------------------------------------------------
     def span(self, name: str, clock=None, **attrs) -> _SpanContext:
@@ -233,63 +246,72 @@ class Tracer:
         return open_span.span
 
     def _start(self, name: str, clock, attrs: dict) -> _OpenSpan:
-        if self._stack:
-            parent = self._stack[-1].span
+        stack = self._stack
+        if stack:
+            parent = stack[-1].span
             trace_id = parent.trace_id
             parent_id = parent.span_id
+            with self._lock:
+                span_id = self._next_span_id
+                self._next_span_id += 1
         else:
-            trace_id = self._next_trace_id
-            self._next_trace_id += 1
-            self._last_trace_id = trace_id
             parent_id = None
+            with self._lock:
+                trace_id = self._next_trace_id
+                self._next_trace_id += 1
+                self._last_trace_id = trace_id
+                span_id = self._next_span_id
+                self._next_span_id += 1
         span = Span(
             name=name,
-            span_id=self._next_span_id,
+            span_id=span_id,
             trace_id=trace_id,
             parent_id=parent_id,
             start_wall=perf_counter(),
             attrs=attrs,
         )
-        self._next_span_id += 1
         open_span = _OpenSpan(
             span, clock, clock.snapshot() if clock is not None else None, span.start_wall
         )
-        self._stack.append(open_span)
+        stack.append(open_span)
         return open_span
 
     def _finish(self, open_span: _OpenSpan) -> None:
-        if not self._stack or self._stack[-1] is not open_span:
+        stack = self._stack
+        if not stack or stack[-1] is not open_span:
             # Mis-nested finish (a span leaked across a raise the caller
             # swallowed): unwind to it so the stack stays consistent.
-            while self._stack and self._stack[-1] is not open_span:
-                self._stack.pop()
-        if self._stack:
-            self._stack.pop()
+            while stack and stack[-1] is not open_span:
+                stack.pop()
+        if stack:
+            stack.pop()
         span = open_span.span
         span.wall_seconds = perf_counter() - open_span._wall0
         if open_span._clock is not None and open_span._sim0 is not None:
             clock = open_span._clock
             span.sim_seconds = clock.since(open_span._sim0) / clock.params.cpu_freq_hz
-        self._spans.append(span)
-        totals = self._phase_totals.setdefault(span.name, [0, 0.0, 0.0, 0])
-        totals[0] += 1
-        totals[1] += span.wall_seconds
-        totals[2] += span.sim_seconds
-        if span.status != "ok":
-            totals[3] += 1
-        if (self._slow_sim is not None and span.sim_seconds > self._slow_sim) or (
+        slow = (self._slow_sim is not None and span.sim_seconds > self._slow_sim) or (
             self._slow_wall is not None and span.wall_seconds > self._slow_wall
-        ):
-            self.slow_log.append(
-                SlowCall(
-                    name=span.name,
-                    trace_id=span.trace_id,
-                    span_id=span.span_id,
-                    wall_seconds=span.wall_seconds,
-                    sim_seconds=span.sim_seconds,
-                    attrs=dict(span.attrs),
+        )
+        with self._lock:
+            self._spans.append(span)
+            totals = self._phase_totals.setdefault(span.name, [0, 0.0, 0.0, 0])
+            totals[0] += 1
+            totals[1] += span.wall_seconds
+            totals[2] += span.sim_seconds
+            if span.status != "ok":
+                totals[3] += 1
+            if slow:
+                self.slow_log.append(
+                    SlowCall(
+                        name=span.name,
+                        trace_id=span.trace_id,
+                        span_id=span.span_id,
+                        wall_seconds=span.wall_seconds,
+                        sim_seconds=span.sim_seconds,
+                        attrs=dict(span.attrs),
+                    )
                 )
-            )
 
     # -- context -------------------------------------------------------------
     @property
@@ -308,9 +330,11 @@ class Tracer:
     # -- reading -------------------------------------------------------------
     def spans(self, trace_id: int | None = None) -> list[Span]:
         """Finished spans, oldest first; optionally one trace only."""
+        with self._lock:
+            spans = list(self._spans)
         if trace_id is None:
-            return list(self._spans)
-        return [s for s in self._spans if s.trace_id == trace_id]
+            return spans
+        return [s for s in spans if s.trace_id == trace_id]
 
     def last_trace(self) -> list[Span]:
         """All finished spans of the most recent trace."""
@@ -320,7 +344,7 @@ class Tracer:
 
     def trace_ids(self) -> list[int]:
         seen: dict[int, None] = {}
-        for span in self._spans:
+        for span in self.spans():
             seen.setdefault(span.trace_id, None)
         return list(seen)
 
@@ -337,6 +361,8 @@ class Tracer:
         ``{name: {count, wall_seconds, sim_seconds, errors}}`` — includes
         the contribution of spans the bounded buffer has already dropped.
         """
+        with self._lock:
+            items = [(name, list(totals)) for name, totals in self._phase_totals.items()]
         return {
             name: {
                 "count": totals[0],
@@ -344,20 +370,21 @@ class Tracer:
                 "sim_seconds": totals[2],
                 "errors": totals[3],
             }
-            for name, totals in sorted(self._phase_totals.items())
+            for name, totals in sorted(items)
         }
 
     def reset(self) -> None:
         """Drop finished spans, totals, and the slow log (open spans stay)."""
-        self._spans.clear()
-        self._phase_totals.clear()
-        self.slow_log.clear()
+        with self._lock:
+            self._spans.clear()
+            self._phase_totals.clear()
+            self.slow_log.clear()
 
     def __len__(self) -> int:
         return len(self._spans)
 
     def __iter__(self) -> Iterator[Span]:
-        return iter(self._spans)
+        return iter(self.spans())
 
 
 def build_tree(spans: list[Span]) -> list[SpanNode]:
