@@ -10,6 +10,13 @@ per-key byte tables.  The 128 field elements ``B[k] = (1 << k) · H`` are
 derived with 127 cheap "divide by x" steps, then the 16×256 table rows are
 assembled with one XOR per entry, so per-message setup stays well under a
 millisecond while bulk GHASH costs only 16 table lookups per block.
+
+Both expensive setups are cached across records: an :class:`AesGcm`
+instance builds its GHASH table once on first use (a channel endpoint
+keeps one instance per direction for its whole life, so per-record cost
+drops to the bulk work), and the one-shot :func:`seal`/:func:`open_`
+helpers reuse a small keyed cipher cache instead of re-running the AES
+key schedule and table build for every blob.
 """
 
 from __future__ import annotations
@@ -40,8 +47,15 @@ def gf_mult(x: int, y: int) -> int:
     return z & _MASK128
 
 
+# Table builds since import; the micro-bench asserts caching keeps this
+# flat while record counts grow.
+table_builds = 0
+
+
 def _build_ghash_table(h: int) -> list[list[int]]:
     """Byte-indexed multiplication tables for the hash subkey ``h``."""
+    global table_builds
+    table_builds += 1
     b = [0] * 128  # b[k] = (1 << k) · h
     b[127] = h
     for k in range(126, -1, -1):
@@ -59,10 +73,14 @@ def _build_ghash_table(h: int) -> list[list[int]]:
 
 
 class _Ghash:
-    """Incremental GHASH accumulator for one hash subkey."""
+    """Incremental GHASH accumulator for one hash subkey.
 
-    def __init__(self, h: int):
-        self._table = _build_ghash_table(h)
+    ``table`` lets a long-lived cipher hand in its cached tables so a
+    fresh accumulator per record costs two allocations, not a rebuild.
+    """
+
+    def __init__(self, h: int, table: list[list[int]] | None = None):
+        self._table = table if table is not None else _build_ghash_table(h)
         self._y = 0
         self._pending = b""
 
@@ -100,18 +118,24 @@ class AesGcm:
     def __init__(self, key: bytes):
         self._aes = AES128(key)
         self._h = int.from_bytes(self._aes.encrypt_block(b"\x00" * 16), "big")
+        self._table: list[list[int]] | None = None  # built on first record
+
+    def _ghash(self) -> _Ghash:
+        if self._table is None:
+            self._table = _build_ghash_table(self._h)
+        return _Ghash(self._h, self._table)
 
     def _j0(self, iv: bytes) -> bytes:
         if len(iv) == IV_SIZE:
             return iv + b"\x00\x00\x00\x01"
-        g = _Ghash(self._h)
+        g = self._ghash()
         g.update(iv)
         g.pad_to_block()
         g.update((len(iv) * 8).to_bytes(16, "big"))
         return g.digest()
 
     def _tag(self, j0: bytes, aad: bytes, ciphertext: bytes) -> bytes:
-        g = _Ghash(self._h)
+        g = self._ghash()
         g.update(aad)
         g.pad_to_block()
         g.update(ciphertext)
@@ -147,10 +171,29 @@ class AesGcm:
         return ctr_transform(self._aes, ctr0, ciphertext)
 
 
+# Keyed cipher cache for the one-shot helpers.  Convergent (MLE) result
+# keys repeat across PUT/GET of the same tag and channel record keys
+# repeat for a connection's lifetime, so re-running the AES key schedule
+# and the GHASH table build per blob was pure waste.  Bounded FIFO; the
+# cache holds key material already present in process memory, so it adds
+# no exposure beyond the caller's own key handling.
+_CIPHER_CACHE: dict[bytes, AesGcm] = {}
+_CIPHER_CACHE_MAX = 128
+
+
+def _cipher_for(key: bytes) -> AesGcm:
+    cipher = _CIPHER_CACHE.get(key)
+    if cipher is None:
+        if len(_CIPHER_CACHE) >= _CIPHER_CACHE_MAX:
+            _CIPHER_CACHE.pop(next(iter(_CIPHER_CACHE)))
+        cipher = _CIPHER_CACHE[key] = AesGcm(key)
+    return cipher
+
+
 def seal(key: bytes, iv: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
     """One-shot AEAD returning ``iv || tag || ciphertext`` as the paper's
     ``[res]`` notation (ciphertext covering auth code and IV)."""
-    ct, tag = AesGcm(key).encrypt(iv, plaintext, aad)
+    ct, tag = _cipher_for(key).encrypt(iv, plaintext, aad)
     return iv + tag + ct
 
 
@@ -159,4 +202,4 @@ def open_(key: bytes, sealed: bytes, aad: bytes = b"") -> bytes:
     if len(sealed) < IV_SIZE + TAG_SIZE:
         raise IntegrityError("sealed blob too short")
     iv, tag, ct = sealed[:IV_SIZE], sealed[IV_SIZE:IV_SIZE + TAG_SIZE], sealed[IV_SIZE + TAG_SIZE:]
-    return AesGcm(key).decrypt(iv, ct, tag, aad)
+    return _cipher_for(key).decrypt(iv, ct, tag, aad)

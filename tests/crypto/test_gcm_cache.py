@@ -1,0 +1,87 @@
+"""Micro-bench and regression tests for GCM setup caching.
+
+BENCH_batch.json attributed ~2.0 s of a 2.17 s wall-clock PUT run to
+``channel.encrypt`` + ``channel.decrypt``; nearly all of it was GCM
+*setup* (AES key schedule + 16x256 GHASH table) being rebuilt for every
+record even though the channel keys never change.  These tests pin the
+fix: setup cost is paid once per key, not once per record, and the
+cached path is measurably faster than fresh per-record construction.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.crypto import gcm
+from repro.crypto.gcm import AesGcm, open_, seal
+
+
+def _iv(i: int) -> bytes:
+    return i.to_bytes(12, "big")
+
+
+def test_instance_builds_ghash_table_once_across_records():
+    cipher = AesGcm(b"\x11" * 16)
+    before = gcm.table_builds
+    for i in range(50):
+        ct, tag = cipher.encrypt(_iv(i), b"payload-%d" % i)
+        assert cipher.decrypt(_iv(i), ct, tag) == b"payload-%d" % i
+    assert gcm.table_builds - before == 1
+
+
+def test_seal_open_reuse_one_cipher_per_key():
+    key = b"\x22" * 16
+    gcm._CIPHER_CACHE.pop(key, None)
+    before = gcm.table_builds
+    blobs = [seal(key, _iv(i), b"record-%d" % i) for i in range(40)]
+    for i, blob in enumerate(blobs):
+        assert open_(key, blob) == b"record-%d" % i
+    # One table build for the whole 80-record run, not 80.
+    assert gcm.table_builds - before == 1
+
+
+def test_cipher_cache_is_bounded():
+    gcm._CIPHER_CACHE.clear()
+    for i in range(gcm._CIPHER_CACHE_MAX + 40):
+        seal(i.to_bytes(16, "big"), _iv(i), b"x")
+    assert len(gcm._CIPHER_CACHE) <= gcm._CIPHER_CACHE_MAX
+
+
+def test_cached_seal_matches_fresh_cipher_and_rejects_tampering():
+    key = b"\x33" * 16
+    blob = seal(key, _iv(7), b"value", aad=b"meta")
+    ct, tag = AesGcm(key).encrypt(_iv(7), b"value", aad=b"meta")
+    assert blob == _iv(7) + tag + ct
+    tampered = blob[:-1] + bytes([blob[-1] ^ 1])
+    try:
+        open_(key, tampered, aad=b"meta")
+    except Exception as exc:
+        assert type(exc).__name__ == "IntegrityError"
+    else:  # pragma: no cover
+        raise AssertionError("tampered blob verified")
+
+
+def test_microbench_cached_setup_beats_per_record_setup():
+    """Wall-clock micro-bench: N sealed records through the cached path
+    must beat N records each paying full setup.  The margin is lenient
+    (1.5x) so CI noise cannot flip it; the real ratio is far larger."""
+    key = b"\x44" * 16
+    payload = b"p" * 256
+    n = 60
+
+    seal(key, _iv(0), payload)  # warm the keyed cache
+
+    t0 = time.perf_counter()
+    for i in range(n):
+        seal(key, _iv(i), payload)
+    cached = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for i in range(n):
+        cipher = AesGcm(key)
+        cipher.encrypt(_iv(i), payload)
+    fresh = time.perf_counter() - t0
+
+    assert fresh > cached * 1.5, (
+        f"expected cached GCM setup to win: fresh={fresh:.4f}s cached={cached:.4f}s"
+    )
