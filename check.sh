@@ -33,6 +33,15 @@ echo "== sim smoke (seeds 3..5) =="
 PYTHONPATH=src python -m repro.simtest --runs 3 --start-seed 3 --steps 25 \
     || status=1
 
+echo "== sim smoke, pipelined engine (seeds 3..5) =="
+PYTHONPATH=src python -m repro.simtest --runs 3 --start-seed 3 --steps 25 \
+    --pipeline || status=1
+
+# Pipelined-engine benchmark smoke: a reduced depth sweep that still
+# exercises grouped dispatch, coalescing, and the result-identity check.
+echo "== bench pipeline smoke =="
+PYTHONPATH=src python -m repro.bench pipeline --quick || status=1
+
 if [ "$status" -ne 0 ]; then
     echo "CHECK FAILED" >&2
 fi

@@ -58,6 +58,7 @@ from .errors import (
     error_codes,
     error_for_code,
 )
+from .engine import EngineConfig, PipelineEngine
 from .obs import MetricsRegistry, Span, Tracer
 from .session import Session, connect
 from .sgx import CostParams, SgxPlatform
@@ -78,9 +79,11 @@ __all__ = [
     "DedupResult",
     "DedupRuntime",
     "Deployment",
+    "EngineConfig",
     "FunctionDescription",
     "MetricsRegistry",
     "NoLiveOwnerError",
+    "PipelineEngine",
     "PlaintextScheme",
     "QuotaExceededError",
     "QuotaPolicy",

@@ -1411,3 +1411,206 @@ def print_cluster(rows: list[ClusterRow]) -> str:
         "Cluster: sharded ResultStore throughput and failover",
         headers, table,
     )
+
+
+# ---------------------------------------------------------------------------
+# Pipeline — concurrent pipelined execution engine (engine.py)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class PipelineRow:
+    phase: str            # get-heavy | coalesce
+    n_shards: int
+    depth: int            # engine depth (0 = serial client, no engine)
+    workers: int
+    ops: int
+    elapsed_sim_s: float  # app + store machine time, engine overlap removed
+    serial_sim_s: float   # same workload through the serial client
+    wall_total_s: float
+    identical: bool       # results byte-identical to the serial run
+    hits: int
+    misses: int
+    degraded: int
+    coalesced: int        # calls served by single-flight coalescing
+    store_gets: int       # GET lookups the shard stores actually served
+
+    @property
+    def sim_ops_per_s(self) -> float:
+        if self.elapsed_sim_s <= 0:
+            return float("inf")
+        return self.ops / self.elapsed_sim_s
+
+    @property
+    def speedup(self) -> float:
+        """Throughput relative to the serial client on the same topology."""
+        if self.serial_sim_s <= 0 or self.elapsed_sim_s <= 0:
+            return 0.0
+        return self.serial_sim_s / self.elapsed_sim_s
+
+
+def _pipeline_inputs(ops: int, seed: int) -> list[bytes]:
+    return [
+        (seed * 100_000 + i).to_bytes(4, "big") * 64  # 256 B, all distinct
+        for i in range(ops)
+    ]
+
+
+def _pipeline_run(session, description, inputs, engine=None):
+    """Drive one batch through ``session`` and return
+    ``(elapsed_sim_s, wall_s, values, counters)`` where ``elapsed_sim_s``
+    charges the app machine plus every shard machine and then removes
+    the engine's overlap credit (serial sessions have none)."""
+    deployment = session.deployment
+    freq = session.clock.params.cpu_freq_hz
+    shard_clocks = {
+        shard_id: node.platform.clock
+        for shard_id, node in deployment.cluster.shards.items()
+    }
+    shard0 = {sid: clock.snapshot() for sid, clock in shard_clocks.items()}
+    app0 = session.clock.snapshot()
+    saved0 = engine.overlap_cycles_saved if engine is not None else 0.0
+    stats = session.runtime.stats
+    hits0, misses0 = stats.hits, stats.misses
+    degraded0, coalesced0 = stats.degraded, stats.coalesced_hits
+    gets0 = sum(
+        node.store.stats.gets
+        for node in deployment.cluster.shards.values()
+    )
+    wall0 = time.perf_counter()
+    results = session.execute_many_results(description, inputs)
+    wall = time.perf_counter() - wall0
+    elapsed = session.clock.since(app0) + sum(
+        clock.since(shard0[sid]) for sid, clock in shard_clocks.items()
+    )
+    if engine is not None:
+        elapsed -= engine.overlap_cycles_saved - saved0
+    counters = dict(
+        hits=stats.hits - hits0,
+        misses=stats.misses - misses0,
+        degraded=stats.degraded - degraded0,
+        coalesced=stats.coalesced_hits - coalesced0,
+        store_gets=sum(
+            node.store.stats.gets
+            for node in deployment.cluster.shards.values()
+        ) - gets0,
+    )
+    return elapsed / freq, wall, [r.value for r in results], counters
+
+
+def run_pipeline(
+    depths: list[int] | None = None,
+    shard_counts: list[int] | None = None,
+    ops: int = 48,
+    workers: int = 4,
+    duplicates: int = 16,
+    seed: int = 71,
+) -> list[PipelineRow]:
+    """Pipelined execution engine sweep (GET-heavy) plus a coalescing run.
+
+    For each shard count a writer warms the cluster, then sibling
+    applications replay the same all-distinct batch: once through the
+    serial client (the ``depth=0`` row and the baseline for ``speedup``)
+    and once per engine depth with multi-slot pipelining on.  The
+    engine's critical-path accounting is what ``elapsed_sim_s`` reports;
+    results must stay byte-identical and the hit/miss/degraded totals
+    must not move.  The final ``coalesce`` rows replay one warm tag
+    ``duplicates`` times in a single batch: the serial client pays one
+    store GET per call while the engine's single-flight mode takes
+    exactly one round trip and serves the rest as coalesced hits.
+    """
+    from ..session import connect
+
+    depths = depths or [1, 4, 8, 16]
+    shard_counts = shard_counts or [1, 4]
+    rows: list[PipelineRow] = []
+
+    for n_shards in sorted(shard_counts):
+        writer = connect(
+            shards=n_shards, replication_factor=1,
+            seed=b"bench-pipeline" + bytes([n_shards]), tracing=False,
+        )
+
+        @writer.mark(version="1.0")
+        def pipeline_kernel(data: bytes) -> bytes:
+            return bytes(b ^ 0x5A for b in data)
+
+        inputs = _pipeline_inputs(ops, seed)
+        pipeline_kernel.map(inputs)
+        writer.flush_puts()
+
+        serial = writer.sibling("serial-reader")
+        elapsed, wall, base_values, counters = _pipeline_run(
+            serial, pipeline_kernel.description, inputs
+        )
+        serial_s = elapsed
+        rows.append(PipelineRow(
+            phase="get-heavy", n_shards=n_shards, depth=0, workers=1,
+            ops=ops, elapsed_sim_s=elapsed, serial_sim_s=serial_s,
+            wall_total_s=wall, identical=True, **counters,
+        ))
+        for depth in sorted(depths):
+            reader = writer.sibling(f"reader-depth{depth}")
+            engine = reader.enable_pipeline(depth=depth, workers=workers)
+            elapsed, wall, values, counters = _pipeline_run(
+                reader, pipeline_kernel.description, inputs, engine
+            )
+            rows.append(PipelineRow(
+                phase="get-heavy", n_shards=n_shards, depth=depth,
+                workers=workers, ops=ops, elapsed_sim_s=elapsed,
+                serial_sim_s=serial_s, wall_total_s=wall,
+                identical=values == base_values, **counters,
+            ))
+
+    # Coalescing: one warm tag hit `duplicates` times in a single batch.
+    writer = connect(
+        shards=4, replication_factor=1,
+        seed=b"bench-pipeline-coalesce", tracing=False,
+    )
+
+    @writer.mark(version="1.0")
+    def pipeline_kernel(data: bytes) -> bytes:
+        return bytes(b ^ 0x5A for b in data)
+
+    burst = [_pipeline_inputs(1, seed + 1)[0]] * duplicates
+    pipeline_kernel.map(burst[:1])
+    writer.flush_puts()
+    serial = writer.sibling("coalesce-serial")
+    elapsed, wall, base_values, counters = _pipeline_run(
+        serial, pipeline_kernel.description, burst
+    )
+    serial_s = elapsed
+    rows.append(PipelineRow(
+        phase="coalesce", n_shards=4, depth=0, workers=1,
+        ops=duplicates, elapsed_sim_s=elapsed, serial_sim_s=serial_s,
+        wall_total_s=wall, identical=True, **counters,
+    ))
+    reader = writer.sibling("coalesce-reader")
+    engine = reader.enable_pipeline(depth=8, workers=workers)
+    elapsed, wall, values, counters = _pipeline_run(
+        reader, pipeline_kernel.description, burst, engine
+    )
+    rows.append(PipelineRow(
+        phase="coalesce", n_shards=4, depth=8, workers=workers,
+        ops=duplicates, elapsed_sim_s=elapsed, serial_sim_s=serial_s,
+        wall_total_s=wall, identical=values == base_values, **counters,
+    ))
+    return rows
+
+
+def print_pipeline(rows: list[PipelineRow]) -> str:
+    headers = ["phase", "shards", "depth", "workers", "ops",
+               "elapsed sim(s)", "sim ops/s", "speedup", "identical",
+               "hits", "misses", "degraded", "coalesced", "store gets"]
+    table = [
+        [
+            r.phase, r.n_shards, r.depth or "-", r.workers, r.ops,
+            r.elapsed_sim_s, r.sim_ops_per_s,
+            f"{r.speedup:.2f}x" if r.depth else "-",
+            "yes" if r.identical else "NO",
+            r.hits, r.misses, r.degraded, r.coalesced, r.store_gets,
+        ]
+        for r in rows
+    ]
+    return format_table(
+        "Pipeline: multi-slot engine speedup and single-flight coalescing",
+        headers, table,
+    )

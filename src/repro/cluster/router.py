@@ -135,6 +135,31 @@ class _PendingBatch:
     emitted: bool = False
 
 
+@dataclass
+class _PendingCall:
+    """One pipelined (submitted, not yet waited) routed call."""
+
+    request: Message
+    kind: str  # "get" | "put"
+    # GET: the primary the request reached (None if nothing hit the wire,
+    # e.g. no owners or the breaker was open) and its shard-local slot id.
+    primary: str | None = None
+    local_id: int | None = None
+    # PUT: every (shard, shard-local slot id) submitted, in ring order.
+    subs: list = field(default_factory=list)
+
+
+@dataclass
+class _PendingGetGroup:
+    """One pipelined GET sub-batch bound for a single primary shard."""
+
+    requests: list
+    # None when nothing reached the wire (no live owners, open breaker,
+    # or the send itself failed): wait falls back to per-item routing.
+    primary: str | None = None
+    local_id: int | None = None
+
+
 class ClusterRouter:
     """Routes one application's store traffic across the shard ring."""
 
@@ -166,6 +191,8 @@ class ClusterRouter:
         self._single_done: set[int] = set()
         self._batch_by_key: dict[tuple[str, int], tuple[int, list[int]]] = {}
         self._batches: dict[int, _PendingBatch] = {}
+        # Pipelined calls: router id -> submitted-but-unwaited state.
+        self._pipeline: dict[int, _PendingCall] = {}
         # Fire-and-forget sends whose acks are router-internal (read
         # repair): absorbed on drain, never surfaced to the runtime.
         self._absorb_keys: set[tuple[str, int]] = set()
@@ -382,6 +409,276 @@ class ClusterRouter:
             self.stats.replica_put_acks += 1
         else:
             self.stats.replica_put_rejects += 1
+
+    # -- pipelined calls -------------------------------------------------------
+    def submit(self, request: Message) -> int:
+        """Pipelined routing: put the request on the wire (GET to its
+        primary, PUT to every owner) and return a router slot id for
+        :meth:`wait`.  Distinct tags land on distinct shards, so N
+        submitted requests are served by the shards concurrently instead
+        of one blocking round trip at a time.
+        """
+        if isinstance(request, GetRequest):
+            pending = self._submit_get(request)
+        elif isinstance(request, PutRequest):
+            pending = self._submit_put(request)
+        else:
+            raise ProtocolError(
+                f"cluster router cannot route {type(request).__name__}"
+            )
+        router_id = self._fresh_router_id()
+        self._pipeline[router_id] = pending
+        return router_id
+
+    def _submit_get(self, request: GetRequest) -> _PendingCall:
+        self.stats.gets_routed += 1
+        pending = _PendingCall(request=request, kind="get")
+        owners = self._owners(request.tag)
+        if owners:
+            shard = owners[0]
+            breaker = self._breaker(shard)
+            if breaker is None or breaker.allow():
+                with self.tracer.span(
+                    "router.shard_get", clock=self.clock, shard=shard
+                ) as span:
+                    try:
+                        pending.local_id = self._clients[shard].submit(request)
+                        pending.primary = shard
+                    except _SHARD_FAILURES:
+                        if breaker is not None:
+                            breaker.record_failure()
+                        span.mark("timeout")
+            else:
+                self.stats.circuit_skips += 1
+        return pending
+
+    def _submit_put(self, request: PutRequest) -> _PendingCall:
+        self.stats.puts_routed += 1
+        pending = _PendingCall(request=request, kind="put")
+        for index, shard in enumerate(self._owners(request.tag)):
+            if index:
+                self.stats.replica_puts += 1
+            breaker = self._breaker(shard)
+            if breaker is not None and not breaker.allow():
+                self.stats.circuit_skips += 1
+                continue
+            with self.tracer.span(
+                "router.shard_put", clock=self.clock, shard=shard
+            ) as span:
+                try:
+                    local_id = self._clients[shard].submit(request)
+                except _SHARD_FAILURES:
+                    if breaker is not None:
+                        breaker.record_failure()
+                    self.stats.put_timeouts += 1
+                    span.mark("timeout")
+                    continue
+            pending.subs.append((shard, local_id))
+        return pending
+
+    # -- grouped pipelining (one record per shard sub-batch) -------------------
+    def plan_gets(self, requests: list[GetRequest]) -> list[list[int]]:
+        """Partition GET indices by primary owner shard.
+
+        Each group can ship as one channel record to one shard, so a
+        round of N GETs across S shards costs S records — and the S
+        shards serve their sub-batches concurrently.  Items with no live
+        owner form their own group (answered without touching the wire).
+        """
+        groups: dict[str, list[int]] = {}
+        orphans: list[int] = []
+        for i, request in enumerate(requests):
+            owners = self._owners(request.tag)
+            if owners:
+                groups.setdefault(owners[0], []).append(i)
+            else:
+                orphans.append(i)
+        out = [indices for _, indices in sorted(groups.items())]
+        out.extend([i] for i in orphans)
+        return out
+
+    def submit_gets(self, requests: list[GetRequest]) -> int:
+        """Submit one :meth:`plan_gets` group (a shared-primary GET
+        sub-batch) as a single record; returns a router slot id for
+        :meth:`wait_gets`."""
+        requests = list(requests)
+        pending = _PendingGetGroup(requests=requests)
+        owners = self._owners(requests[0].tag) if requests else []
+        if owners:
+            shard = owners[0]
+            breaker = self._breaker(shard)
+            if breaker is None or breaker.allow():
+                with self.tracer.span(
+                    "router.shard_get", clock=self.clock, shard=shard,
+                    items=len(requests),
+                ) as span:
+                    try:
+                        pending.local_id = self._clients[shard].submit_gets(requests)
+                        pending.primary = shard
+                    except _SHARD_FAILURES:
+                        if breaker is not None:
+                            breaker.record_failure()
+                        span.mark("timeout")
+            else:
+                self.stats.circuit_skips += 1
+        router_id = self._fresh_router_id()
+        self._pipeline[router_id] = pending
+        return router_id
+
+    def wait_gets(self, router_id: int, n_items: int | None = None) -> list[Message]:
+        """Settle one GET group; per-item semantics match ``call_batch``.
+
+        A group whose shard failed (at submit or in flight) falls back to
+        per-item routing through the surviving replicas; a live primary's
+        per-item miss consults the replicas and read-repairs the primary
+        on a replica hit.  Items with no live owner anywhere come back as
+        ``found=False`` / ``no live owner``.
+        """
+        pending = self._pipeline.pop(router_id, None)
+        if not isinstance(pending, _PendingGetGroup):
+            if pending is not None:  # a single-call slot: put it back
+                self._pipeline[router_id] = pending
+            raise ProtocolError(
+                f"router group {router_id} was never submitted (or already waited on)"
+            )
+        requests = pending.requests
+        if n_items is not None and n_items != len(requests):
+            self._pipeline[router_id] = pending
+            raise ProtocolError(
+                f"router group {router_id} has {len(requests)} item(s), "
+                f"waiter expected {n_items}"
+            )
+        if pending.primary is None:
+            return [self._route_get(r) for r in requests]
+        shard = pending.primary
+        breaker = self._breaker(shard)
+        responses: list[Message] | None = None
+        with self.tracer.span(
+            "router.shard_get", clock=self.clock, shard=shard,
+            items=len(requests),
+        ) as span:
+            try:
+                responses = self._clients[shard].wait_gets(
+                    pending.local_id, len(requests)
+                )
+            except _SHARD_FAILURES:
+                if breaker is not None:
+                    breaker.record_failure()
+                self.stats.get_timeouts += 1
+                span.mark("timeout")
+        if responses is None:
+            out: list[Message] = []
+            for request in requests:
+                response = self._route_get(request, skip={shard})
+                if response.found:
+                    self.stats.failovers += 1
+                    self.tracer.event("router.failover", clock=self.clock)
+                out.append(response)
+            return out
+        if breaker is not None:
+            breaker.record_success()
+        self.stats.gets_routed += len(requests)
+        out = []
+        for request, response in zip(requests, responses):
+            if not isinstance(response, GetResponse):
+                raise ProtocolError(
+                    f"shard {shard!r} answered GET with {type(response).__name__}"
+                )
+            if response.found:
+                out.append(response)
+            else:
+                self.stats.gets_routed -= 1  # _route_get_after_miss recounts
+                out.append(self._route_get_after_miss(request, shard))
+        return out
+
+    def wait(self, router_id: int) -> Message:
+        """Settle one pipelined call; semantics match :meth:`call`.
+
+        A GET whose primary failed while in flight fails over through
+        the surviving replicas (read-repairing on a replica hit) and
+        only reports ``no live owner`` when every owner is gone; a PUT's
+        first live owner in ring order stays authoritative, the others'
+        verdicts are absorbed as replica acks.
+        """
+        pending = self._pipeline.pop(router_id, None)
+        if not isinstance(pending, _PendingCall):
+            if pending is not None:  # a group slot: put it back
+                self._pipeline[router_id] = pending
+            raise ProtocolError(
+                f"router call {router_id} was never submitted (or already waited on)"
+            )
+        if pending.kind == "get":
+            return self._wait_get(pending)
+        return self._wait_put(pending)
+
+    def _wait_get(self, pending: _PendingCall) -> GetResponse:
+        request = pending.request
+        if pending.primary is None:
+            # Nothing reached the wire at submit: route from scratch
+            # (which re-counts the GET, so undo the submit-time count).
+            self.stats.gets_routed -= 1
+            return self._route_get(request)
+        shard = pending.primary
+        breaker = self._breaker(shard)
+        response: Message | None = None
+        with self.tracer.span(
+            "router.shard_get", clock=self.clock, shard=shard
+        ) as span:
+            try:
+                response = self._clients[shard].wait(pending.local_id)
+            except _SHARD_FAILURES:
+                if breaker is not None:
+                    breaker.record_failure()
+                self.stats.get_timeouts += 1
+                span.mark("timeout")
+        if response is None:
+            self.stats.gets_routed -= 1
+            fallback = self._route_get(request, skip={shard})
+            if fallback.found:
+                self.stats.failovers += 1
+                self.tracer.event("router.failover", clock=self.clock)
+            return fallback
+        if breaker is not None:
+            breaker.record_success()
+        if not isinstance(response, GetResponse):
+            raise ProtocolError(
+                f"shard {shard!r} answered GET with {type(response).__name__}"
+            )
+        if response.found:
+            return response
+        # Primary live miss: consult the replicas, read-repairing the
+        # primary on a replica hit (same as the synchronous path).
+        self.stats.gets_routed -= 1
+        return self._route_get_after_miss(request, shard)
+
+    def _wait_put(self, pending: _PendingCall) -> Message:
+        authoritative: Message | None = None
+        for shard, local_id in pending.subs:
+            breaker = self._breaker(shard)
+            with self.tracer.span(
+                "router.shard_put", clock=self.clock, shard=shard
+            ) as span:
+                try:
+                    response = self._clients[shard].wait(local_id)
+                except _SHARD_FAILURES:
+                    if breaker is not None:
+                        breaker.record_failure()
+                    self.stats.put_timeouts += 1
+                    span.mark("timeout")
+                    continue
+            if breaker is not None:
+                breaker.record_success()
+            if authoritative is None:
+                # subs is in ring order: the first live owner is the
+                # primary when it is up, else the first replica.
+                authoritative = response
+            else:
+                self._count_replica_ack(response)
+        if authoritative is None:
+            raise NoLiveOwnerError(
+                f"{NO_LIVE_OWNER} for tag {pending.request.tag[:8].hex()}"
+            )
+        return authoritative
 
     # -- batched calls ---------------------------------------------------------
     def call_batch(self, requests: list[Message]) -> list[Message]:
@@ -710,6 +1007,12 @@ class ClusterRouter:
         )
         snap["router.duplicate_responses_dropped"] = sum(
             c.duplicates_dropped for c in self._clients.values()
+        )
+        snap["router.pipelined_submits"] = sum(
+            c.submits for c in self._clients.values()
+        )
+        snap["router.pipeline_max_inflight"] = sum(
+            c.max_inflight for c in self._clients.values()
         )
         snap["router.circuit_opens"] = sum(
             b.opens for b in self._breakers.values()

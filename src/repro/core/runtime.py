@@ -83,8 +83,10 @@ class DedupResult:
     obtained without digging through stats:
 
     * ``source`` — ``"l1"`` (served from the in-enclave cache),
-      ``"store"`` (verified store hit, Algorithm 2) or ``"computed"``
-      (fresh execution, Algorithm 1);
+      ``"store"`` (verified store hit, Algorithm 2), ``"computed"``
+      (fresh execution, Algorithm 1) or ``"coalesced"`` (single-flight:
+      an identical in-flight tag shared its leader's round trip and
+      verification, and this follower observed the leader's result);
     * ``span_id``/``trace_id`` — the call's root span when a tracer is
       attached (``None`` under the default :data:`NULL_TRACER`).
     """
@@ -125,6 +127,15 @@ class RuntimeConfig:
     # the miss path (Algorithm 1) recomputes anyway; only deduplication
     # is lost.  Off by default: fail-fast keeps store outages visible.
     degrade_on_store_failure: bool = False
+    # Async PUT flusher bounds.  ``put_queue_entries`` caps the pending
+    # queue: when an enqueue would leave it at the cap, the oldest batch
+    # is drained first (back-pressure — the caller absorbs the send cost
+    # instead of the queue growing without bound).  0 keeps the legacy
+    # unbounded queue drained only by explicit ``flush_puts`` calls.
+    put_queue_entries: int = 0
+    # PUTs shipped per background drain (one channel record each);
+    # 0 drains the whole queue in a single batch.
+    put_flush_batch: int = 0
 
 
 @dataclass
@@ -137,6 +148,7 @@ class _BatchItem:
     attempt_dedup: bool = False
     hit: bool = False
     l1_hit: bool = False
+    coalesced: bool = False
     degraded: bool = False
     result_value: Any = None
     result_len: int = 0
@@ -145,6 +157,20 @@ class _BatchItem:
     # batched OCALLs, channel records) are split evenly afterwards.
     direct_wall: float = 0.0
     direct_sim: float = 0.0
+
+
+class _SerialRegion:
+    """No-op stand-in for :meth:`PipelineEngine.parallel_region` used when
+    no engine is attached: tasks run (and are accounted) serially."""
+
+    def __enter__(self) -> "_SerialRegion":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def task(self) -> "_SerialRegion":
+        return self
 
 
 class DedupRuntime:
@@ -179,6 +205,12 @@ class DedupRuntime:
             # The app enclave's transitions belong to this call's trace.
             self.enclave.tracer = self.tracer
         self._pending_puts: list[PutRequest] = []
+        # Optional pipelined execution engine (see repro.engine); when
+        # attached, stage-2 GETs and stage-4 PUTs of execute_many go
+        # through its concurrent submit/wait fan-out instead of the
+        # serial call_batch path.
+        self.engine = None
+        self._closed = False
         # Correlation id -> number of PUT items awaiting a response.
         self._inflight_puts: dict[int, int] = {}
         # Correlation id -> the tags those PUT items carried, in order,
@@ -193,6 +225,39 @@ class DedupRuntime:
                 max_entries=self.config.l1_cache_entries,
                 max_bytes=self.config.l1_cache_bytes,
             )
+
+    # -- pipelined engine / lifecycle -----------------------------------------
+    def attach_engine(self, engine) -> None:
+        """Attach a :class:`~repro.engine.PipelineEngine`.
+
+        Once attached, :meth:`execute_many` fans its batched GETs and
+        synchronous PUTs out through the engine's pipelined
+        ``submit()/wait()`` surface (with single-flight tag coalescing),
+        and asynchronous PUT drains are accounted as the engine's
+        background lane.  Per-item results, clock charges, and counters
+        stay identical to the serial path; only the schedule — and hence
+        the engine's makespan accounting — changes.
+        """
+        self.engine = engine
+
+    def close(self) -> int:
+        """Flush every queued PUT, settle engine accounting, and refuse
+        further queued PUTs.  Idempotent.  Returns the number of PUTs
+        this call flushed.
+
+        After ``close()``, computations that would queue an async PUT
+        raise :class:`DedupError` — a closed runtime must not silently
+        accumulate work that nothing will ever flush.
+        """
+        flushed = self.flush_puts()
+        if self.engine is not None:
+            self.engine.settle()
+        self._closed = True
+        return flushed
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     # -- public entry points --------------------------------------------------
     def execute(
@@ -397,26 +462,41 @@ class DedupRuntime:
                 func_identity = self.libraries.function_identity(description)
 
                 # Stage 1: derive every tag; serve what the L1 already holds.
-                for index, item in enumerate(items):
-                    with self.tracer.span(
-                        "runtime.item", clock=self.clock, index=index
-                    ) as item_span, self._item_meter(item):
-                        item.input_bytes = input_parser.encode(item.input_value)
-                        item.tag = derive_tag(
-                            func_identity, item.input_bytes, self.clock
-                        )
-                        attempt = self.config.dedup_enabled
-                        if attempt and adaptive is not None:
-                            attempt = adaptive.should_attempt_dedup(func_identity)
-                        item.attempt_dedup = attempt
-                        if attempt and self.l1_cache is not None:
-                            cached = self.l1_cache.get(item.tag)
-                            if cached is not None:
-                                item.hit = item.l1_hit = True
-                                item.result_len = len(cached)
-                                item.result_value = result_parser.decode(cached)
-                        item_span.set("l1_hit", item.l1_hit)
-                        item_span_ids[index] = item_span.span_id
+                # Per-item derivation is independent enclave work, so with
+                # the engine attached it rides the worker lanes exactly like
+                # stage-2 verification.
+                stage1_region = (
+                    self.engine.parallel_region()
+                    if self.engine is not None
+                    else _SerialRegion()
+                )
+                with stage1_region as region:
+                    for index, item in enumerate(items):
+                        with self.tracer.span(
+                            "runtime.item", clock=self.clock, index=index
+                        ) as item_span, self._item_meter(item), region.task():
+                            item.input_bytes = input_parser.encode(
+                                item.input_value
+                            )
+                            item.tag = derive_tag(
+                                func_identity, item.input_bytes, self.clock
+                            )
+                            attempt = self.config.dedup_enabled
+                            if attempt and adaptive is not None:
+                                attempt = adaptive.should_attempt_dedup(
+                                    func_identity
+                                )
+                            item.attempt_dedup = attempt
+                            if attempt and self.l1_cache is not None:
+                                cached = self.l1_cache.get(item.tag)
+                                if cached is not None:
+                                    item.hit = item.l1_hit = True
+                                    item.result_len = len(cached)
+                                    item.result_value = result_parser.decode(
+                                        cached
+                                    )
+                            item_span.set("l1_hit", item.l1_hit)
+                            item_span_ids[index] = item_span.span_id
 
                 # Stage 2: one multi-tag duplicate check for everything the
                 # L1 could not answer (Algorithm 2, lines 2-3, batched).
@@ -431,68 +511,105 @@ class DedupRuntime:
                         for _, item in lookups
                     ]
                     payload = sum(len(item.tag) + 64 for _, item in lookups)
-                    try:
+                    if self.engine is not None:
                         with self.enclave.ocall("batch_get_request", in_bytes=payload):
-                            responses = self.client.call_batch(requests)
-                    except _STORE_FAILURES:
-                        if not self.config.degrade_on_store_failure:
-                            raise
-                        # The whole duplicate check was lost: every item
-                        # degrades to local computation (stage 3).
-                        for _, item in lookups:
-                            item.degraded = True
-                        responses = []
-                        lookups = []
-                    for (index, item), response in zip(lookups, responses):
-                        if not isinstance(response, GetResponse):
-                            raise DedupError(
-                                f"store answered GET with {type(response).__name__}"
-                            )
-                        if not response.found:
-                            if (
-                                response.reason == NoLiveOwnerError.code
-                                and self.config.degrade_on_store_failure
+                            batch = self.engine.run_gets(requests)
+                        self._absorb_engine_gets(
+                            lookups, batch, func_identity, result_parser
+                        )
+                    else:
+                        try:
+                            with self.enclave.ocall(
+                                "batch_get_request", in_bytes=payload
                             ):
+                                responses = self.client.call_batch(requests)
+                        except _STORE_FAILURES:
+                            if not self.config.degrade_on_store_failure:
+                                raise
+                            # The whole duplicate check was lost: every
+                            # item degrades to local compute (stage 3).
+                            for _, item in lookups:
                                 item.degraded = True
-                            continue
-                        with self.tracer.span(
-                            "runtime.verify", clock=self.clock, index=index
-                        ) as vs, self._item_meter(item):
-                            self._verify_batch_hit(
-                                item, response, func_identity, result_parser
+                            responses = []
+                            lookups = []
+                        for (index, item), response in zip(lookups, responses):
+                            self._absorb_get_response(
+                                index, item, response, func_identity, result_parser
                             )
-                            vs.set("ok", item.hit)
 
                 # Stage 3: compute the misses in input order (Algorithm 1).
+                # With the engine's single-flight mode on, later misses
+                # whose tag an earlier miss already computed this batch
+                # join that leader in-enclave: one compute, one PUT.
                 sync_puts: list[PutRequest] = []
+                coalesce = (
+                    self.engine is not None and self.engine.config.coalesce
+                )
+                computed_by_tag: dict[bytes, _BatchItem] = {}
                 for item in items:
                     if item.hit:
                         continue
+                    if coalesce and item.attempt_dedup:
+                        leader = computed_by_tag.get(item.tag)
+                        if leader is not None:
+                            item.hit = True
+                            item.coalesced = True
+                            item.degraded = False
+                            item.result_len = leader.result_len
+                            item.result_value = leader.result_value
+                            continue
                     with self._item_meter(item):
                         self._compute_batch_item(
                             item, func, func_identity, result_parser,
                             unpack_args, native_factor, sync_puts,
                         )
+                    if coalesce and item.attempt_dedup and not item.l1_hit:
+                        computed_by_tag[item.tag] = item
 
                 # Stage 4: ship all synchronous PUTs as one record/OCALL.
                 if sync_puts:
                     payload = sum(len(p.sealed_result) + 128 for p in sync_puts)
-                    try:
+                    if self.engine is not None:
                         with self.enclave.ocall("batch_put_request", in_bytes=payload):
-                            responses = self.client.call_batch(sync_puts)
-                    except _STORE_FAILURES:
+                            put_batch = self.engine.run_puts(sync_puts)
                         if not self.config.degrade_on_store_failure:
-                            raise
+                            for response in put_batch.responses:
+                                if isinstance(response, Exception):
+                                    raise response
                         self.stats.puts_sent += len(sync_puts)
-                        self.stats.puts_failed += len(sync_puts)
-                    else:
-                        self.stats.puts_sent += len(sync_puts)
-                        for put, response in zip(sync_puts, responses):
-                            if isinstance(response, PutResponse) and response.accepted:
+                        for put, response in zip(sync_puts, put_batch.responses):
+                            if isinstance(response, Exception):
+                                self.stats.puts_failed += 1
+                            elif (
+                                isinstance(response, PutResponse)
+                                and response.accepted
+                            ):
                                 self.stats.puts_accepted += 1
                                 self.acked_put_tags.add(put.tag)
                             else:
                                 self.stats.puts_rejected += 1
+                    else:
+                        try:
+                            with self.enclave.ocall(
+                                "batch_put_request", in_bytes=payload
+                            ):
+                                responses = self.client.call_batch(sync_puts)
+                        except _STORE_FAILURES:
+                            if not self.config.degrade_on_store_failure:
+                                raise
+                            self.stats.puts_sent += len(sync_puts)
+                            self.stats.puts_failed += len(sync_puts)
+                        else:
+                            self.stats.puts_sent += len(sync_puts)
+                            for put, response in zip(sync_puts, responses):
+                                if (
+                                    isinstance(response, PutResponse)
+                                    and response.accepted
+                                ):
+                                    self.stats.puts_accepted += 1
+                                    self.acked_put_tags.add(put.tag)
+                                else:
+                                    self.stats.puts_rejected += 1
 
         total_wall = time.perf_counter() - wall_start
         total_sim = self.clock.since(sim_start) / self.clock.params.cpu_freq_hz
@@ -522,6 +639,7 @@ class DedupRuntime:
                     l1_hit=item.l1_hit,
                     batch_size=n,
                     degraded=item.degraded and not item.hit,
+                    coalesced=item.coalesced,
                 )
             )
             results.append(
@@ -530,8 +648,10 @@ class DedupRuntime:
                     hit=item.hit,
                     l1_hit=item.l1_hit,
                     tag=item.tag,
-                    source="l1" if item.l1_hit else (
-                        "store" if item.hit else "computed"
+                    source="coalesced" if item.coalesced else (
+                        "l1" if item.l1_hit else (
+                            "store" if item.hit else "computed"
+                        )
                     ),
                     span_id=item_span_ids[index],
                     trace_id=batch_trace_id,
@@ -551,6 +671,81 @@ class DedupRuntime:
         finally:
             item.direct_wall += time.perf_counter() - wall0
             item.direct_sim += self.clock.since(sim0) / self.clock.params.cpu_freq_hz
+
+    def _absorb_get_response(
+        self,
+        index: int,
+        item: _BatchItem,
+        response: Message,
+        func_identity: bytes,
+        result_parser: Parser,
+    ) -> None:
+        """Fold one store GET response into its batch item (type check,
+        miss/degrade handling, Fig. 3 verification on a hit)."""
+        if not isinstance(response, GetResponse):
+            raise DedupError(
+                f"store answered GET with {type(response).__name__}"
+            )
+        if not response.found:
+            if (
+                response.reason == NoLiveOwnerError.code
+                and self.config.degrade_on_store_failure
+            ):
+                item.degraded = True
+            return
+        with self.tracer.span(
+            "runtime.verify", clock=self.clock, index=index
+        ) as vs, self._item_meter(item):
+            self._verify_batch_hit(item, response, func_identity, result_parser)
+            vs.set("ok", item.hit)
+
+    def _absorb_engine_gets(
+        self,
+        lookups: list,
+        batch,
+        func_identity: bytes,
+        result_parser: Parser,
+    ) -> None:
+        """Fold a pipelined :class:`~repro.engine.EngineBatch` of GETs in.
+
+        Leaders (one per distinct tag) are verified exactly like the
+        serial path; a per-op failure degrades just that item (or is
+        surfaced, matching the serial whole-batch raise policy).
+        Coalesced followers never touched the wire — they observe their
+        leader's outcome verbatim: the leader's verified bytes on a hit,
+        degradation on a degraded leader, or fall-through to stage-3
+        compute on a miss/failed verification.
+        """
+        followers = batch.leader_of
+        # Per-item verification is enclave-local work with no shared
+        # state: the engine accounts it as spread over the worker lanes
+        # (one verification per enclave worker thread at a time).
+        with self.engine.parallel_region() as region:
+            for pos, (index, item) in enumerate(lookups):
+                if pos in followers:
+                    continue
+                response = batch.responses[pos]
+                if isinstance(response, Exception):
+                    if not self.config.degrade_on_store_failure:
+                        raise response
+                    item.degraded = True
+                    continue
+                with region.task():
+                    self._absorb_get_response(
+                        index, item, response, func_identity, result_parser
+                    )
+        for pos, leader_pos in followers.items():
+            _, item = lookups[pos]
+            _, leader = lookups[leader_pos]
+            if leader.hit:
+                item.hit = True
+                item.coalesced = True
+                item.result_len = leader.result_len
+                item.result_value = leader.result_value
+            elif leader.degraded:
+                item.degraded = True
+            # Leader miss (or failed verification): the follower falls
+            # through to stage 3, where compute coalescing pairs them.
 
     def _verify_batch_hit(
         self,
@@ -607,7 +802,7 @@ class DedupRuntime:
             self.l1_cache.put(item.tag, result_bytes)
         put = self._protect_put(func_identity, item.input_bytes, item.tag, result_bytes)
         if self.config.async_put:
-            self._pending_puts.append(put)
+            self._enqueue_put(put)
         else:
             sync_puts.append(put)
 
@@ -679,7 +874,7 @@ class DedupRuntime:
                 self.l1_cache.put(tag, result_bytes)
             put = self._protect_put(func_identity, input_bytes, tag, result_bytes)
             if self.config.async_put:
-                self._pending_puts.append(put)
+                self._enqueue_put(put)
             else:
                 self._send_put_sync(put)
         return result_value, len(result_bytes), compute_sim
@@ -702,6 +897,54 @@ class DedupRuntime:
             self.stats.puts_rejected += 1
 
     # -- asynchronous PUT draining ---------------------------------------------
+    def _enqueue_put(self, put: PutRequest) -> None:
+        """Queue an async PUT, applying the configured back-pressure.
+
+        With ``put_queue_entries > 0`` the queue is bounded: once the
+        enqueue reaches the cap, the oldest ``put_flush_batch`` entries
+        are drained immediately — the computing caller absorbs the send
+        cost rather than the queue growing without limit (the engine's
+        background lane overlaps it with foreground work when attached).
+        """
+        if self._closed:
+            raise DedupError("runtime is closed; no further PUTs accepted")
+        self._pending_puts.append(put)
+        bound = self.config.put_queue_entries
+        if bound > 0 and len(self._pending_puts) >= bound:
+            self.drain_put_batch()
+
+    def drain_put_batch(self, max_items: int | None = None) -> int:
+        """Send the oldest queued PUT batch one-way and account any
+        responses already available; returns the number sent.
+
+        This is the background flusher's unit of work: bounded, cheap,
+        callable between foreground requests.  When an engine is
+        attached the drain's clock charges are accounted as the
+        engine's background lane — they overlap the next round of
+        foreground work instead of adding to the critical path.
+        """
+        if max_items is None:
+            max_items = self.config.put_flush_batch or len(self._pending_puts)
+        batch = self._pending_puts[:max_items]
+        del self._pending_puts[:max_items]
+        if batch:
+            if self.engine is not None:
+                with self.engine.background():
+                    self._send_put_batch_oneway(batch)
+            else:
+                self._send_put_batch_oneway(batch)
+        self._account_put_responses(self.client.drain_responses())
+        return len(batch)
+
+    def _send_put_batch_oneway(self, batch: list[PutRequest]) -> None:
+        if len(batch) == 1:
+            request_id = self.client.send_oneway(batch[0])
+        else:
+            request_id = self.client.send_oneway_batch(batch)
+        self._inflight_puts[request_id] = len(batch)
+        self._inflight_put_tags[request_id] = tuple(p.tag for p in batch)
+        self.stats.puts_sent += len(batch)
+
     def flush_puts(self) -> int:
         """Send all queued PUTs (the "separated thread" of §V-B) and
         account their outcomes; returns the number flushed.
@@ -720,19 +963,12 @@ class DedupRuntime:
         or errors the server could not correlate — stay visible in
         :attr:`puts_unacknowledged` instead of being miscounted.
         """
-        puts = self._pending_puts
-        self._pending_puts = []
-        if len(puts) == 1:
-            request_id = self.client.send_oneway(puts[0])
-            self._inflight_puts[request_id] = 1
-            self._inflight_put_tags[request_id] = (puts[0].tag,)
-        elif puts:
-            request_id = self.client.send_oneway_batch(puts)
-            self._inflight_puts[request_id] = len(puts)
-            self._inflight_put_tags[request_id] = tuple(p.tag for p in puts)
-        self.stats.puts_sent += len(puts)
-        self._account_put_responses(self.client.drain_responses())
-        return len(puts)
+        flushed = 0
+        while self._pending_puts:
+            flushed += self.drain_put_batch(max_items=len(self._pending_puts))
+        if not flushed:
+            self._account_put_responses(self.client.drain_responses())
+        return flushed
 
     def _account_put_responses(self, responses: Sequence[Message]) -> None:
         for response in responses:

@@ -37,6 +37,11 @@ class CallRecord:
     # of failing (graceful degradation — Algorithm 1's path, entered for
     # availability rather than novelty).  Mutually exclusive with hit.
     degraded: bool = False
+    # Single-flight: this call carried a tag identical to another call
+    # in flight in the same batch and was handed that leader's result —
+    # one store round trip and one verification for the whole group.
+    # Always a hit (of whatever kind the leader's outcome was).
+    coalesced: bool = False
 
 
 @dataclass
@@ -60,6 +65,9 @@ class RuntimeStats:
     # (the simulation harness asserts this conservation invariant).
     degraded: int = 0
     l1_hits: int = 0
+    # Hits served by single-flight coalescing (pipelined engine): the
+    # call shared an in-flight leader's round trip/verification/compute.
+    coalesced_hits: int = 0
     batches: int = 0
     verification_failures: int = 0
     puts_sent: int = 0
@@ -78,6 +86,8 @@ class RuntimeStats:
             self.misses += 1
         if record.l1_hit:
             self.l1_hits += 1
+        if record.coalesced:
+            self.coalesced_hits += 1
         self.records.append(record)
 
     def hit_rate(self) -> float:
@@ -113,6 +123,7 @@ class RuntimeStats:
             "misses": self.misses,
             "degraded": self.degraded,
             "l1_hits": self.l1_hits,
+            "coalesced_hits": self.coalesced_hits,
             "batches": self.batches,
             "verification_failures": self.verification_failures,
             "puts_sent": self.puts_sent,

@@ -1,0 +1,490 @@
+"""Concurrent pipelined execution engine for store round trips.
+
+Every layer below this one is synchronous: ``RpcClient.call`` blocks on
+its own response, so a GET to shard A serializes behind a GET to shard
+B even though distinct shards are distinct machines.  The engine drives
+the pipelined ``submit()/wait()`` surface instead — up to ``depth``
+correlated requests are put on the wire before the first response is
+consumed — and adds **single-flight tag coalescing**: identical
+in-flight tags share one store round trip, with followers handed the
+leader's response.
+
+Simulated-time correctness
+--------------------------
+The simulation executes on one OS thread, so "concurrency" here is
+*logical*: the wire order of a round is submit×N then wait×N, and every
+operation charges the same per-machine SimClock cycles it would charge
+on the serial path (results, counters, and invariants are bit-identical
+by construction).  What changes is the *schedule*: overlapped spans
+advance per-machine sim time concurrently, not additively.  The engine
+therefore reports a round's elapsed simulated time as its **critical
+path**::
+
+    makespan = max( max_i lane_busy[i],      # each of W client lanes
+                    max_s shard_busy[s],     # each shard machine
+                    max_op (app_op + shard_op) )  # any single op's chain
+
+where ``lane_busy`` spreads the client-side (app machine) cost of the
+round's ops over ``workers`` lanes round-robin, ``shard_busy`` is each
+shard clock's advance during the round, and the last term keeps one
+operation's own send→serve→receive chain serial.  With ``depth=1,
+workers=1`` the expression degenerates to the exact serial sum, and a
+deployment whose store shares the application's machine (no second
+clock to overlap with) is forced to a single lane — one machine cannot
+overlap with itself.
+
+The asynchronous PUT flusher uses :meth:`PipelineEngine.background` to
+account its drains as one extra lane that overlaps the next round of
+foreground work; :meth:`settle` folds any un-overlapped remainder back
+in serially.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from .errors import ChannelError, ProtocolError, TransportError
+from .net.messages import GetRequest, Message
+from .obs.tracer import NULL_TRACER
+
+# Failures that mean "the store did not serve this op" — the runtime
+# degrades (or surfaces) them per item, exactly like the serial path.
+_ENGINE_FAILURES = (TransportError, ChannelError, ProtocolError)
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Tuning knobs for the pipelined engine."""
+
+    #: Outstanding requests per round (submit window).
+    depth: int = 8
+    #: Client-side worker lanes the round's app cost is spread over.
+    workers: int = 4
+    #: Single-flight: identical in-flight tags share one round trip.
+    coalesce: bool = True
+
+    def __post_init__(self):
+        if self.depth < 1:
+            raise ProtocolError("engine depth must be >= 1")
+        if self.workers < 1:
+            raise ProtocolError("engine workers must be >= 1")
+
+
+@dataclass
+class EngineBatch:
+    """Result of one pipelined fan-out.
+
+    ``responses[i]`` is the store's response for ``requests[i]`` — or an
+    exception instance when that op failed after retries.  Coalesced
+    followers share their leader's response object; ``leader_of`` maps
+    each follower position to its leader's position.
+    """
+
+    responses: list
+    leader_of: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def coalesced(self) -> int:
+        return len(self.leader_of)
+
+
+class PipelineEngine:
+    """Multi-slot pipelining + coalescing over an RpcClient-shaped peer.
+
+    Parameters
+    ----------
+    client:
+        Anything with ``submit(request) -> id`` / ``wait(id) -> Message``
+        — an :class:`~repro.net.rpc.RpcClient` or a
+        :class:`~repro.cluster.router.ClusterRouter`.
+    clock:
+        The application machine's SimClock (client-side costs land here).
+    shard_clocks:
+        Mapping of shard id to that shard machine's SimClock, or a
+        callable returning one (so restarted shards are re-read live).
+        Clocks identical to ``clock`` are ignored: co-located work
+        cannot overlap with the caller.
+    """
+
+    def __init__(
+        self,
+        client,
+        clock,
+        shard_clocks: Mapping[str, object] | Callable[[], Mapping[str, object]] | None = None,
+        config: EngineConfig | None = None,
+        tracer=NULL_TRACER,
+    ):
+        self.client = client
+        self.clock = clock
+        if shard_clocks is None:
+            shard_clocks = {}
+        self._shard_clocks = (
+            shard_clocks if callable(shard_clocks) else (lambda: shard_clocks)
+        )
+        self.config = config or EngineConfig()
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        # Accounting (cycles).  makespan is the critical-path schedule
+        # bound; serial is the plain sum a serial client would take.
+        self.makespan_cycles = 0.0
+        self.serial_cycles = 0.0
+        self.rounds = 0
+        self.ops = 0
+        self.failures = 0
+        self.coalesced_total = 0
+        # Background (flusher) work carried into the next round.
+        self._bg_app = 0.0
+        self._bg_shard: dict[str, float] = {}
+
+    # -- clock plumbing ------------------------------------------------------
+    def _remote_clocks(self) -> dict[str, object]:
+        """Shard clocks that are genuinely other machines."""
+        return {
+            sid: c for sid, c in self._shard_clocks().items() if c is not self.clock
+        }
+
+    def _lanes(self, remote: Mapping[str, object]) -> int:
+        # Without a remote machine there is nothing to overlap with:
+        # every charge lands on the one clock, so the round is serial.
+        if not remote:
+            return 1
+        return max(1, min(self.config.workers, self.config.depth))
+
+    # -- fan-out -------------------------------------------------------------
+    def run_gets(self, requests: Sequence[Message]) -> EngineBatch:
+        """Pipeline a list of GETs; coalesce duplicate in-flight tags.
+
+        Exactly one store round trip is performed per distinct tag; the
+        followers of a tag receive the leader's response object without
+        touching the wire (and without charging any clock).  When the
+        client can plan shard groups (``plan_gets``), each round fans out
+        one sub-batch record per shard so the shards serve concurrently
+        and the channel's AEAD cost stays amortized across the group.
+        """
+        requests = list(requests)
+        responses: list = [None] * len(requests)
+        leader_of: dict[int, int] = {}
+        wire: list[int] = []
+        if self.config.coalesce:
+            leaders: dict[bytes, int] = {}
+            for i, request in enumerate(requests):
+                tag = request.tag if isinstance(request, GetRequest) else None
+                if tag is None:
+                    wire.append(i)
+                    continue
+                leader = leaders.setdefault(tag, i)
+                if leader == i:
+                    wire.append(i)
+                else:
+                    leader_of[i] = leader
+        else:
+            wire = list(range(len(requests)))
+        self.coalesced_total += len(leader_of)
+        grouped = hasattr(self.client, "plan_gets") and hasattr(
+            self.client, "submit_gets"
+        )
+        for start in range(0, len(wire), self.config.depth):
+            round_indices = wire[start:start + self.config.depth]
+            ops = [(i, requests[i]) for i in round_indices]
+            if grouped:
+                self._run_get_round(ops, responses)
+            else:
+                self._run_round(ops, responses)
+        for follower, leader in leader_of.items():
+            responses[follower] = responses[leader]
+        return EngineBatch(responses=responses, leader_of=leader_of)
+
+    def run_puts(self, requests: Sequence[Message]) -> EngineBatch:
+        """Pipeline a list of PUTs (never coalesced: every PUT wants its
+        own durability verdict, and the store dedups identical tags)."""
+        requests = list(requests)
+        responses: list = [None] * len(requests)
+        for start in range(0, len(requests), self.config.depth):
+            ops = [
+                (i, requests[i])
+                for i in range(start, min(start + self.config.depth, len(requests)))
+            ]
+            self._run_round(ops, responses)
+        return EngineBatch(responses=responses)
+
+    def _run_get_round(self, ops: list, responses: list) -> None:
+        """One pipelined GET round over the client's shard groups.
+
+        The round's ops are partitioned by the client (one group per
+        primary shard); each group ships as a single record, is served by
+        its shard concurrently with the other groups, and its app-side
+        send/receive cost occupies one worker lane.  Clock charges stay
+        identical to the serial per-shard sub-batch path; only the
+        makespan accounting interprets them as overlapped.
+        """
+        remote = self._remote_clocks()
+        lanes = self._lanes(remote)
+        round_start = {sid: c.snapshot() for sid, c in remote.items()}
+        lane_busy = [0.0] * lanes
+        chains: list[float] = []
+        group_requests = [request for _, request in ops]
+        plan = self.client.plan_gets(group_requests)
+        with self.tracer.span(
+            "engine.round", clock=self.clock, ops=len(ops),
+            groups=len(plan), lanes=lanes,
+        ) as span:
+            pending: list = []
+            for slot, positions in enumerate(plan):
+                sub = [group_requests[p] for p in positions]
+                app0 = self.clock.snapshot()
+                shard0 = {sid: c.snapshot() for sid, c in remote.items()}
+                handle = error = None
+                try:
+                    handle = self.client.submit_gets(sub)
+                except _ENGINE_FAILURES as exc:
+                    error = exc
+                app_d = self.clock.since(app0)
+                shard_d = sum(c.since(shard0[sid]) for sid, c in remote.items())
+                pending.append((slot, positions, handle, error, app_d, shard_d))
+            for slot, positions, handle, error, app_d, shard_d in pending:
+                app0 = self.clock.snapshot()
+                shard0 = {sid: c.snapshot() for sid, c in remote.items()}
+                if error is None:
+                    try:
+                        replies: list = self.client.wait_gets(
+                            handle, len(positions)
+                        )
+                    except _ENGINE_FAILURES as exc:
+                        replies = [exc] * len(positions)
+                        self.failures += len(positions)
+                else:
+                    replies = [error] * len(positions)
+                    self.failures += len(positions)
+                app_d += self.clock.since(app0)
+                shard_d += sum(c.since(shard0[sid]) for sid, c in remote.items())
+                lane_busy[slot % lanes] += app_d
+                chains.append(app_d + shard_d)
+                for position, reply in zip(positions, replies):
+                    index, _ = ops[position]
+                    responses[index] = reply
+            shard_busy = [
+                c.since(round_start[sid]) + self._bg_shard.pop(sid, 0.0)
+                for sid, c in remote.items()
+            ]
+            bg_app = self._bg_app
+            self._bg_app = 0.0
+            makespan = max(
+                max(lane_busy),
+                max(shard_busy, default=0.0),
+                max(chains, default=0.0),
+                bg_app,
+            )
+            serial = sum(lane_busy) + sum(shard_busy) + bg_app
+            span.set("makespan_cycles", makespan)
+            span.set("serial_cycles", serial)
+        self.makespan_cycles += makespan
+        self.serial_cycles += serial
+        self.rounds += 1
+        self.ops += len(ops)
+
+    def _run_round(self, ops: list, responses: list) -> None:
+        """Submit every op of the round, then settle them in order.
+
+        Clock charges are identical to the serial path; only the
+        makespan accounting interprets them as overlapped.
+        """
+        remote = self._remote_clocks()
+        lanes = self._lanes(remote)
+        round_start = {sid: c.snapshot() for sid, c in remote.items()}
+        lane_busy = [0.0] * lanes
+        chains: list[float] = []
+        with self.tracer.span(
+            "engine.round", clock=self.clock, ops=len(ops), lanes=lanes
+        ) as span:
+            pending: list = []
+            for slot, (index, request) in enumerate(ops):
+                app0 = self.clock.snapshot()
+                shard0 = {sid: c.snapshot() for sid, c in remote.items()}
+                handle = error = None
+                try:
+                    handle = self.client.submit(request)
+                except _ENGINE_FAILURES as exc:
+                    error = exc
+                app_d = self.clock.since(app0)
+                shard_d = sum(c.since(shard0[sid]) for sid, c in remote.items())
+                pending.append((slot, index, handle, error, app_d, shard_d))
+            for slot, index, handle, error, app_d, shard_d in pending:
+                app0 = self.clock.snapshot()
+                shard0 = {sid: c.snapshot() for sid, c in remote.items()}
+                if error is None:
+                    try:
+                        response: object = self.client.wait(handle)
+                    except _ENGINE_FAILURES as exc:
+                        response = exc
+                        self.failures += 1
+                else:
+                    response = error
+                    self.failures += 1
+                app_d += self.clock.since(app0)
+                shard_d += sum(c.since(shard0[sid]) for sid, c in remote.items())
+                lane_busy[slot % lanes] += app_d
+                chains.append(app_d + shard_d)
+                responses[index] = response
+            shard_busy = [
+                c.since(round_start[sid]) + self._bg_shard.pop(sid, 0.0)
+                for sid, c in remote.items()
+            ]
+            bg_app = self._bg_app
+            self._bg_app = 0.0
+            makespan = max(
+                max(lane_busy),
+                max(shard_busy, default=0.0),
+                max(chains, default=0.0),
+                bg_app,
+            )
+            serial = sum(lane_busy) + sum(shard_busy) + bg_app
+            span.set("makespan_cycles", makespan)
+            span.set("serial_cycles", serial)
+        self.makespan_cycles += makespan
+        self.serial_cycles += serial
+        self.rounds += 1
+        self.ops += len(ops)
+
+    # -- background (flusher) lane -------------------------------------------
+    def background(self):
+        """Context manager accounting enclosed work as a background lane.
+
+        The enclosed work (an async PUT drain) charges the clocks
+        normally; its cost is credited to the *next* round's makespan as
+        one extra lane — it overlaps the foreground, bounded below by
+        itself.  Call :meth:`settle` to fold any remainder in serially.
+        """
+        return _BackgroundSpan(self)
+
+    def parallel_region(self) -> "_ParallelRegion":
+        """Context manager accounting enclosed per-task app work as
+        spread over the worker lanes.
+
+        The runtime uses it for per-item result verification: each
+        :meth:`_ParallelRegion.task` measures one item's app-clock cost,
+        tasks are assigned round-robin to ``min(workers, n_tasks)``
+        lanes (the enclave's worker threads, one per core), and on exit
+        the region contributes its busiest lane to the makespan and the
+        plain sum to the serial total.  With ``workers=1`` it degenerates
+        to the exact serial sum.
+        """
+        return _ParallelRegion(self)
+
+    def settle(self) -> None:
+        """Fold background work no later round overlapped into the
+        makespan serially (nothing ran concurrently with it)."""
+        extra_shard = max(self._bg_shard.values(), default=0.0)
+        if self._bg_app or self._bg_shard:
+            self.makespan_cycles += max(self._bg_app, extra_shard)
+            self.serial_cycles += self._bg_app + sum(self._bg_shard.values())
+            self._bg_app = 0.0
+            self._bg_shard.clear()
+
+    # -- reading ---------------------------------------------------------------
+    @property
+    def sim_seconds(self) -> float:
+        """Critical-path (pipelined) simulated seconds across all rounds."""
+        return self.makespan_cycles / self.clock.params.cpu_freq_hz
+
+    @property
+    def serial_sim_seconds(self) -> float:
+        """What the same ops cost the serial client (plain cycle sum)."""
+        return self.serial_cycles / self.clock.params.cpu_freq_hz
+
+    @property
+    def overlap_cycles_saved(self) -> float:
+        return self.serial_cycles - self.makespan_cycles
+
+    def reset_accounting(self) -> None:
+        self.settle()
+        self.makespan_cycles = 0.0
+        self.serial_cycles = 0.0
+        self.rounds = 0
+        self.ops = 0
+        self.failures = 0
+        self.coalesced_total = 0
+
+    def snapshot(self) -> dict:
+        """Canonical ``engine.<metric>`` counters for the registry."""
+        return {
+            "engine.depth": self.config.depth,
+            "engine.workers": self.config.workers,
+            "engine.rounds": self.rounds,
+            "engine.ops": self.ops,
+            "engine.failures": self.failures,
+            "engine.coalesced_gets": self.coalesced_total,
+            "engine.sim_seconds_total": self.sim_seconds,
+            "engine.serial_sim_seconds_total": self.serial_sim_seconds,
+        }
+
+
+class _ParallelRegion:
+    """Accounts a run of same-shaped app tasks as worker-lane work."""
+
+    __slots__ = ("_engine", "_costs")
+
+    def __init__(self, engine: PipelineEngine):
+        self._engine = engine
+        self._costs: list[float] = []
+
+    def __enter__(self) -> "_ParallelRegion":
+        return self
+
+    def task(self) -> "_ParallelRegion":
+        """Context manager measuring one task's app-clock delta."""
+        return _RegionTask(self)
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if not self._costs:
+            return False
+        engine = self._engine
+        lanes = max(1, min(engine.config.workers, len(self._costs)))
+        lane_busy = [0.0] * lanes
+        for i, cost in enumerate(self._costs):
+            lane_busy[i % lanes] += cost
+        engine.makespan_cycles += max(lane_busy)
+        engine.serial_cycles += sum(self._costs)
+        return False
+
+
+class _RegionTask:
+    """Measures one task's app-clock delta for its region."""
+
+    __slots__ = ("_region", "_app0")
+
+    def __init__(self, region: _ParallelRegion):
+        self._region = region
+
+    def __enter__(self) -> "_RegionTask":
+        self._app0 = self._region._engine.clock.snapshot()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._region._costs.append(
+            self._region._engine.clock.since(self._app0)
+        )
+        return False
+
+
+class _BackgroundSpan:
+    """Measures one background drain's per-machine clock deltas."""
+
+    __slots__ = ("_engine", "_app0", "_shard0", "_remote")
+
+    def __init__(self, engine: PipelineEngine):
+        self._engine = engine
+
+    def __enter__(self) -> "_BackgroundSpan":
+        self._remote = self._engine._remote_clocks()
+        self._app0 = self._engine.clock.snapshot()
+        self._shard0 = {sid: c.snapshot() for sid, c in self._remote.items()}
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        engine = self._engine
+        engine._bg_app += engine.clock.since(self._app0)
+        for sid, c in self._remote.items():
+            delta = c.since(self._shard0[sid])
+            if delta:
+                engine._bg_shard[sid] = engine._bg_shard.get(sid, 0.0) + delta
+        return False

@@ -166,10 +166,17 @@ class RpcClient:
         # id is a duplicate (wire-level or replayed) and must never reach
         # another waiter.
         self._seen_response_ids: set[int] = set()
+        # Multi-slot pipelining: requests submitted but not yet waited on
+        # (kept whole so wait() can retry under the same correlation id),
+        # and responses that arrived while another waiter was scanning.
+        self._pipeline: dict[int, Message] = {}
+        self._completed: dict[int, Message] = {}
         self.retries = 0
         self.backoff_seconds_total = 0.0
         self.records_rejected = 0
         self.duplicates_dropped = 0
+        self.submits = 0
+        self.max_inflight = 0
 
     @property
     def server_address(self) -> str:
@@ -275,12 +282,144 @@ class RpcClient:
                 raise ProtocolError(
                     f"server error {response.code}: {response.detail}"
                 )
-            if rid in self._seen_response_ids or rid in self._stray_ids:
+            if (
+                rid in self._seen_response_ids
+                or rid in self._stray_ids
+                or rid in self._completed
+            ):
                 self.duplicates_dropped += 1
+                continue
+            if rid in self._pipeline:
+                # Another submitted slot's response: park it for its waiter.
+                self._completed[rid] = response
                 continue
             self._stray_ids.add(rid)
             self._stray_responses.append(response)
         raise TransportError("no response arrived (server reactor not attached?)")
+
+    # -- multi-slot pipelining ----------------------------------------------
+    def submit(self, request: Message) -> int:
+        """Send a correlated request without waiting; returns its slot id.
+
+        Up to N submitted requests may be outstanding on the connection
+        at once (correlation ids keep their responses apart); each is
+        settled by :meth:`wait`.  A send that fails outright is deferred:
+        :meth:`wait` resends it under the same correlation id via the
+        retry policy, preserving the idempotency guarantees of
+        :meth:`call`.
+        """
+        with self.tracer.span(
+            "rpc.submit", clock=self.clock,
+            message=type(request).__name__, server=self._server_address,
+        ):
+            request_id = self._fresh_request_id()
+            request = with_request_id(request, request_id)
+            self._pipeline[request_id] = request
+            self.submits += 1
+            if len(self._pipeline) > self.max_inflight:
+                self.max_inflight = len(self._pipeline)
+            try:
+                self._send(request)
+            except TransportError:
+                pass  # wait() retries (or surfaces) under the same id
+            return request_id
+
+    def wait(self, request_id: int) -> Message:
+        """Block on the response to a :meth:`submit`-ted request.
+
+        Applies the same retry/backoff schedule as :meth:`call`, reusing
+        the original correlation id so a retried request whose first copy
+        landed is deduplicated server-side.  Responses that arrived while
+        other slots were being waited on are delivered from the parked
+        set without touching the wire.
+        """
+        request = self._pipeline.get(request_id)
+        if request is None:
+            raise ProtocolError(
+                f"request {request_id} was never submitted (or already waited on)"
+            )
+        with self.tracer.span(
+            "rpc.wait", clock=self.clock,
+            message=type(request).__name__, server=self._server_address,
+        ):
+            try:
+                policy = self.retry_policy
+                attempts = max(1, policy.max_attempts) if policy is not None else 1
+                last_error: Exception | None = None
+                for attempt in range(attempts):
+                    if attempt:
+                        self.retries += 1
+                        self._charge_backoff(policy, attempt - 1, request_id)
+                        try:
+                            self._send(request)
+                        except TransportError as exc:
+                            last_error = exc
+                            continue
+                    try:
+                        return self._take_response(request_id)
+                    except TransportError as exc:
+                        last_error = exc
+                    except ProtocolError as exc:
+                        if policy is None or not policy.retry_protocol_errors:
+                            raise
+                        last_error = exc
+                assert last_error is not None
+                if attempts > 1:
+                    raise RetryExhaustedError(
+                        f"request {request_id} to {self._server_address!r} failed "
+                        f"after {attempts} attempts: {last_error}"
+                    ) from last_error
+                raise last_error
+            finally:
+                self._pipeline.pop(request_id, None)
+
+    def _take_response(self, request_id: int) -> Message:
+        """One settle attempt: parked response first, then the inbox."""
+        response = self._completed.pop(request_id, None)
+        if response is not None:
+            self._seen_response_ids.add(request_id)
+            if isinstance(response, ErrorMessage):
+                raise ProtocolError(
+                    f"server error {response.code}: {response.detail}"
+                )
+            return response
+        return self._await_response(request_id)
+
+    # -- grouped pipelining (one record per submitted group) -----------------
+    def plan_gets(self, requests: Sequence[GetRequest]) -> list[list[int]]:
+        """Partition GET indices into groups that can share one wire
+        record.  One server, one connection: everything is one group."""
+        return [list(range(len(requests)))] if requests else []
+
+    def submit_gets(self, requests: Sequence[GetRequest]) -> int:
+        """Submit a GET group as a single channel record without waiting.
+
+        The group costs one AEAD seal (and one server ECALL) like
+        :meth:`call_batch`, but the slot is settled later by
+        :meth:`wait_gets` — so several groups, e.g. one per shard, can be
+        in flight at once.
+        """
+        requests = list(requests)
+        if len(requests) == 1:
+            return self.submit(requests[0])
+        return self.submit(BatchGetRequest(items=tuple(requests)))
+
+    def wait_gets(self, handle: int, n_items: int) -> list[Message]:
+        """Settle a :meth:`submit_gets` slot into per-item responses."""
+        response = self.wait(handle)
+        if n_items == 1:
+            items = [response]
+        elif isinstance(response, BatchGetResponse):
+            items = list(response.items)
+        else:
+            raise ProtocolError(
+                f"store answered batch GET with {type(response).__name__}"
+            )
+        if len(items) != n_items:
+            raise ProtocolError(
+                f"batch GET response has {len(items)} items, expected {n_items}"
+            )
+        return items
 
     def call_batch(self, requests: Sequence[Message]) -> list[Message]:
         """Issue a uniform batch of GETs or PUTs under one channel record.
@@ -355,8 +494,13 @@ class RpcClient:
         out: list[Message] = []
         for response in pending:
             rid = response.request_id
-            if rid != 0 and rid in self._seen_response_ids:
+            if rid != 0 and (rid in self._seen_response_ids or rid in self._completed):
                 self.duplicates_dropped += 1
+                continue
+            if rid in self._pipeline:
+                # Belongs to a submitted slot: park it for wait(), never
+                # hand a pipelined response out as a stray.
+                self._completed[rid] = response
                 continue
             if rid != 0:
                 self._seen_response_ids.add(rid)
@@ -371,6 +515,8 @@ class RpcClient:
             "rpc.records_rejected": self.records_rejected,
             "rpc.duplicate_responses_dropped": self.duplicates_dropped,
             "rpc.records_sent": self.records_sent,
+            "rpc.pipelined_submits": self.submits,
+            "rpc.pipeline_max_inflight": self.max_inflight,
         }
 
 

@@ -295,6 +295,54 @@ class Session:
         """Drain the asynchronous PUT queue off the critical path."""
         return self.runtime.flush_puts()
 
+    def enable_pipeline(
+        self, depth: int = 8, workers: int = 4, coalesce: bool = True
+    ):
+        """Attach a pipelined execution engine to this session's runtime.
+
+        Batched store GETs/PUTs then travel through the engine's
+        multi-slot ``submit()/wait()`` fan-out with single-flight tag
+        coalescing (see :mod:`repro.engine`), and async PUT drains are
+        accounted as its background lane.  Results and counters are
+        byte-identical to the serial path; the engine additionally
+        reports the overlapped schedule's critical-path simulated time.
+        Returns the attached :class:`~repro.engine.PipelineEngine`.
+        """
+        from .engine import EngineConfig, PipelineEngine
+
+        if self.is_cluster:
+            deployment = self.deployment
+
+            def shard_clocks() -> dict:
+                # Read live so shards revived onto fresh platforms are
+                # still accounted against the right machine clock.
+                return {
+                    shard_id: node.platform.clock
+                    for shard_id, node in deployment.cluster.shards.items()
+                }
+        else:
+            # Fig. 1 single-machine topology: the store shares the app
+            # machine, so the engine sees no second clock and stays
+            # serial (one machine cannot overlap with itself).
+            def shard_clocks() -> dict:
+                return {"store": self.deployment.platform.clock}
+
+        engine = PipelineEngine(
+            self.runtime.client,
+            self.clock,
+            shard_clocks=shard_clocks,
+            config=EngineConfig(depth=depth, workers=workers, coalesce=coalesce),
+            tracer=self.tracer,
+        )
+        self.runtime.attach_engine(engine)
+        self.metrics.register_source("engine", engine.snapshot)
+        return engine
+
+    def close(self) -> int:
+        """Flush all queued PUTs, settle engine accounting, and refuse
+        further queued work (see :meth:`DedupRuntime.close`)."""
+        return self.runtime.close()
+
     # -- topology -------------------------------------------------------------
     @property
     def is_cluster(self) -> bool:

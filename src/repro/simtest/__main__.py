@@ -38,6 +38,10 @@ def main(argv=None) -> int:
                         help="scenario steps per seed")
     parser.add_argument("--shards", type=int, default=3,
                         help="cluster shards per scenario")
+    parser.add_argument("--pipeline", action="store_true",
+                        help="drive the workload through the pipelined "
+                             "engine (depth 8, coalescing on) and check "
+                             "the coalescing invariant")
     parser.add_argument("--trace", action="store_true",
                         help="print every trace event line")
     parser.add_argument("--shrink", action="store_true",
@@ -51,7 +55,10 @@ def main(argv=None) -> int:
 
     failures = 0
     for seed in seeds:
-        config = SimConfig(seed=seed, steps=args.steps, shards=args.shards)
+        config = SimConfig(
+            seed=seed, steps=args.steps, shards=args.shards,
+            pipeline=args.pipeline,
+        )
         result = run_scenario(config)
         print(result.summary())
         if args.trace:

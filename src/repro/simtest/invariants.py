@@ -17,6 +17,13 @@ cluster must satisfy all four.  Each check returns a list of
    every delivery).
 4. **Conservation** — every call is exactly one of hit, miss, or
    degraded: ``hits + misses + degraded == calls``.
+
+With the pipelined engine enabled, a fifth invariant applies:
+
+5. **Coalescing** — every single-flight follower (a result whose
+   ``source`` is ``"coalesced"``) observes its leader's exact result:
+   within the same batch there is an earlier non-coalesced call with the
+   same tag, and the follower's value equals that leader's value.
 """
 
 from __future__ import annotations
@@ -79,6 +86,40 @@ def check_confidentiality(secrets, wire_payloads, repro: str = "") -> list:
                     repro,
                 ))
                 break  # one sighting per secret is enough to report
+    return violations
+
+
+def check_coalesced(results, repro: str = "") -> list:
+    """Every coalesced follower observes its leader's exact result.
+
+    ``results`` is one batch's list of
+    :class:`~repro.core.runtime.DedupResult`.  For each result whose
+    ``source`` is ``"coalesced"`` there must exist an earlier result in
+    the batch with the same tag that was *not* coalesced (the leader —
+    the one that actually took the store round trip, verification, or
+    compute), and the follower's value must equal the leader's value.
+    """
+    violations = []
+    leaders: dict[bytes, object] = {}
+    for index, result in enumerate(results):
+        if result.source != "coalesced":
+            leaders.setdefault(result.tag, result)
+            continue
+        leader = leaders.get(result.tag)
+        if leader is None:
+            violations.append(Violation(
+                "coalescing",
+                f"result[{index}] (tag {result.tag.hex()[:16]}) is coalesced "
+                "but no earlier non-coalesced call in the batch shares its tag",
+                repro,
+            ))
+        elif leader.value != result.value:
+            violations.append(Violation(
+                "coalescing",
+                f"result[{index}] (tag {result.tag.hex()[:16]}) diverged from "
+                f"its leader: {result.value!r} != {leader.value!r}",
+                repro,
+            ))
     return violations
 
 

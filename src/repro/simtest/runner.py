@@ -30,6 +30,7 @@ from dataclasses import dataclass, field, replace
 
 from .invariants import (
     Violation,
+    check_coalesced,
     check_confidentiality,
     check_conservation,
     check_durability,
@@ -78,6 +79,10 @@ class SimConfig:
     crash_ops: bool = True
     partition_ops: bool = True
     corruption_ops: bool = True
+    # Drive the workload through the pipelined engine (depth 8, tag
+    # coalescing on) instead of the serial client path, and check the
+    # fifth (coalescing) invariant on every batch.
+    pipeline: bool = False
 
     def repro_string(self) -> str:
         """The one-liner that replays this exact scenario."""
@@ -86,6 +91,8 @@ class SimConfig:
             parts.append(f"--steps {self.steps}")
         if self.shards != 3:
             parts.append(f"--shards {self.shards}")
+        if self.pipeline:
+            parts.append("--pipeline")
         return " ".join(parts)
 
 
@@ -131,6 +138,7 @@ _TRACE_COUNTERS = (
     "runtime.misses",
     "runtime.degraded_calls",
     "runtime.l1_hits",
+    "runtime.coalesced_hits",
     "runtime.verification_failures",
     "runtime.puts_sent",
     "runtime.puts_accepted",
@@ -187,6 +195,8 @@ def run_scenario(config: SimConfig) -> ScenarioResult:
         ),
         runtime_config=RuntimeConfig(degrade_on_store_failure=True),
     )
+    if config.pipeline:
+        session.enable_pipeline(depth=8, workers=4, coalesce=True)
 
     @session.mark(version="1.0")
     def sim_workload(data: bytes) -> bytes:
@@ -250,6 +260,8 @@ def run_scenario(config: SimConfig) -> ScenarioResult:
                 results = sim_workload.map_results([pool[i] for i in indices])
                 for i, result in zip(indices, results):
                     check_value("batch", i, result.value)
+                if config.pipeline:
+                    violations.extend(check_coalesced(results, repro))
                 outcomes = ",".join(r.source for r in results)
                 trace.append(
                     f"step={step} op=batch inputs={indices} outcomes={outcomes}"

@@ -252,3 +252,64 @@ class TestCluster:
                                    replication_factors=[1], ops=16)
         text = harness.print_cluster(rows)
         assert "speedup" in text and "failovers" in text
+
+
+class TestPipeline:
+    def test_pipeline_sweep_meets_acceptance_targets(self):
+        # The issue's acceptance bar: >=2x simulated ops/s over the
+        # serial path at depth 8 on 4 shards (GET-heavy), byte-identical
+        # results, unchanged hit/miss/degraded conservation totals, and
+        # a K-duplicate burst taking exactly one store round trip.
+        rows = harness.run_pipeline(depths=[8], shard_counts=[4], ops=48)
+        serial = next(r for r in rows
+                      if r.phase == "get-heavy" and r.depth == 0)
+        deep = next(r for r in rows
+                    if r.phase == "get-heavy" and r.depth == 8)
+        assert deep.speedup >= 2.0
+        assert deep.identical
+        assert (deep.hits, deep.misses, deep.degraded) == (
+            serial.hits, serial.misses, serial.degraded
+        )
+        co_serial = next(r for r in rows
+                         if r.phase == "coalesce" and r.depth == 0)
+        co = next(r for r in rows if r.phase == "coalesce" and r.depth == 8)
+        assert co.store_gets == 1
+        assert co_serial.store_gets == co.ops
+        assert co.coalesced == co.ops - 1
+        assert co.identical
+        assert (co.hits, co.misses, co.degraded) == (
+            co_serial.hits, co_serial.misses, co_serial.degraded
+        )
+
+    def test_depth_one_pays_the_per_record_cost(self):
+        # An unpipelined grouped round ships one record per op, losing
+        # the batch AEAD amortization: depth 1 must not beat serial, and
+        # deeper windows must monotonically improve on it.
+        rows = harness.run_pipeline(depths=[1, 8], shard_counts=[4],
+                                    ops=24, duplicates=4)
+        d1 = next(r for r in rows
+                  if r.phase == "get-heavy" and r.depth == 1)
+        d8 = next(r for r in rows
+                  if r.phase == "get-heavy" and r.depth == 8)
+        assert d1.speedup <= 1.0
+        assert d8.speedup > d1.speedup
+        assert d1.identical and d8.identical
+
+    def test_pipeline_rows_export_to_json(self, tmp_path):
+        import json
+
+        from repro.bench.export import write_json
+
+        rows = harness.run_pipeline(depths=[8], shard_counts=[1],
+                                    ops=12, duplicates=4)
+        path = write_json(rows, tmp_path / "BENCH_pipeline.json")
+        records = json.loads(path.read_text())
+        assert len(records) == len(rows)
+        assert {"phase", "n_shards", "depth", "sim_ops_per_s", "speedup",
+                "identical", "coalesced", "store_gets"} <= set(records[0])
+
+    def test_print_pipeline_renders(self):
+        rows = harness.run_pipeline(depths=[8], shard_counts=[1],
+                                    ops=12, duplicates=4)
+        text = harness.print_pipeline(rows)
+        assert "speedup" in text and "coalesced" in text

@@ -60,12 +60,65 @@ class TestInvariants:
         assert result.ok, "\n".join(str(v) for v in result.violations)
 
 
+class TestPipelined:
+    """The same chaos walk driven through the pipelined engine
+    (depth 8, coalescing on) — results, conservation, and the
+    coalescing invariant must hold under every fault schedule."""
+
+    @pytest.mark.parametrize("seed", [3, 9, 17])
+    def test_fixed_seeds_uphold_all_invariants(self, seed):
+        result = run_scenario(SimConfig(seed=seed, pipeline=True, **FAST))
+        assert result.ok, "\n".join(str(v) for v in result.violations)
+
+    def test_pipelined_runs_replay_byte_identical(self):
+        config = SimConfig(seed=11, pipeline=True, **FAST)
+        first = run_scenario(config)
+        second = run_scenario(config)
+        assert first.digest == second.digest
+
+    def test_coalescing_actually_fires_somewhere(self):
+        # The walk's small input pool makes in-batch duplicates likely;
+        # across a handful of seeds at least one batch must coalesce,
+        # otherwise the invariant never exercises its subject.
+        total = 0
+        for seed in range(6):
+            result = run_scenario(
+                SimConfig(seed=seed, pipeline=True, **FAST)
+            )
+            total += result.counters.get("runtime.coalesced_hits", 0)
+        assert total > 0
+
+    def test_conservation_holds_with_coalesced_hits(self):
+        result = run_scenario(SimConfig(seed=9, pipeline=True, **FAST))
+        c = result.counters
+        assert (
+            c["runtime.hits"] + c["runtime.misses"] + c["runtime.degraded_calls"]
+            == c["runtime.calls"]
+        )
+
+    def test_repro_string_carries_the_pipeline_flag(self):
+        config = SimConfig(seed=5, pipeline=True)
+        assert "--pipeline" in config.repro_string()
+
+
 @pytest.mark.slow_sim
 class TestSweep:
     def test_fifty_generated_schedules_pass(self):
         failures = []
         for seed in range(50):
             result = run_scenario(SimConfig(seed=seed))
+            if not result.ok:
+                failures.append(result)
+        assert not failures, "\n".join(
+            violation_line
+            for result in failures
+            for violation_line in (result.repro, *map(str, result.violations))
+        )
+
+    def test_fifty_pipelined_schedules_pass(self):
+        failures = []
+        for seed in range(50):
+            result = run_scenario(SimConfig(seed=seed, pipeline=True))
             if not result.ok:
                 failures.append(result)
         assert not failures, "\n".join(
@@ -93,3 +146,10 @@ class TestCli:
         main(["--seed", "3", "--steps", "12", "--shards", "2", "--trace"])
         out = capsys.readouterr().out
         assert "op=" in out and "phase=settle" in out
+
+    def test_pipeline_flag_exits_zero(self, capsys):
+        code = main(["--seed", "3", "--steps", "12", "--shards", "2",
+                     "--pipeline"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "digest=" in out and "OK" in out

@@ -1,0 +1,341 @@
+"""PipelineEngine unit tests: coalescing, rounds, accounting, lanes.
+
+These drive the engine against fake clients/clocks so every cycle is
+chosen by the test — the integration suites (cluster, core, simtest)
+cover the real wire path.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.engine import EngineBatch, EngineConfig, PipelineEngine
+from repro.errors import ChannelError, ProtocolError, TransportError
+from repro.net.messages import GetRequest
+
+
+class FakeClock:
+    """A SimClock stand-in: advance() is the only way time moves."""
+
+    def __init__(self):
+        self.cycles = 0.0
+        self.params = SimpleNamespace(cpu_freq_hz=1_000_000_000.0)
+
+    def snapshot(self):
+        return self.cycles
+
+    def since(self, snapshot):
+        return self.cycles - snapshot
+
+    def advance(self, cycles):
+        self.cycles += cycles
+
+
+class FakeClient:
+    """submit()/wait() peer with deterministic per-op costs.
+
+    ``shard_of`` maps a request tag to the shard clock that serves it
+    (defaults to the single shard).  Costs: submit charges the app clock
+    ``submit_cost``; wait charges the serving shard ``serve_cost`` and
+    the app clock ``wait_cost``.
+    """
+
+    def __init__(self, app_clock, shard_clocks, shard_of=None,
+                 submit_cost=10.0, wait_cost=5.0, serve_cost=30.0):
+        self.app_clock = app_clock
+        self.shard_clocks = shard_clocks
+        self.shard_of = shard_of or (lambda tag: next(iter(shard_clocks)))
+        self.submit_cost = submit_cost
+        self.wait_cost = wait_cost
+        self.serve_cost = serve_cost
+        self.submitted = []
+        self.fail_submit = False
+        self.fail_wait = False
+        self._next = 0
+        self._pending = {}
+
+    def submit(self, request):
+        if self.fail_submit:
+            raise TransportError("submit lost")
+        self.submitted.append(request)
+        self.app_clock.advance(self.submit_cost)
+        handle = self._next
+        self._next += 1
+        self._pending[handle] = request
+        return handle
+
+    def wait(self, handle):
+        request = self._pending.pop(handle)
+        if self.fail_wait:
+            raise TransportError("reply lost")
+        self.shard_clocks[self.shard_of(request.tag)].advance(self.serve_cost)
+        self.app_clock.advance(self.wait_cost)
+        return ("response", request.tag)
+
+
+class GroupedFakeClient(FakeClient):
+    """Adds the plan_gets/submit_gets/wait_gets grouped surface."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.group_submits = []
+        self.fail_group_wait = False
+
+    def plan_gets(self, requests):
+        groups = {}
+        for i, request in enumerate(requests):
+            groups.setdefault(self.shard_of(request.tag), []).append(i)
+        return list(groups.values())
+
+    def submit_gets(self, requests):
+        if self.fail_submit:
+            raise TransportError("submit lost")
+        self.group_submits.append(list(requests))
+        self.app_clock.advance(self.submit_cost)
+        handle = self._next
+        self._next += 1
+        self._pending[handle] = list(requests)
+        return handle
+
+    def wait_gets(self, handle, n_items):
+        requests = self._pending.pop(handle)
+        assert len(requests) == n_items
+        if self.fail_group_wait:
+            raise ChannelError("group reply lost")
+        for request in requests:
+            self.shard_clocks[self.shard_of(request.tag)].advance(
+                self.serve_cost
+            )
+        self.app_clock.advance(self.wait_cost)
+        return [("response", r.tag) for r in requests]
+
+
+def get(tag: bytes) -> GetRequest:
+    return GetRequest(tag=tag.ljust(32, b"\0"), app_id="engine-test")
+
+
+def make_engine(n_shards=1, shard_of=None, client_cls=FakeClient, **config):
+    app = FakeClock()
+    shards = {f"shard-{i}": FakeClock() for i in range(n_shards)}
+    client = client_cls(app, shards, shard_of=shard_of)
+    engine = PipelineEngine(
+        client, app, shard_clocks=shards, config=EngineConfig(**config)
+    )
+    return engine, client, app, shards
+
+
+class TestConfig:
+    def test_depth_must_be_positive(self):
+        with pytest.raises(ProtocolError):
+            EngineConfig(depth=0)
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ProtocolError):
+            EngineConfig(workers=0)
+
+
+class TestCoalescing:
+    def test_duplicate_tags_take_one_round_trip(self):
+        engine, client, _, _ = make_engine(depth=8)
+        batch = engine.run_gets([get(b"a"), get(b"a"), get(b"a"), get(b"b")])
+        assert len(client.submitted) == 2  # one per distinct tag
+        assert batch.leader_of == {1: 0, 2: 0}
+        assert batch.responses[1] is batch.responses[0]
+        assert batch.responses[2] is batch.responses[0]
+        assert batch.coalesced == 2
+        assert engine.coalesced_total == 2
+
+    def test_followers_cost_no_cycles(self):
+        engine, _, app, shards = make_engine(depth=8)
+        engine.run_gets([get(b"a")])
+        single_app = app.cycles
+        single_shard = shards["shard-0"].cycles
+        engine2, _, app2, shards2 = make_engine(depth=8)
+        engine2.run_gets([get(b"a")] * 10)
+        assert app2.cycles == single_app
+        assert shards2["shard-0"].cycles == single_shard
+
+    def test_coalesce_off_sends_every_request(self):
+        engine, client, _, _ = make_engine(depth=8, coalesce=False)
+        batch = engine.run_gets([get(b"a")] * 3)
+        assert len(client.submitted) == 3
+        assert batch.leader_of == {}
+
+    def test_non_get_messages_are_never_coalesced(self):
+        engine, client, _, _ = make_engine(depth=8)
+        message = SimpleNamespace(tag=b"x" * 32)  # not a GetRequest
+        engine.run_gets([message, message])
+        assert len(client.submitted) == 2
+
+
+class TestRounds:
+    def test_depth_bounds_outstanding_requests_per_round(self):
+        engine, _, _, _ = make_engine(depth=2)
+        engine.run_gets([get(bytes([i])) for i in range(5)])
+        assert engine.rounds == 3
+        assert engine.ops == 5
+
+    def test_responses_keep_request_order(self):
+        engine, _, _, _ = make_engine(depth=3)
+        tags = [bytes([i]) for i in range(7)]
+        batch = engine.run_gets([get(t) for t in tags])
+        assert [r[1] for r in batch.responses] == [
+            t.ljust(32, b"\0") for t in tags
+        ]
+
+    def test_makespan_never_exceeds_serial(self):
+        engine, _, _, _ = make_engine(n_shards=3, depth=8, workers=4,
+                                      shard_of=lambda tag: f"shard-{tag[0] % 3}")
+        engine.run_gets([get(bytes([i])) for i in range(12)])
+        assert engine.makespan_cycles <= engine.serial_cycles
+
+    def test_depth1_workers1_degenerates_to_serial(self):
+        engine, _, _, _ = make_engine(depth=1, workers=1)
+        engine.run_gets([get(bytes([i])) for i in range(4)])
+        assert engine.makespan_cycles == pytest.approx(engine.serial_cycles)
+        assert engine.overlap_cycles_saved == pytest.approx(0.0)
+
+    def test_colocated_store_forces_serial_accounting(self):
+        # The "shard" clock IS the app clock: nothing can overlap.
+        app = FakeClock()
+        client = FakeClient(app, {"local": app})
+        engine = PipelineEngine(
+            client, app, shard_clocks={"local": app},
+            config=EngineConfig(depth=8, workers=4),
+        )
+        engine.run_gets([get(bytes([i])) for i in range(6)])
+        assert engine.makespan_cycles == pytest.approx(engine.serial_cycles)
+
+    def test_distinct_shards_overlap(self):
+        engine, _, _, _ = make_engine(
+            n_shards=2, depth=2, workers=2,
+            shard_of=lambda tag: f"shard-{tag[0] % 2}",
+        )
+        engine.run_gets([get(bytes([0])), get(bytes([1]))])
+        # Serial: 2 lanes x 15 app + 2 shards x 30 = 90.  Critical path:
+        # one op's own chain (15 + 30) = 45.
+        assert engine.serial_cycles == pytest.approx(90.0)
+        assert engine.makespan_cycles == pytest.approx(45.0)
+        assert engine.overlap_cycles_saved == pytest.approx(45.0)
+
+    def test_puts_are_never_coalesced(self):
+        engine, client, _, _ = make_engine(depth=4)
+        batch = engine.run_puts([get(b"a"), get(b"a")])  # message type is
+        assert len(client.submitted) == 2                 # irrelevant here
+        assert batch.leader_of == {}
+
+
+class TestFailures:
+    def test_submit_failure_surfaces_as_exception_response(self):
+        engine, client, _, _ = make_engine(depth=4)
+        client.fail_submit = True
+        batch = engine.run_gets([get(b"a"), get(b"b")])
+        assert all(isinstance(r, TransportError) for r in batch.responses)
+        assert engine.failures == 2
+
+    def test_wait_failure_surfaces_as_exception_response(self):
+        engine, client, _, _ = make_engine(depth=4)
+        client.fail_wait = True
+        batch = engine.run_gets([get(b"a")])
+        assert isinstance(batch.responses[0], TransportError)
+        assert engine.failures == 1
+
+    def test_followers_share_their_leaders_failure(self):
+        engine, client, _, _ = make_engine(depth=4)
+        client.fail_wait = True
+        batch = engine.run_gets([get(b"a"), get(b"a")])
+        assert batch.responses[1] is batch.responses[0]
+        assert isinstance(batch.responses[1], TransportError)
+
+
+class TestGroupedRounds:
+    def test_one_submit_per_shard_group(self):
+        engine, client, _, _ = make_engine(
+            n_shards=2, depth=8, client_cls=GroupedFakeClient,
+            shard_of=lambda tag: f"shard-{tag[0] % 2}",
+        )
+        tags = [bytes([i]) for i in range(6)]
+        batch = engine.run_gets([get(t) for t in tags])
+        assert len(client.group_submits) == 2  # one record per shard
+        assert [r[1] for r in batch.responses] == [
+            t.ljust(32, b"\0") for t in tags
+        ]
+
+    def test_group_wait_failure_fails_every_item_of_the_group(self):
+        engine, client, _, _ = make_engine(
+            n_shards=1, depth=8, client_cls=GroupedFakeClient
+        )
+        client.fail_group_wait = True
+        batch = engine.run_gets([get(b"a"), get(b"b")])
+        assert all(isinstance(r, ChannelError) for r in batch.responses)
+        assert engine.failures == 2
+
+
+class TestBackground:
+    def test_background_work_overlaps_next_round(self):
+        engine, client, app, shards = make_engine(depth=8)
+        with engine.background():
+            app.advance(7.0)
+        engine.run_gets([get(b"a")])
+        # serial = lane (15) + shard (30) + bg (7); makespan = the op's
+        # chain (45) because the bg lane fits under it.
+        assert engine.serial_cycles == pytest.approx(52.0)
+        assert engine.makespan_cycles == pytest.approx(45.0)
+
+    def test_settle_folds_unoverlapped_background_serially(self):
+        engine, _, app, shards = make_engine(depth=8)
+        with engine.background():
+            app.advance(7.0)
+            shards["shard-0"].advance(3.0)
+        engine.settle()
+        assert engine.makespan_cycles == pytest.approx(7.0)
+        assert engine.serial_cycles == pytest.approx(10.0)
+        engine.settle()  # idempotent
+        assert engine.serial_cycles == pytest.approx(10.0)
+
+
+class TestParallelRegion:
+    def test_tasks_spread_over_worker_lanes(self):
+        engine, _, app, _ = make_engine(depth=8, workers=4)
+        with engine.parallel_region() as region:
+            for _ in range(4):
+                with region.task():
+                    app.advance(10.0)
+        assert engine.makespan_cycles == pytest.approx(10.0)
+        assert engine.serial_cycles == pytest.approx(40.0)
+
+    def test_single_worker_region_is_serial(self):
+        engine, _, app, _ = make_engine(depth=8, workers=1)
+        with engine.parallel_region() as region:
+            for _ in range(4):
+                with region.task():
+                    app.advance(10.0)
+        assert engine.makespan_cycles == pytest.approx(40.0)
+
+    def test_empty_region_charges_nothing(self):
+        engine, _, _, _ = make_engine()
+        with engine.parallel_region():
+            pass
+        assert engine.makespan_cycles == 0.0
+        assert engine.serial_cycles == 0.0
+
+
+class TestSnapshot:
+    def test_snapshot_uses_canonical_engine_keys(self):
+        engine, _, _, _ = make_engine(depth=4, workers=2)
+        engine.run_gets([get(b"a"), get(b"a")])
+        snap = engine.snapshot()
+        assert snap["engine.depth"] == 4
+        assert snap["engine.workers"] == 2
+        assert snap["engine.rounds"] == 1
+        assert snap["engine.ops"] == 1  # the coalesced follower never ran
+        assert snap["engine.coalesced_gets"] == 1
+        assert snap["engine.sim_seconds_total"] > 0.0
+
+    def test_reset_accounting_clears_counters(self):
+        engine, _, _, _ = make_engine()
+        engine.run_gets([get(b"a")])
+        engine.reset_accounting()
+        assert engine.makespan_cycles == 0.0
+        assert engine.rounds == 0
+        assert engine.ops == 0
