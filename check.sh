@@ -37,10 +37,20 @@ echo "== sim smoke, pipelined engine (seeds 3..5) =="
 PYTHONPATH=src python -m repro.simtest --runs 3 --start-seed 3 --steps 25 \
     --pipeline || status=1
 
+# Durable-store smoke: one fixed power-fail schedule through the WAL
+# recovery invariant (every acked PUT before a crash served after it).
+echo "== sim smoke, power-fail recovery (seed 3) =="
+PYTHONPATH=src python -m repro.simtest --runs 1 --start-seed 3 --steps 25 \
+    --power-fail || status=1
+
 # Pipelined-engine benchmark smoke: a reduced depth sweep that still
 # exercises grouped dispatch, coalescing, and the result-identity check.
 echo "== bench pipeline smoke =="
 PYTHONPATH=src python -m repro.bench pipeline --quick || status=1
+
+# Durability benchmark smoke: WAL logging overhead + one recovery sweep.
+echo "== bench durable smoke =="
+PYTHONPATH=src python -m repro.bench durable --quick || status=1
 
 if [ "$status" -ne 0 ]; then
     echo "CHECK FAILED" >&2

@@ -1,7 +1,7 @@
 """CLI entry point: ``python -m repro.bench <experiment> [--quick] [--csv DIR]``.
 
 Experiments: fig5a fig5b fig5c fig5d table1 fig6 a1 a2 a3 a4 a5 a6 a7 e9 e10
-batch cluster pipeline all
+batch cluster pipeline durable all
 """
 
 from __future__ import annotations
@@ -125,6 +125,13 @@ def _runners(quick: bool) -> dict[str, tuple]:
             ),
             harness.print_pipeline, None,
         ),
+        "durable": (
+            lambda: harness.run_durable(
+                **(dict(group_commits=[1, 8], log_lengths=[16, 64], ops=24)
+                   if quick else {})
+            ),
+            harness.print_durable, None,
+        ),
     }
 
 
@@ -144,7 +151,7 @@ def run_experiment(
     rows = runner()
     if csv_dir is not None:
         write_csv(rows, pathlib.Path(csv_dir) / f"{name}.csv")
-    if json_path is None and name in ("batch", "cluster", "pipeline"):
+    if json_path is None and name in ("batch", "cluster", "pipeline", "durable"):
         # These sweeps always leave a machine-readable artifact so their
         # acceptance numbers can be checked without re-running.
         json_path = f"BENCH_{name}.json"

@@ -1614,3 +1614,162 @@ def print_pipeline(rows: list[PipelineRow]) -> str:
         "Pipeline: multi-slot engine speedup and single-flight coalescing",
         headers, table,
     )
+
+
+# ---------------------------------------------------------------------------
+# Durable — WAL logging overhead and power-fail recovery (repro.durable)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class DurableRow:
+    phase: str             # overhead | recovery
+    group_commit: int      # WAL group-commit size (0 = durability off)
+    ops: int               # distinct PUT-path calls driven through the store
+    store_sim_s: float     # shard-machine (PUT-path) virtual-clock seconds
+    baseline_sim_s: float  # same workload with durability off
+    wal_records: int
+    wal_segments: int
+    log_bytes: int
+    recovery_sim_s: float  # shard seconds for power_fail + WAL recovery
+    records_replayed: int
+    entries_restored: int
+
+    @property
+    def overhead_pct(self) -> float:
+        """Logging overhead relative to the non-durable PUT path."""
+        if self.baseline_sim_s <= 0:
+            return 0.0
+        return 100.0 * (self.store_sim_s - self.baseline_sim_s) / self.baseline_sim_s
+
+    @property
+    def recovery_us_per_record(self) -> float:
+        if not self.records_replayed:
+            return 0.0
+        return 1e6 * self.recovery_sim_s / self.records_replayed
+
+
+def _durable_session(group_commit: int, seed_tag: bytes, durable: bool = True):
+    """One single-shard cluster session (the store on its own machine, so
+    the shard clock isolates the PUT-path cost) with an effectively
+    infinite checkpoint interval: the sweep measures pure logging and
+    pure replay, not checkpoint scheduling."""
+    from ..session import connect
+
+    config = StoreConfig(
+        durable=True, wal_group_commit=group_commit,
+        checkpoint_interval=1 << 30,
+    ) if durable else StoreConfig()
+    return connect(
+        shards=1, replication_factor=1, seed=seed_tag,
+        tracing=False, store_config=config,
+    )
+
+
+def _durable_fill(session, ops: int, payload_bytes: int):
+    """Drive ``ops`` distinct-input calls through the PUT path and return
+    the shard machine's virtual-clock seconds they cost."""
+
+    @session.mark(version="1.0")
+    def durable_kernel(data: bytes) -> bytes:
+        return bytes(b ^ 0xA5 for b in data)
+
+    inputs = [
+        i.to_bytes(4, "big") * (payload_bytes // 4) for i in range(ops)
+    ]
+    node = next(iter(session.cluster.shards.values()))
+    clock = node.platform.clock
+    s0 = clock.snapshot()
+    durable_kernel.map(inputs)
+    session.flush_puts()
+    return clock.since(s0) / clock.params.cpu_freq_hz, node
+
+
+def run_durable(
+    group_commits: list[int] | None = None,
+    log_lengths: list[int] | None = None,
+    ops: int = 48,
+    payload_bytes: int = KB,
+    seed: int = 83,
+) -> list[DurableRow]:
+    """Durability sweep (``repro.durable``), two phases.
+
+    **overhead** — the same all-distinct PUT workload runs once with
+    durability off (the ``group_commit=0`` baseline row) and once per
+    WAL group-commit size; ``overhead_pct`` is the shard machine's extra
+    virtual-clock cost for sealing the log.  Small groups pay the seal's
+    fixed AEAD cost per record; larger groups amortize it.
+
+    **recovery** — per log length L, a durable store is filled with L
+    entries, power-failed (volatile state wiped), and recovered from
+    its WAL alone; ``recovery_sim_s`` against ``records_replayed``
+    shows replay scaling ~linearly in the log length.
+    """
+    group_commits = group_commits or [1, 4, 8, 16, 32]
+    log_lengths = log_lengths or [16, 64, 256]
+    rows: list[DurableRow] = []
+
+    base_tag = b"bench-durable" + bytes([seed % 251])
+    baseline_s, _node = _durable_fill(
+        _durable_session(8, base_tag + b"/base", durable=False),
+        ops, payload_bytes,
+    )
+    rows.append(DurableRow(
+        phase="overhead", group_commit=0, ops=ops,
+        store_sim_s=baseline_s, baseline_sim_s=baseline_s,
+        wal_records=0, wal_segments=0, log_bytes=0,
+        recovery_sim_s=0.0, records_replayed=0, entries_restored=0,
+    ))
+    for group in sorted(group_commits):
+        session = _durable_session(group, base_tag + bytes([group % 251]))
+        elapsed, node = _durable_fill(session, ops, payload_bytes)
+        log = node.store.durable
+        rows.append(DurableRow(
+            phase="overhead", group_commit=group, ops=ops,
+            store_sim_s=elapsed, baseline_sim_s=baseline_s,
+            wal_records=log.records_logged, wal_segments=len(log.segments),
+            log_bytes=log.log_bytes,
+            recovery_sim_s=0.0, records_replayed=0, entries_restored=0,
+        ))
+
+    for length in sorted(log_lengths):
+        session = _durable_session(8, base_tag + b"/rec" + length.to_bytes(4, "big"))
+        _elapsed, node = _durable_fill(session, length, 256)
+        log = node.store.durable
+        records, segments, log_bytes = (
+            log.records_logged, len(log.segments), log.log_bytes,
+        )
+        shard_id = next(iter(session.cluster.shards))
+        clock = node.platform.clock
+        r0 = clock.snapshot()
+        report = session.power_fail_shard(shard_id)
+        recovery_s = clock.since(r0) / clock.params.cpu_freq_hz
+        rows.append(DurableRow(
+            phase="recovery", group_commit=8, ops=length,
+            store_sim_s=0.0, baseline_sim_s=0.0,
+            wal_records=records, wal_segments=segments, log_bytes=log_bytes,
+            recovery_sim_s=recovery_s,
+            records_replayed=report.records_replayed,
+            # With checkpointing disabled for the sweep every restored
+            # entry arrives via replay, not the checkpoint image.
+            entries_restored=report.entries_restored + report.puts_replayed,
+        ))
+    return rows
+
+
+def print_durable(rows: list[DurableRow]) -> str:
+    headers = ["phase", "group", "ops", "store sim(s)", "overhead",
+               "records", "segments", "log bytes", "recovery sim(s)",
+               "replayed", "restored", "us/record"]
+    table = [
+        [
+            r.phase, r.group_commit or "-", r.ops,
+            r.store_sim_s, f"{r.overhead_pct:+.1f}%" if r.group_commit else "-",
+            r.wal_records, r.wal_segments, r.log_bytes,
+            r.recovery_sim_s if r.phase == "recovery" else "-",
+            r.records_replayed, r.entries_restored,
+            f"{r.recovery_us_per_record:.1f}" if r.phase == "recovery" else "-",
+        ]
+        for r in rows
+    ]
+    return format_table(
+        "Durable: WAL logging overhead and power-fail recovery", headers, table,
+    )

@@ -185,6 +185,22 @@ class StoreCluster:
         self.fault.revive(node.address)
         return report
 
+    def power_fail_shard(self, shard_id: str):
+        """Crash a shard with *state loss*: unlike :meth:`kill_shard`'s
+        crash-pause and :meth:`restart_shard`'s snapshot round-trip, the
+        shard's volatile memory — enclave dictionary, blob arena, quota
+        and eviction state — is wiped in place, and the store rebuilds
+        itself exclusively from its durable write-ahead log and sealed
+        checkpoint before traffic reaches it again.  Requires shards
+        configured with ``StoreConfig(durable=True)``.  Returns the
+        :class:`~repro.durable.recovery.RecoveryReport`."""
+        node = self._node(shard_id)
+        self.fault.kill(node.address)
+        node.store.power_fail()
+        report = node.store.recover()
+        self.fault.revive(node.address)
+        return report
+
     def shard_alive(self, shard_id: str) -> bool:
         return not self.fault.is_dead(self._node(shard_id).address)
 
@@ -241,7 +257,7 @@ class StoreCluster:
                     "alive": self.shard_alive(shard_id),
                     "entries": len(node.store),
                     "load_share": self.ring.load_share(shard_id),
-                    **node.store.stats.snapshot(),
+                    **node.store.snapshot(),
                 }
                 for shard_id, node in sorted(self.shards.items())
             },

@@ -160,6 +160,20 @@ class _PendingGetGroup:
     local_id: int | None = None
 
 
+@dataclass
+class _PendingPutGroup:
+    """One pipelined PUT sub-batch sharing a primary shard.
+
+    Replication spreads the group's copies over several shards, so the
+    group holds one submitted batch record per owner shard:
+    ``subs`` is ``(shard, shard-local slot id, item positions)``.
+    """
+
+    requests: list
+    primaries: list  # per item: its primary shard id, "" when none live
+    subs: list = field(default_factory=list)
+
+
 class ClusterRouter:
     """Routes one application's store traffic across the shard ring."""
 
@@ -590,6 +604,125 @@ class ClusterRouter:
                 self.stats.gets_routed -= 1  # _route_get_after_miss recounts
                 out.append(self._route_get_after_miss(request, shard))
         return out
+
+    def plan_puts(self, requests: list[PutRequest]) -> list[list[int]]:
+        """Partition PUT indices by primary owner shard.
+
+        Like :meth:`plan_gets`, each group's copies ship as one channel
+        record per owner shard instead of one record per item, so a
+        round of N replicated PUTs costs O(shards) records.  Items with
+        no live owner form their own group (answered without touching
+        the wire)."""
+        groups: dict[str, list[int]] = {}
+        orphans: list[int] = []
+        for i, request in enumerate(requests):
+            owners = self._owners(request.tag)
+            if owners:
+                groups.setdefault(owners[0], []).append(i)
+            else:
+                orphans.append(i)
+        out = [indices for _, indices in sorted(groups.items())]
+        out.extend([i] for i in orphans)
+        return out
+
+    def submit_puts(self, requests: list[PutRequest]) -> int:
+        """Submit one :meth:`plan_puts` group: one batch record to every
+        owner shard of the group's items; returns a router slot id for
+        :meth:`wait_puts`."""
+        requests = list(requests)
+        self.stats.puts_routed += len(requests)
+        owners_per_item = [self._owners(r.tag) for r in requests]
+        pending = _PendingPutGroup(
+            requests=requests,
+            primaries=[owners[0] if owners else "" for owners in owners_per_item],
+        )
+        groups: dict[str, list[int]] = {}
+        for i, owners in enumerate(owners_per_item):
+            for k, shard in enumerate(owners):
+                groups.setdefault(shard, []).append(i)
+                if k:
+                    self.stats.replica_puts += 1
+        for shard, positions in sorted(groups.items()):
+            breaker = self._breaker(shard)
+            if breaker is not None and not breaker.allow():
+                self.stats.circuit_skips += 1
+                continue
+            sub = [requests[p] for p in positions]
+            with self.tracer.span(
+                "router.shard_put", clock=self.clock, shard=shard,
+                items=len(sub),
+            ) as span:
+                try:
+                    local_id = self._clients[shard].submit_puts(sub)
+                except _SHARD_FAILURES:
+                    if breaker is not None:
+                        breaker.record_failure()
+                    self.stats.put_timeouts += 1
+                    span.mark("timeout")
+                    continue
+            pending.subs.append((shard, local_id, positions))
+        router_id = self._fresh_router_id()
+        self._pipeline[router_id] = pending
+        return router_id
+
+    def wait_puts(self, router_id: int, n_items: int | None = None) -> list[Message]:
+        """Settle one PUT group; per-item semantics match
+        ``call_batch``: the primary's verdict is authoritative where it
+        is live, replica verdicts are absorbed into router counters, and
+        items no live owner answered come back ``accepted=False`` with a
+        ``no live owner`` reason."""
+        pending = self._pipeline.pop(router_id, None)
+        if not isinstance(pending, _PendingPutGroup):
+            if pending is not None:  # some other slot kind: put it back
+                self._pipeline[router_id] = pending
+            raise ProtocolError(
+                f"router PUT group {router_id} was never submitted "
+                "(or already waited on)"
+            )
+        requests = pending.requests
+        if n_items is not None and n_items != len(requests):
+            self._pipeline[router_id] = pending
+            raise ProtocolError(
+                f"router PUT group {router_id} has {len(requests)} item(s), "
+                f"waiter expected {n_items}"
+            )
+        verdicts: list[Message | None] = [None] * len(requests)
+        primary_seen = [False] * len(requests)
+        for shard, local_id, positions in pending.subs:
+            breaker = self._breaker(shard)
+            items: list[Message] | None = None
+            with self.tracer.span(
+                "router.shard_put", clock=self.clock, shard=shard,
+                items=len(positions),
+            ) as span:
+                try:
+                    items = self._clients[shard].wait_puts(
+                        local_id, len(positions)
+                    )
+                except _SHARD_FAILURES:
+                    if breaker is not None:
+                        breaker.record_failure()
+                    self.stats.put_timeouts += 1
+                    span.mark("timeout")
+            if items is None:
+                continue
+            if breaker is not None:
+                breaker.record_success()
+            for p, item in zip(positions, items):
+                if pending.primaries[p] == shard:
+                    if verdicts[p] is not None:
+                        self._count_replica_ack(verdicts[p])
+                    verdicts[p] = item
+                    primary_seen[p] = True
+                elif verdicts[p] is None and not primary_seen[p]:
+                    verdicts[p] = item
+                else:
+                    self._count_replica_ack(item)
+        return [
+            verdict if verdict is not None
+            else PutResponse(accepted=False, reason=NO_LIVE_OWNER)
+            for verdict in verdicts
+        ]
 
     def wait(self, router_id: int) -> Message:
         """Settle one pipelined call; semantics match :meth:`call`.

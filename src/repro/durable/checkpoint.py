@@ -1,0 +1,88 @@
+"""Folding the write-ahead log into a sealed checkpoint.
+
+A checkpoint is a whole-store snapshot — the same serialization
+:func:`repro.store.persistence.snapshot_store` uses — sealed under the
+MRSIGNER policy together with the log position it folds in: the last
+covered WAL sequence number and the chain head at that point.  Binding
+``(seq, chain)`` *inside* the sealed payload means the host cannot pair
+an old checkpoint with an unrelated log tail; recovery trusts only the
+embedded anchor.  (Rolling the *pair* back together — checkpoint plus
+its whole tail — is the classic enclave rollback attack and needs a
+hardware monotonic counter, which this simulation leaves out of scope.)
+
+After sealing, the covered segments and their blob-area copies are
+dropped: checkpointing doubles as log compaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import StoreError
+from ..net.framing import FieldReader, FieldWriter
+from ..sgx.sealing import SealedBlob, SealPolicy
+
+CHECKPOINT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CheckpointImage:
+    """One sealed checkpoint — host-durable, opaque to the host."""
+
+    seq: int            # last WAL record sequence folded in (0 = none)
+    chain: bytes        # chain head at that point (also sealed inside)
+    sealed: SealedBlob
+
+
+def encode_checkpoint(seq: int, chain: bytes, snapshot_payload: bytes) -> bytes:
+    writer = FieldWriter()
+    writer.u32(CHECKPOINT_VERSION)
+    writer.u64(seq)
+    writer.blob(chain)
+    writer.blob(snapshot_payload)
+    return writer.getvalue()
+
+
+def decode_checkpoint(payload: bytes) -> tuple[int, bytes, bytes]:
+    reader = FieldReader(payload)
+    version = reader.u32()
+    if version != CHECKPOINT_VERSION:
+        raise StoreError(f"unsupported checkpoint version {version}")
+    seq = reader.u64()
+    chain = reader.blob()
+    snapshot_payload = reader.blob()
+    reader.expect_end()
+    return seq, chain, snapshot_payload
+
+
+def take_checkpoint(store) -> CheckpointImage:
+    """Commit the log, seal the store's full state with the log anchor,
+    and truncate the folded segments.  Returns the new image."""
+    if store.durable is None:
+        raise StoreError("checkpointing requires a durable-mode store")
+    if store.enclave is not None and not store.enclave.inside:
+        with store.enclave.ecall("durable_checkpoint"):
+            return take_checkpoint(store)
+    from ..store.persistence import serialize_store_payload
+
+    log = store.durable
+    log.commit()
+    clock = store.platform.clock
+    with store.tracer.span("durable.checkpoint", clock=clock) as span:
+        seq = log.next_seq - 1
+        chain = log.chain
+        payload = encode_checkpoint(seq, chain, serialize_store_payload(store))
+        sealed = store.enclave.seal(payload, SealPolicy.MRSIGNER)
+        image = CheckpointImage(seq=seq, chain=chain, sealed=sealed)
+        log.install_checkpoint(image)
+        span.set("seq", seq)
+        span.set("bytes", len(sealed.payload))
+    return image
+
+
+def maybe_checkpoint(store) -> CheckpointImage | None:
+    """Checkpoint iff the log has grown past its configured interval."""
+    log = store.durable
+    if log is not None and log.needs_checkpoint():
+        return take_checkpoint(store)
+    return None

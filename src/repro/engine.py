@@ -196,15 +196,24 @@ class PipelineEngine:
 
     def run_puts(self, requests: Sequence[Message]) -> EngineBatch:
         """Pipeline a list of PUTs (never coalesced: every PUT wants its
-        own durability verdict, and the store dedups identical tags)."""
+        own durability verdict, and the store dedups identical tags).
+        When the client can plan shard groups (``plan_puts``), each round
+        ships one grouped sub-batch record per owner shard instead of
+        per-item PUTs, so the shards absorb their copies concurrently."""
         requests = list(requests)
         responses: list = [None] * len(requests)
+        grouped = hasattr(self.client, "plan_puts") and hasattr(
+            self.client, "submit_puts"
+        )
         for start in range(0, len(requests), self.config.depth):
             ops = [
                 (i, requests[i])
                 for i in range(start, min(start + self.config.depth, len(requests)))
             ]
-            self._run_round(ops, responses)
+            if grouped:
+                self._run_put_round(ops, responses)
+            else:
+                self._run_round(ops, responses)
         return EngineBatch(responses=responses)
 
     def _run_get_round(self, ops: list, responses: list) -> None:
@@ -217,25 +226,42 @@ class PipelineEngine:
         identical to the serial per-shard sub-batch path; only the
         makespan accounting interprets them as overlapped.
         """
+        self._run_grouped_round(
+            ops, responses, self.client.plan_gets,
+            self.client.submit_gets, self.client.wait_gets,
+        )
+
+    def _run_put_round(self, ops: list, responses: list) -> None:
+        """One pipelined PUT round over the client's shard groups (same
+        schedule shape as :meth:`_run_get_round`; replicated copies are
+        the client's concern and stay inside each group's slot)."""
+        self._run_grouped_round(
+            ops, responses, self.client.plan_puts,
+            self.client.submit_puts, self.client.wait_puts,
+        )
+
+    def _run_grouped_round(
+        self, ops: list, responses: list, plan, submit, wait
+    ) -> None:
         remote = self._remote_clocks()
         lanes = self._lanes(remote)
         round_start = {sid: c.snapshot() for sid, c in remote.items()}
         lane_busy = [0.0] * lanes
         chains: list[float] = []
         group_requests = [request for _, request in ops]
-        plan = self.client.plan_gets(group_requests)
+        groups = plan(group_requests)
         with self.tracer.span(
             "engine.round", clock=self.clock, ops=len(ops),
-            groups=len(plan), lanes=lanes,
+            groups=len(groups), lanes=lanes,
         ) as span:
             pending: list = []
-            for slot, positions in enumerate(plan):
+            for slot, positions in enumerate(groups):
                 sub = [group_requests[p] for p in positions]
                 app0 = self.clock.snapshot()
                 shard0 = {sid: c.snapshot() for sid, c in remote.items()}
                 handle = error = None
                 try:
-                    handle = self.client.submit_gets(sub)
+                    handle = submit(sub)
                 except _ENGINE_FAILURES as exc:
                     error = exc
                 app_d = self.clock.since(app0)
@@ -246,9 +272,7 @@ class PipelineEngine:
                 shard0 = {sid: c.snapshot() for sid, c in remote.items()}
                 if error is None:
                     try:
-                        replies: list = self.client.wait_gets(
-                            handle, len(positions)
-                        )
+                        replies: list = wait(handle, len(positions))
                     except _ENGINE_FAILURES as exc:
                         replies = [exc] * len(positions)
                         self.failures += len(positions)

@@ -421,6 +421,36 @@ class RpcClient:
             )
         return items
 
+    def plan_puts(self, requests: Sequence[PutRequest]) -> list[list[int]]:
+        """Partition PUT indices into groups that can share one wire
+        record.  One server, one connection: everything is one group."""
+        return [list(range(len(requests)))] if requests else []
+
+    def submit_puts(self, requests: Sequence[PutRequest]) -> int:
+        """Submit a PUT group as a single channel record without waiting
+        (the PUT twin of :meth:`submit_gets`)."""
+        requests = list(requests)
+        if len(requests) == 1:
+            return self.submit(requests[0])
+        return self.submit(BatchPutRequest(items=tuple(requests)))
+
+    def wait_puts(self, handle: int, n_items: int) -> list[Message]:
+        """Settle a :meth:`submit_puts` slot into per-item verdicts."""
+        response = self.wait(handle)
+        if n_items == 1:
+            items = [response]
+        elif isinstance(response, BatchPutResponse):
+            items = list(response.items)
+        else:
+            raise ProtocolError(
+                f"store answered batch PUT with {type(response).__name__}"
+            )
+        if len(items) != n_items:
+            raise ProtocolError(
+                f"batch PUT response has {len(items)} items, expected {n_items}"
+            )
+        return items
+
     def call_batch(self, requests: Sequence[Message]) -> list[Message]:
         """Issue a uniform batch of GETs or PUTs under one channel record.
 

@@ -174,26 +174,35 @@ class Session:
                 self.metrics.register_source("router", router.snapshot)
             for shard_id, node in sorted(deployment.cluster.shards.items()):
                 self.metrics.register_source(
-                    f"store.{shard_id}", self._shard_source(node.store)
+                    f"store.{shard_id}", self._shard_source(shard_id, node.store)
                 )
         else:
             self.metrics.register_source(
                 "rpc", self.runtime.client.snapshot
             )
             self.metrics.register_source(
-                "store", deployment.store.stats.snapshot
+                "store", deployment.store.snapshot
             )
 
     @staticmethod
-    def _shard_source(store) -> Callable[[], dict]:
+    def _shard_source(shard_id: str, store) -> Callable[[], dict]:
         """Per-shard metrics source: strip legacy aliases and the generic
         ``store.`` prefix so the registry re-homes the counters under
-        ``store.<shard_id>.<metric>``."""
+        ``store.<shard_id>.<metric>``.  The registry passes dotted keys
+        through verbatim, which would collide across shards — so any key
+        still dotted after the strip (``store.restore.*`` subgroups, the
+        ``durable.*`` WAL counters) is re-homed explicitly."""
         def read() -> dict:
-            return {
-                key.split(".", 1)[1]: value
-                for key, value in strip_aliases(store.stats.snapshot()).items()
-            }
+            out = {}
+            for key, value in strip_aliases(store.snapshot()).items():
+                prefix, _, rest = key.partition(".")
+                if prefix == "store" and "." not in rest:
+                    out[rest] = value
+                elif prefix == "store":
+                    out[f"store.{shard_id}.{rest}"] = value
+                else:
+                    out[f"store.{shard_id}.{key}"] = value
+            return out
         return read
 
     def sibling(
@@ -397,6 +406,13 @@ class Session:
 
     def revive_shard(self, shard_id: str) -> None:
         self.cluster.revive_shard(shard_id)
+
+    def power_fail_shard(self, shard_id: str):
+        """Power-fail one shard and recover it from its durable log (see
+        :meth:`~repro.cluster.cluster.StoreCluster.power_fail_shard`);
+        requires ``StoreConfig(durable=True)``.  Returns the
+        :class:`~repro.durable.recovery.RecoveryReport`."""
+        return self.cluster.power_fail_shard(shard_id)
 
     # -- observability ---------------------------------------------------------
     def snapshot(self) -> dict:

@@ -42,6 +42,10 @@ def main(argv=None) -> int:
                         help="drive the workload through the pipelined "
                              "engine (depth 8, coalescing on) and check "
                              "the coalescing invariant")
+    parser.add_argument("--power-fail", action="store_true",
+                        help="run durable (WAL-backed) shards and inject "
+                             "power failures with full state loss, "
+                             "checking the recovery invariant")
     parser.add_argument("--trace", action="store_true",
                         help="print every trace event line")
     parser.add_argument("--shrink", action="store_true",
@@ -57,7 +61,7 @@ def main(argv=None) -> int:
     for seed in seeds:
         config = SimConfig(
             seed=seed, steps=args.steps, shards=args.shards,
-            pipeline=args.pipeline,
+            pipeline=args.pipeline, power_fail=args.power_fail,
         )
         result = run_scenario(config)
         print(result.summary())

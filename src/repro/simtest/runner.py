@@ -34,6 +34,8 @@ from .invariants import (
     check_confidentiality,
     check_conservation,
     check_durability,
+    check_recovery,
+    store_image,
 )
 from .schedule import FaultPlan
 from ..crypto.hashes import tagged_hash
@@ -43,6 +45,7 @@ from ..net.circuit import BreakerConfig
 from ..net.rpc import RetryPolicy
 from ..net.transport import FaultInjector, corrupt_payload
 from ..session import connect
+from ..store.resultstore import StoreConfig
 
 #: Weighted op mix for the random scenario walk.  Workload ops dominate;
 #: topology faults and corruption are the seasoning.
@@ -83,6 +86,10 @@ class SimConfig:
     # coalescing on) instead of the serial client path, and check the
     # fifth (coalescing) invariant on every batch.
     pipeline: bool = False
+    # Run the shards with durable write-ahead logs and add a power_fail
+    # op (full state loss + WAL recovery) to the mix, checking the sixth
+    # (recovery) invariant at every failure point.
+    power_fail: bool = False
 
     def repro_string(self) -> str:
         """The one-liner that replays this exact scenario."""
@@ -93,6 +100,8 @@ class SimConfig:
             parts.append(f"--shards {self.shards}")
         if self.pipeline:
             parts.append("--pipeline")
+        if self.power_fail:
+            parts.append("--power-fail")
         return " ".join(parts)
 
 
@@ -186,6 +195,7 @@ def run_scenario(config: SimConfig) -> ScenarioResult:
         seed=b"simtest/" + str(config.seed).encode(),
         tracing=False,
         fault_injector=injector,
+        store_config=StoreConfig(durable=True) if config.power_fail else None,
         retry_policy=RetryPolicy(max_attempts=4, retry_protocol_errors=True),
         # Deterministic skip-count recovery: the simulated clock charges
         # measured host time for compute, so a time-based breaker would
@@ -225,8 +235,11 @@ def run_scenario(config: SimConfig) -> ScenarioResult:
     corrupted_tags: set[bytes] = set()
 
     rng = random.Random(config.seed)
-    ops = [name for name, _ in _OPS]
-    weights = [weight for _, weight in _OPS]
+    op_table = list(_OPS)
+    if config.power_fail:
+        op_table.append(("power_fail", 5))
+    ops = [name for name, _ in op_table]
+    weights = [weight for _, weight in op_table]
 
     def check_value(label: str, index: int, value: bytes) -> None:
         if value != expected[index]:
@@ -239,7 +252,7 @@ def run_scenario(config: SimConfig) -> ScenarioResult:
     injector.plan = plan  # arm the schedule; setup traffic stays clean
     for step in range(config.steps):
         op = rng.choices(ops, weights=weights)[0]
-        if op in ("kill", "revive", "restart") and not config.crash_ops:
+        if op in ("kill", "revive", "restart", "power_fail") and not config.crash_ops:
             op = "call"
         if op in ("partition", "heal", "slow") and not config.partition_ops:
             op = "call"
@@ -297,6 +310,24 @@ def run_scenario(config: SimConfig) -> ScenarioResult:
                     )
                 else:
                     trace.append(f"step={step} op=restart skipped")
+            elif op == "power_fail":
+                alive = [s for s in shard_ids if s not in dead]
+                if alive:
+                    sid = rng.choice(alive)
+                    store = cluster.shards[sid].store
+                    pre = store_image(store)
+                    report = cluster.power_fail_shard(sid)
+                    post = store_image(store)
+                    violations.extend(
+                        check_recovery(pre, post, corrupted_tags, sid, repro)
+                    )
+                    trace.append(
+                        f"step={step} op=power_fail shard={sid} "
+                        f"wiped={len(pre)} restored={len(post)} "
+                        f"replayed={report.records_replayed}"
+                    )
+                else:
+                    trace.append(f"step={step} op=power_fail skipped")
             elif op == "partition":
                 candidates = [s for s in shard_ids if s not in partitioned]
                 if len(candidates) > 1:  # never partition the whole cluster

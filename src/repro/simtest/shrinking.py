@@ -49,6 +49,7 @@ def shrink(config: SimConfig, run=run_scenario, max_runs: int = 40):
 
     # Axis 1: drop whole fault classes (coarsest reduction first).
     for disable in (
+        {"power_fail": False},
         {"corruption_ops": False},
         {"partition_ops": False},
         {"crash_ops": False},

@@ -106,6 +106,24 @@ class MetadataDict:
             touch("store/metadata", entry.slot * ENTRY_SLOT_BYTES, ENTRY_SLOT_BYTES)
         self._entries[entry.tag] = entry
 
+    def restore_entry(self, entry: MetadataEntry, touch=None) -> None:
+        """Insert a restored entry *preserving* its hit count and
+        insertion/recency sequence numbers (snapshot restore, WAL
+        recovery), so eviction policies keep picking the same victims
+        after a restart.  The internal sequence counter advances past the
+        restored values, keeping future ticks monotonic."""
+        if entry.tag in self._entries:
+            raise StoreError("duplicate tag insert; use replace semantics explicitly")
+        if self._free_slots:
+            entry.slot = self._free_slots.pop()
+        else:
+            entry.slot = self._next_slot
+            self._next_slot += 1
+        self._seq = max(self._seq, entry.insert_seq, entry.last_access_seq)
+        if touch is not None:
+            touch("store/metadata", entry.slot * ENTRY_SLOT_BYTES, ENTRY_SLOT_BYTES)
+        self._entries[entry.tag] = entry
+
     def remove(self, tag: bytes) -> MetadataEntry:
         entry = self._entries.pop(tag, None)
         if entry is None:

@@ -84,6 +84,15 @@ class QuotaManager:
         usage.bytes_used += n_bytes
         usage.entries += 1
 
+    def restore(self, app_id: str, n_bytes: int) -> None:
+        """Re-admit usage for an entry coming back from a snapshot or the
+        write-ahead log.  No limit or rate check applies — the entry was
+        admitted before the restart, and dropping it now would let an app
+        exceed its quota by simply waiting for a store restart."""
+        usage = self._get(app_id)
+        usage.bytes_used += n_bytes
+        usage.entries += 1
+
     def release(self, app_id: str, n_bytes: int) -> None:
         """Credit quota back when an entry is evicted or deleted."""
         usage = self._get(app_id)

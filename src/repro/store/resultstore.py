@@ -21,6 +21,7 @@ from .oblivious import ObliviousMetadataDict
 from .quota import QuotaManager, QuotaPolicy
 from ..crypto.drbg import HmacDrbg
 from ..crypto.hashes import DIGEST_SIZE
+from ..durable.wal import DurableLog, WalConfig
 from ..errors import ProtocolError, QuotaExceededError, StoreError
 from ..obs.metrics import namespaced
 from ..obs.tracer import NULL_TRACER
@@ -80,6 +81,13 @@ class StoreConfig:
     # pattern behind Path ORAM (ablation A6 measures the overhead).
     oblivious_metadata: bool = False
     oblivious_capacity: int = 4096
+    # repro.durable: log-structured persistence.  When True every
+    # accepted PUT/evict/discard is appended to a sealed, MAC-chained
+    # write-ahead log committed before each reply leaves the machine, so
+    # the store survives power_fail() via recover().
+    durable: bool = False
+    wal_group_commit: int = 8
+    checkpoint_interval: int = 256
 
 
 @dataclass
@@ -93,6 +101,10 @@ class StoreStats:
     puts_rejected: int = 0
     evictions: int = 0
     tamper_detected: int = 0
+    restores: int = 0
+    restored_entries: int = 0
+    recoveries: int = 0
+    power_fails: int = 0
 
     def hit_rate(self) -> float:
         return self.hits / self.gets if self.gets else 0.0
@@ -102,6 +114,10 @@ class StoreStats:
     _RENAMES = {
         "puts_duplicate": "puts_duplicated",
         "tamper_detected": "tampers_detected",
+        "restores": "restore.restores",
+        "restored_entries": "restore.entries_restored",
+        "recoveries": "restore.recoveries",
+        "power_fails": "restore.power_fails",
     }
 
     def snapshot(self) -> dict:
@@ -118,6 +134,10 @@ class StoreStats:
             "puts_rejected": self.puts_rejected,
             "evictions": self.evictions,
             "tamper_detected": self.tamper_detected,
+            "restores": self.restores,
+            "restored_entries": self.restored_entries,
+            "recoveries": self.recoveries,
+            "power_fails": self.power_fails,
             "hit_rate": self.hit_rate(),
         }, renames=self._RENAMES)
 
@@ -176,6 +196,23 @@ class ResultStore:
         self._quota = (
             QuotaManager(self.config.quota, platform.clock) if self.config.quota else None
         )
+        self.durable: DurableLog | None = None
+        self._durable_suspended = False
+        if self.config.durable:
+            if self.enclave is None:
+                raise StoreError("durable persistence requires an SGX-mode store")
+            if self.config.oblivious_metadata:
+                raise StoreError(
+                    "durable persistence does not support oblivious metadata yet"
+                )
+            self.durable = DurableLog(
+                self.enclave,
+                WalConfig(
+                    group_commit_records=self.config.wal_group_commit,
+                    checkpoint_interval_records=self.config.checkpoint_interval,
+                ),
+                tracer=self.tracer,
+            )
         self._channels: dict[str, ChannelEndpoint] = {}
         self._seed = seed
         self._conn_counter = 0
@@ -258,6 +295,14 @@ class ResultStore:
             if self.enclave is not None:
                 with self.enclave.ecall("serve_request", in_bytes=len(record)):
                     reply = self._process(channel, record)
+                    if self.durable is not None:
+                        # Group commit: everything this request logged
+                        # becomes durable before the reply — the ack —
+                        # leaves the machine.
+                        from ..durable.checkpoint import maybe_checkpoint
+
+                        self.durable.commit()
+                        maybe_checkpoint(self)
             else:
                 reply = self._process(channel, record)
             self.endpoint.send(source, reply)
@@ -384,6 +429,8 @@ class ResultStore:
                 app_id=request.app_id,
             )
             self._dict.put(entry, touch=self._touch)
+            if self.durable is not None and not self._durable_suspended:
+                self.durable.append_put(entry, request.sealed_result)
             put_span.set("outcome", "stored")
             return PutResponse(accepted=True)
 
@@ -426,11 +473,13 @@ class ResultStore:
                 self._evict_entry(self._policy.select_victim(entries))
             self.stats.evictions += 1
 
-    def _evict_entry(self, entry: MetadataEntry) -> None:
+    def _evict_entry(self, entry: MetadataEntry, discard: bool = False) -> None:
         self._dict.remove(entry.tag)
         self._blobs.delete(entry.blob_ref)
         if self._quota is not None:
             self._quota.release(entry.app_id, entry.size)
+        if self.durable is not None and not self._durable_suspended:
+            self.durable.append_remove(entry.tag, discard=discard)
 
     # -- SYNC (master-store replication, §IV-B remark) -------------------------
     def _handle_sync(self, request: SyncRequest) -> SyncResponse:
@@ -457,18 +506,21 @@ class ResultStore:
         size = len(sealed_result)
         self._make_room(size)
         ref = self._blobs.put(sealed_result)
-        self._dict.put(
-            MetadataEntry(
-                tag=tag,
-                challenge=challenge,
-                wrapped_key=wrapped_key,
-                blob_ref=ref,
-                blob_digest=blob_digest(sealed_result),
-                size=size,
-                app_id="sync",
-            ),
-            touch=self._touch,
+        entry = MetadataEntry(
+            tag=tag,
+            challenge=challenge,
+            wrapped_key=wrapped_key,
+            blob_ref=ref,
+            blob_digest=blob_digest(sealed_result),
+            size=size,
+            app_id="sync",
         )
+        self._dict.put(entry, touch=self._touch)
+        if self.durable is not None and not self._durable_suspended:
+            # Hand-off log: replicated/migrated entries arrive outside the
+            # request loop, so they commit here rather than in pump().
+            self.durable.append_put(entry, sealed_result)
+            self.durable.commit()
         return True
 
     # -- tag-range migration (cluster resharding) -----------------------------
@@ -511,8 +563,10 @@ class ResultStore:
             entry = self._dict.peek(tag)
             if entry is None:
                 continue
-            self._evict_entry(entry)
+            self._evict_entry(entry, discard=True)
             removed += 1
+        if self.durable is not None and not self._durable_suspended:
+            self.durable.commit()  # hand-off log for the migration source
         return removed
 
     def clear(self) -> int:
@@ -523,9 +577,71 @@ class ResultStore:
             with self.enclave.ecall("clear"):
                 return self.clear()
         entries = self._dict.entries()
-        for entry in entries:
-            self._evict_entry(entry)
+        # clear() models memory *loss*, not N deliberate deletions — the
+        # durable log must not record it as evictions.
+        suspended = self._durable_suspended
+        self._durable_suspended = True
+        try:
+            for entry in entries:
+                self._evict_entry(entry)
+        finally:
+            self._durable_suspended = suspended
         return len(entries)
+
+    # -- power failure and recovery (repro.durable) ---------------------------
+    def power_fail(self) -> int:
+        """Simulate a power failure: every volatile structure — the
+        enclave's metadata dictionary, the untrusted blob arena, eviction
+        and quota state, and the WAL's in-enclave buffer — is lost in
+        place.  Only the durable artifacts (sealed segments, the sealed
+        checkpoint, logged ciphertexts) survive for :meth:`recover`.
+        Established channels are kept — the subsystem hardens *store
+        state*, not the transport.  Returns the entry count wiped."""
+        if self.durable is None:
+            raise StoreError("power_fail requires a durable-mode store")
+        wiped = len(self._dict)
+        self._dict = MetadataDict()
+        self._blobs = BlobStore()
+        self._policy = make_policy(self.config.eviction)
+        if self.config.quota:
+            self._quota = QuotaManager(self.config.quota, self.platform.clock)
+        self._epc_blob_extents.clear()
+        self._epc_blob_cursor = 0
+        self.durable.power_fail()
+        self.stats.power_fails += 1
+        return wiped
+
+    def recover(self):
+        """Rebuild state from the durable log after :meth:`power_fail`;
+        returns the :class:`~repro.durable.recovery.RecoveryReport`."""
+        from ..durable.recovery import recover_store
+
+        return recover_store(self)
+
+    def replay_insert(self, record, sealed_result: bytes) -> bool:
+        """Re-insert one logged PUT during WAL replay (recovery only).
+        Quota is re-admitted without rate-limiting — the entry was
+        admitted before the crash.  Returns False on duplicate."""
+        if record.tag in self._dict:
+            return False
+        self._make_room(record.size)
+        ref = self._blobs.put(sealed_result)
+        self.platform.clock.charge_marshal(record.size)
+        self._dict.put(
+            MetadataEntry(
+                tag=record.tag,
+                challenge=record.challenge,
+                wrapped_key=record.wrapped_key,
+                blob_ref=ref,
+                blob_digest=record.blob_digest,
+                size=record.size,
+                app_id=record.app_id,
+            ),
+            touch=self._touch,
+        )
+        if self._quota is not None:
+            self._quota.restore(record.app_id, record.size)
+        return True
 
     # -- introspection -----------------------------------------------------------
     def __len__(self) -> int:
@@ -559,3 +675,11 @@ class ResultStore:
         if entry is None:
             raise StoreError("unknown tag")
         return entry.blob_ref
+
+    def snapshot(self) -> dict:
+        """Store counters plus, on durable stores, the ``durable.*``
+        log/checkpoint/recovery counters — one flat dict."""
+        snap = self.stats.snapshot()
+        if self.durable is not None:
+            snap.update(self.durable.snapshot())
+        return snap

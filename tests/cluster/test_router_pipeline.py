@@ -152,6 +152,69 @@ class TestGroupedPipeline:
         responses = router.wait_gets(handle, 2)  # slot survived the error
         assert all(r.found for r in responses)
 
+class TestGroupedPutPipeline:
+    def test_plan_puts_partitions_by_primary_and_covers_everything(self):
+        d = make_cluster()
+        router = raw_router(d)
+        puts = [make_put(i, prefix=b"gput") for i in range(12)]
+        plan = router.plan_puts(puts)
+        covered = sorted(i for group in plan for i in group)
+        assert covered == list(range(len(puts)))
+        ring = d.cluster.ring
+        for group in plan:
+            primaries = {ring.primary(puts[i].tag) for i in group}
+            assert len(primaries) == 1
+
+    def test_grouped_put_matches_synchronous_calls(self):
+        d = make_cluster(n_shards=4, replication_factor=2)
+        router = raw_router(d)
+        puts = [make_put(i, prefix=b"gput-sync") for i in range(10)]
+        plan = router.plan_puts(puts)
+        handles = [
+            (group, router.submit_puts([puts[i] for i in group]))
+            for group in plan
+        ]
+        accepted = [None] * len(puts)
+        for group, handle in handles:
+            for i, response in zip(group, router.wait_puts(handle, len(group))):
+                accepted[i] = response.accepted
+        assert all(accepted)
+        # Same durability as the synchronous path: fully replicated,
+        # every entry readable.
+        for put in puts:
+            assert len(d.cluster.holders_of(put.tag)) == 2
+            assert router.call(make_get(put)).found
+
+    def test_grouped_put_reports_no_live_owner(self):
+        d = make_cluster(n_shards=2, replication_factor=1)
+        router = raw_router(d)
+        puts = [make_put(i, prefix=b"gput-dead") for i in range(6)]
+        dead = list(d.cluster.shard_ids)[1]
+        d.cluster.kill_shard(dead)
+        plan = router.plan_puts(puts)
+        responses = [None] * len(puts)
+        for group in plan:
+            handle = router.submit_puts([puts[i] for i in group])
+            for i, response in zip(group, router.wait_puts(handle, len(group))):
+                responses[i] = response
+        ring = d.cluster.ring
+        for put, response in zip(puts, responses):
+            if ring.primary(put.tag) == dead:
+                assert not response.accepted
+                assert "no_live_owner" in response.reason
+            else:
+                assert response.accepted
+
+    def test_wait_puts_rejects_item_count_mismatch_and_keeps_slot(self):
+        d = make_cluster()
+        router = raw_router(d)
+        puts = [make_put(i, prefix=b"gput-count") for i in range(2)]
+        handle = router.submit_puts(puts)
+        with pytest.raises(ProtocolError):
+            router.wait_puts(handle, 5)
+        responses = router.wait_puts(handle, 2)  # slot survived the error
+        assert all(r.accepted for r in responses)
+
     def test_wait_and_wait_gets_refuse_each_others_slots(self):
         d = make_cluster()
         router = raw_router(d)

@@ -11,6 +11,7 @@ from repro import (
     Deployment,
     QuotaExceededError,
     SpeedError,
+    StoreConfig,
     StoreError,
     TrustedLibrary,
     TrustedLibraryRegistry,
@@ -129,6 +130,22 @@ def test_cluster_snapshot_namespaces_each_shard():
     assert "store.shard-0.gets" in snap
     assert "store.shard-1.gets" in snap
     assert snap["store.shard-0.gets"] + snap["store.shard-1.gets"] >= 1
+
+
+def test_cluster_snapshot_namespaces_dotted_subgroups_per_shard():
+    # Dotted store sub-groups (restore.*, durable.*) would collide across
+    # shards if emitted verbatim; each must carry its shard id.
+    session = repro.connect(shards=2, libraries=make_libs(), seed=b"t-cm2",
+                            store_config=StoreConfig(durable=True))
+    session.execute(DESC, b"m")
+    session.flush_puts()
+    for sid in list(session.cluster.shards):
+        session.power_fail_shard(sid)
+    snap = session.snapshot()
+    for sid in ("shard-0", "shard-1"):
+        assert snap[f"store.{sid}.restore.power_fails"] == 1
+        assert snap[f"store.{sid}.durable.recoveries"] == 1
+    assert "restore.power_fails" not in snap
 
 
 # -- deprecation + errors --------------------------------------------------

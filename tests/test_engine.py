@@ -11,7 +11,7 @@ import pytest
 
 from repro.engine import EngineBatch, EngineConfig, PipelineEngine
 from repro.errors import ChannelError, ProtocolError, TransportError
-from repro.net.messages import GetRequest
+from repro.net.messages import GetRequest, PutRequest
 
 
 class FakeClock:
@@ -109,9 +109,21 @@ class GroupedFakeClient(FakeClient):
         self.app_clock.advance(self.wait_cost)
         return [("response", r.tag) for r in requests]
 
+    # -- the grouped PUT surface mirrors the GET one ----------------------
+    plan_puts = plan_gets
+    submit_puts = submit_gets
+    wait_puts = wait_gets
+
 
 def get(tag: bytes) -> GetRequest:
     return GetRequest(tag=tag.ljust(32, b"\0"), app_id="engine-test")
+
+
+def putreq(tag: bytes) -> PutRequest:
+    return PutRequest(
+        tag=tag.ljust(32, b"\0"), challenge=b"r" * 32,
+        wrapped_key=b"k" * 16, sealed_result=b"blob", app_id="engine-test",
+    )
 
 
 def make_engine(n_shards=1, shard_of=None, client_cls=FakeClient, **config):
@@ -269,6 +281,58 @@ class TestGroupedRounds:
         batch = engine.run_gets([get(b"a"), get(b"b")])
         assert all(isinstance(r, ChannelError) for r in batch.responses)
         assert engine.failures == 2
+
+
+class TestGroupedPutRounds:
+    def test_put_round_ships_one_record_per_shard_group(self):
+        engine, client, _, _ = make_engine(
+            n_shards=2, depth=8, client_cls=GroupedFakeClient,
+            shard_of=lambda tag: f"shard-{tag[0] % 2}",
+        )
+        tags = [bytes([i]) for i in range(6)]
+        batch = engine.run_puts([putreq(t) for t in tags])
+        assert len(client.group_submits) == 2  # one record per shard
+        assert [r[1] for r in batch.responses] == [
+            t.ljust(32, b"\0") for t in tags
+        ]
+
+    def test_grouped_puts_are_never_coalesced(self):
+        engine, client, _, _ = make_engine(
+            n_shards=1, depth=8, client_cls=GroupedFakeClient
+        )
+        batch = engine.run_puts([putreq(b"a"), putreq(b"a"), putreq(b"a")])
+        submitted = sum(len(group) for group in client.group_submits)
+        assert submitted == 3  # every duplicate wants its own verdict
+        assert engine.coalesced_total == 0
+        assert len(batch.responses) == 3
+
+    def test_distinct_shard_put_groups_overlap(self):
+        # Two shards each serving one group: the round's makespan is one
+        # group's serve time, not two, plus the per-lane client work.
+        engine, client, app, shards = make_engine(
+            n_shards=2, depth=8, workers=2, client_cls=GroupedFakeClient,
+            shard_of=lambda tag: f"shard-{tag[0] % 2}",
+        )
+        t0 = app.cycles
+        engine.run_puts([putreq(bytes([i])) for i in range(2)])
+        elapsed = app.cycles - t0
+        serial = 2 * (client.submit_cost + client.serve_cost + client.wait_cost)
+        assert elapsed < serial
+
+    def test_put_group_wait_failure_fails_every_item_of_the_group(self):
+        engine, client, _, _ = make_engine(
+            n_shards=1, depth=8, client_cls=GroupedFakeClient
+        )
+        client.fail_group_wait = True
+        batch = engine.run_puts([putreq(b"a"), putreq(b"b")])
+        assert all(isinstance(r, ChannelError) for r in batch.responses)
+        assert engine.failures == 2
+
+    def test_plain_client_still_takes_the_per_op_path(self):
+        engine, client, _, _ = make_engine(n_shards=1, depth=8)
+        batch = engine.run_puts([putreq(b"a"), putreq(b"b")])
+        assert len(client.submitted) == 2  # per-op submit(), no grouping
+        assert len(batch.responses) == 2
 
 
 class TestBackground:
