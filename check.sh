@@ -43,6 +43,13 @@ echo "== sim smoke, power-fail recovery (seed 3) =="
 PYTHONPATH=src python -m repro.simtest --runs 1 --start-seed 3 --steps 25 \
     --power-fail || status=1
 
+# Migration smoke: three fixed seeds streaming live joins/drains (with
+# power failures on migration participants) through the single-owner
+# invariant.
+echo "== sim smoke, online resharding (seeds 3..5) =="
+PYTHONPATH=src python -m repro.simtest --runs 3 --start-seed 3 --steps 25 \
+    --migrate || status=1
+
 # Pipelined-engine benchmark smoke: a reduced depth sweep that still
 # exercises grouped dispatch, coalescing, and the result-identity check.
 echo "== bench pipeline smoke =="
@@ -51,6 +58,11 @@ PYTHONPATH=src python -m repro.bench pipeline --quick || status=1
 # Durability benchmark smoke: WAL logging overhead + one recovery sweep.
 echo "== bench durable smoke =="
 PYTHONPATH=src python -m repro.bench durable --quick || status=1
+
+# Online-resharding benchmark smoke: foreground throughput during a
+# streaming join vs the no-migration baseline and the blocking copy.
+echo "== bench migrate smoke =="
+PYTHONPATH=src python -m repro.bench migrate --quick || status=1
 
 if [ "$status" -ne 0 ]; then
     echo "CHECK FAILED" >&2

@@ -49,8 +49,13 @@ from .deployment import Application, ClusterDeployment, Deployment
 from .errors import (
     ChannelError,
     DedupError,
+    MigrationError,
+    MigrationInProgressError,
+    MigrationIngestError,
+    MigrationStateError,
     NoLiveOwnerError,
     QuotaExceededError,
+    RollbackError,
     SpeedError,
     StoreError,
     TransportError,
@@ -60,7 +65,8 @@ from .errors import (
 )
 from .engine import EngineConfig, PipelineEngine
 from .obs import MetricsRegistry, Span, Tracer
-from .session import Session, connect
+from .report import ReportMixin
+from .session import Session, TopologyReport, connect
 from .sgx import CostParams, SgxPlatform
 from .store import QuotaPolicy, ResultStore, StoreConfig
 
@@ -82,12 +88,18 @@ __all__ = [
     "EngineConfig",
     "FunctionDescription",
     "MetricsRegistry",
+    "MigrationError",
+    "MigrationInProgressError",
+    "MigrationIngestError",
+    "MigrationStateError",
     "NoLiveOwnerError",
     "PipelineEngine",
     "PlaintextScheme",
     "QuotaExceededError",
     "QuotaPolicy",
+    "ReportMixin",
     "ResultStore",
+    "RollbackError",
     "RuntimeConfig",
     "Session",
     "SgxPlatform",
@@ -98,6 +110,7 @@ __all__ = [
     "StoreCluster",
     "StoreConfig",
     "StoreError",
+    "TopologyReport",
     "Tracer",
     "TransportError",
     "TrustedLibrary",

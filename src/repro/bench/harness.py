@@ -1773,3 +1773,261 @@ def print_durable(rows: list[DurableRow]) -> str:
     return format_table(
         "Durable: WAL logging overhead and power-fail recovery", headers, table,
     )
+
+
+# ---------------------------------------------------------------------------
+# Migrate — foreground throughput while the ring reshards (repro.cluster)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class MigrateRow:
+    phase: str             # baseline | stop-the-world | streaming
+    n_shards: int          # shard count before the join
+    ops: int               # foreground GET-path calls served
+    rounds: int            # foreground batches driven
+    elapsed_sim_s: float   # total sim seconds (app + shards - overlap)
+    baseline_sim_s: float  # the no-migration phase's elapsed_sim_s
+    p50_round_s: float     # median per-round foreground sim latency
+    p99_round_s: float     # worst-case-ish per-round foreground latency
+    entries_moved: int
+    bytes_moved: int
+    batches: int           # migration batches shipped
+    foreground_stalls: int # migration batches that blocked the foreground
+    identical: bool        # results byte-identical to the baseline phase
+
+    @property
+    def fg_ops_per_s(self) -> float:
+        return self.ops / self.elapsed_sim_s if self.elapsed_sim_s > 0 else 0.0
+
+    @property
+    def fg_throughput_ratio(self) -> float:
+        """Foreground throughput relative to the no-migration baseline
+        (1.0 = no slowdown; the acceptance bound is >= 0.70 for the
+        streaming phase)."""
+        if self.elapsed_sim_s <= 0:
+            return 0.0
+        return self.baseline_sim_s / self.elapsed_sim_s
+
+
+def _percentile(values: list[float], fraction: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(fraction * (len(ordered) - 1) + 0.5))
+    return ordered[index]
+
+
+def _migrate_session(n_shards: int, seed_tag: bytes):
+    from ..session import connect
+
+    # Non-durable shards: this sweep measures foreground throughput, not
+    # crash-safety (simtest --migrate covers that), so the hand-off marks
+    # stay in-memory and the WAL's fsync costs don't mask the comparison.
+    return connect(
+        shards=n_shards, replication_factor=2, seed=seed_tag,
+        tracing=False, vnodes=4,
+    )
+
+
+def _migrate_phase(
+    n_shards: int,
+    seed_tag: bytes,
+    inputs: list[bytes],
+    rounds: int,
+    batch: int,
+    migration: str,  # "none" | "blocking" | "streaming"
+    batch_entries: int,
+):
+    """Warm a cluster, then drive ``rounds`` foreground GET batches while
+    the requested migration mode runs.  Returns (per-round sim latencies,
+    total sim seconds, foreground values, migration counters).
+
+    Latency is the engine's critical-path makespan: migration batches
+    that stream as its background lane overlap the foreground (bounded
+    by the busiest machine — background work on a shard still serializes
+    with that shard's foreground requests), while the legacy blocking
+    copy and any un-overlapped remainder land on the critical path in
+    full."""
+    session = _migrate_session(n_shards, seed_tag)
+
+    @session.mark(version="1.0")
+    def migrate_kernel(data: bytes) -> bytes:
+        return bytes(b ^ 0x3C for b in data)
+
+    migrate_kernel.map(inputs)
+    session.flush_puts()
+
+    reader = session.sibling("migrate-reader")
+    engine = reader.enable_pipeline(depth=8, workers=4)
+    cluster = session.cluster
+    deployment = session.deployment
+    freq = reader.clock.params.cpu_freq_hz
+
+    def clocks():
+        return {
+            sid: node.platform.clock
+            for sid, node in deployment.cluster.shards.items()
+        }
+
+    migrator = None
+    if migration == "streaming":
+        from ..cluster.migration import MigrationConfig
+
+        migrator = cluster.begin_add_shard(
+            config=MigrationConfig(batch_entries=batch_entries),
+            engine=engine,
+        )
+
+    description = migrate_kernel.description
+    round_latencies: list[float] = []
+    values: list[bytes] = []
+    makespan0 = engine.makespan_cycles
+    moved = bytes_moved = batches = stalls = 0
+    blocking_cycles = 0.0
+
+    for round_index in range(rounds):
+        offset = (round_index * batch) % len(inputs)
+        window = (inputs + inputs)[offset:offset + batch]
+        round_cycles = -engine.makespan_cycles
+        if migration == "blocking" and round_index == rounds // 2:
+            # The legacy stop-the-world path: the ring changes first,
+            # then every affected range is copied in one blocking sweep
+            # while this round's foreground requests wait — the whole
+            # copy lands on the critical path inside one round.
+            from ..cluster.migration import migrate_for_join
+
+            shard0 = {sid: c.snapshot() for sid, c in clocks().items()}
+            node = cluster._spawn_shard()
+            for app_name, enclave, router in cluster._routers:
+                client = node.store.connect(
+                    f"{app_name}->{node.shard_id}",
+                    app_enclave=enclave,
+                    attestation_service=cluster.attestation,
+                )
+                router.attach_shard(node.shard_id, client)
+            report = migrate_for_join(cluster, node.shard_id)
+            copy_cycles = sum(
+                c.since(shard0.get(sid, 0.0)) for sid, c in clocks().items()
+            )
+            round_cycles += copy_cycles
+            blocking_cycles += copy_cycles
+            moved += report.moved
+            bytes_moved += report.bytes_moved
+            batches += report.transfers
+            stalls += report.transfers
+        results = reader.execute_many_results(description, window)
+        values.extend(r.value for r in results)
+        round_cycles += engine.makespan_cycles
+        round_latencies.append(round_cycles / freq)
+        if migrator is not None and migrator.pending_ranges():
+            # Interleave: a slice of the hand-off advances between
+            # foreground rounds, overlapped as the engine's background
+            # lane and paced so the hand-off drains across the remaining
+            # rounds instead of piling up at the end.
+            rounds_left = max(1, rounds - 1 - round_index)
+            pending = len(migrator.pending_ranges())
+            budget = max(1, -(-pending // rounds_left))
+            for _ in range(budget):
+                if not migrator.pending_ranges():
+                    break
+                migrator.step()
+
+    if migrator is not None:
+        while migrator.pending_ranges():
+            migrator.step()
+        migrator.finish()
+        moved += migrator.moved
+        bytes_moved += migrator.bytes_moved
+        batches += migrator.batches
+        stalls += migrator.stalled_batches
+    # Background work no foreground round overlapped folds in serially.
+    engine.settle()
+
+    # The engine's makespan delta covers every foreground round plus the
+    # folded/settled background lanes; the blocking copy ran outside the
+    # engine's rounds and its full cost is on the critical path.
+    total_cycles = (engine.makespan_cycles - makespan0) + blocking_cycles
+    counters = dict(
+        entries_moved=moved, bytes_moved=bytes_moved,
+        batches=batches, foreground_stalls=stalls,
+    )
+    return round_latencies, total_cycles / freq, values, counters
+
+
+def run_migrate(
+    n_shards: int = 3,
+    ops: int = 48,
+    rounds: int = 16,
+    batch_entries: int = 8,
+    seed: int = 97,
+) -> list[MigrateRow]:
+    """Online resharding sweep: foreground throughput during a join.
+
+    Three phases over the same warm GET-heavy workload (``rounds``
+    pipelined batches over ``ops`` distinct entries):
+
+    * **baseline** — no topology change; sets the reference throughput.
+    * **stop-the-world** — the legacy blocking join lands mid-run: the
+      ring changes, then every affected range is copied in one sweep
+      while the foreground waits.
+    * **streaming** — ``Session.add_shard``'s path: the dual-ownership
+      window opens and ranges stream across in ``batch_entries``-sized
+      batches between foreground rounds, overlapped as the pipeline
+      engine's background lane.
+
+    The acceptance bound (checked by CI from ``BENCH_migrate.json``) is
+    ``fg_throughput_ratio >= 0.70`` for the streaming phase: foreground
+    throughput during the join stays at >= 70% of the no-migration
+    baseline, while the stop-the-world phase shows the stall the
+    streaming path removes.
+    """
+    base_tag = b"bench-migrate" + bytes([seed % 251])
+    inputs = _pipeline_inputs(ops, seed)
+    batch = max(1, ops // 2)
+
+    rows: list[MigrateRow] = []
+    base_lat, base_total, base_values, _counters = _migrate_phase(
+        n_shards, base_tag + b"/base", inputs, rounds, batch, "none",
+        batch_entries,
+    )
+    fg_ops = rounds * batch
+    rows.append(MigrateRow(
+        phase="baseline", n_shards=n_shards, ops=fg_ops, rounds=rounds,
+        elapsed_sim_s=base_total, baseline_sim_s=base_total,
+        p50_round_s=_percentile(base_lat, 0.50),
+        p99_round_s=_percentile(base_lat, 0.99),
+        entries_moved=0, bytes_moved=0, batches=0, foreground_stalls=0,
+        identical=True,
+    ))
+    for phase, mode in (("stop-the-world", "blocking"), ("streaming", "streaming")):
+        lat, total, values, counters = _migrate_phase(
+            n_shards, base_tag + b"/" + mode.encode(), inputs, rounds, batch,
+            mode, batch_entries,
+        )
+        rows.append(MigrateRow(
+            phase=phase, n_shards=n_shards, ops=fg_ops, rounds=rounds,
+            elapsed_sim_s=total, baseline_sim_s=base_total,
+            p50_round_s=_percentile(lat, 0.50),
+            p99_round_s=_percentile(lat, 0.99),
+            identical=values == base_values,
+            **counters,
+        ))
+    return rows
+
+
+def print_migrate(rows: list[MigrateRow]) -> str:
+    headers = ["phase", "shards", "fg ops", "elapsed sim(s)", "fg ops/s",
+               "vs baseline", "p50 round(s)", "p99 round(s)", "moved",
+               "bytes", "batches", "stalls", "identical"]
+    table = [
+        [
+            r.phase, r.n_shards, r.ops, r.elapsed_sim_s,
+            f"{r.fg_ops_per_s:.1f}", f"{r.fg_throughput_ratio:.2f}x",
+            r.p50_round_s, r.p99_round_s, r.entries_moved,
+            human_size(r.bytes_moved), r.batches, r.foreground_stalls,
+            "yes" if r.identical else "NO",
+        ]
+        for r in rows
+    ]
+    return format_table(
+        "Migrate: foreground throughput during an online join", headers, table,
+    )

@@ -7,32 +7,41 @@ out: a :class:`ShardRing` partitions the tag space across N independent
 simulated machine), a :class:`StoreCluster` runs them, and a
 :class:`ClusterRouter` gives every application's DedupRuntime the
 single-store call surface while routing, replicating, and failing over
-underneath.  See DESIGN.md ("Cluster topology") for what stays faithful
+underneath.  Topology changes stream through a :class:`RangeMigrator`
+behind a dual-ownership window, so the cluster grows and shrinks while
+serving.  See DESIGN.md ("Cluster topology") for what stays faithful
 to the paper per shard and what is an extension beyond it.
 """
 
 from .cluster import ClusterConfig, ShardNode, StoreCluster
 from .migration import (
+    MigrationConfig,
     MigrationReport,
+    RangeMigrator,
     migrate_for_join,
     migrate_for_leave,
+    rebalance,
     transfer_entries,
 )
-from .ring import RING_SIZE, ShardRing, tag_point
+from .ring import RING_SIZE, MigrationRange, ShardRing, tag_point
 from .router import NO_LIVE_OWNER, ClusterRouter, RouterStats
 
 __all__ = [
     "ClusterConfig",
     "ClusterRouter",
+    "MigrationConfig",
+    "MigrationRange",
     "MigrationReport",
     "NO_LIVE_OWNER",
     "RING_SIZE",
+    "RangeMigrator",
     "RouterStats",
     "ShardNode",
     "ShardRing",
     "StoreCluster",
     "migrate_for_join",
     "migrate_for_leave",
+    "rebalance",
     "tag_point",
     "transfer_entries",
 ]

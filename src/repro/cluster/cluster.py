@@ -17,18 +17,23 @@ same observable behaviour as a crashed store process.  A revived shard
 keeps its pre-crash state (crash-pause model); entries it missed while
 dead flow back through read-repair.
 
-The ring can also grow and shrink live: :meth:`add_shard` spawns a new
-machine, splices it into the ring, and migrates the tag ranges it now
-owns from the incumbents over mutually attested store-to-store channels
-(:mod:`repro.cluster.migration`); :meth:`remove_shard` drains a leaving
-shard the same way before detaching it.
+The ring can also grow and shrink live.  The streaming path
+(:meth:`begin_add_shard` / :meth:`begin_remove_shard`, driven by
+``Session.add_shard()``/``remove_shard()``) opens a dual-ownership
+window and hands tag ranges off in bounded batches over mutually
+attested store-to-store channels (:mod:`repro.cluster.migration`) while
+foreground traffic keeps flowing.  The old blocking entry points
+(:meth:`add_shard` / :meth:`remove_shard`) are deprecated shims over the
+same machinery.
 """
 
 from __future__ import annotations
 
+import warnings
+
 from dataclasses import dataclass, field
 
-from .migration import MigrationReport, migrate_for_join, migrate_for_leave
+from .migration import MigrationConfig, MigrationReport, RangeMigrator
 from .ring import ShardRing
 from .router import ClusterRouter
 from ..errors import SpeedError
@@ -93,13 +98,16 @@ class StoreCluster:
         self.ring = ShardRing(vnodes=self.config.vnodes)
         self.shards: dict[str, ShardNode] = {}
         self._spawned = 0
+        self._migration_seq = 0
         # Routers to retro-fit when the ring grows: (app name, enclave, router).
         self._routers: list[tuple[str, Enclave, ClusterRouter]] = []
         for _ in range(self.config.n_shards):
             self._spawn_shard()
 
     # -- shard lifecycle -------------------------------------------------------
-    def _spawn_shard(self, shard_id: str | None = None) -> ShardNode:
+    def _spawn_shard(
+        self, shard_id: str | None = None, register: bool = True
+    ) -> ShardNode:
         shard_id = shard_id or f"shard-{self._spawned}"
         if shard_id in self.shards:
             raise SpeedError(f"shard {shard_id!r} already exists")
@@ -124,14 +132,54 @@ class StoreCluster:
         )
         node = ShardNode(shard_id=shard_id, platform=platform, store=store)
         self.shards[shard_id] = node
-        self.ring.add_shard(shard_id)
+        if register:
+            # Streaming joins keep the shard off the ring until the
+            # dual-ownership transition opens (ring.begin_join).
+            self.ring.add_shard(shard_id)
         return node
 
     def add_shard(self, shard_id: str | None = None) -> tuple[ShardNode, MigrationReport]:
-        """Grow the ring live: spawn a shard, migrate the tag ranges it
-        now owns from the incumbents, and connect every existing router."""
-        node = self._spawn_shard(shard_id)
-        report = migrate_for_join(self, node.shard_id)
+        """Deprecated: use ``Session.add_shard()`` (or
+        :meth:`begin_add_shard` for step-wise control).  Runs the
+        streaming join to completion and returns the legacy
+        ``(node, report)`` pair."""
+        warnings.warn(
+            "StoreCluster.add_shard is deprecated; use Session.add_shard()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        migrator = self.begin_add_shard(shard_id)
+        report = migrator.run()
+        return self.shards[migrator.shard_id], report
+
+    def remove_shard(self, shard_id: str) -> MigrationReport:
+        """Deprecated: use ``Session.remove_shard()`` (or
+        :meth:`begin_remove_shard` for step-wise control).  Runs the
+        streaming drain to completion and returns the legacy report."""
+        warnings.warn(
+            "StoreCluster.remove_shard is deprecated; use Session.remove_shard()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.begin_remove_shard(shard_id).run()
+
+    # -- streaming topology changes -------------------------------------------
+    def next_migration_seq(self) -> int:
+        self._migration_seq += 1
+        return self._migration_seq
+
+    def begin_add_shard(
+        self,
+        shard_id: str | None = None,
+        config: MigrationConfig | None = None,
+        engine=None,
+    ) -> RangeMigrator:
+        """Spawn a shard and open a streaming join: the new machine is
+        connected to every registered router *before* the dual-ownership
+        window opens, so writes can land on it the moment it becomes a
+        pending owner.  Returns the started :class:`RangeMigrator`;
+        drive it with ``step()``/``finish()`` (or ``run()``)."""
+        node = self._spawn_shard(shard_id, register=False)
         for app_name, enclave, router in self._routers:
             client = node.store.connect(
                 f"{app_name}->{node.shard_id}",
@@ -139,22 +187,54 @@ class StoreCluster:
                 attestation_service=self.attestation,
             )
             router.attach_shard(node.shard_id, client)
-        return node, report
+        migrator = RangeMigrator(
+            self, "join", node.shard_id, config=config, engine=engine
+        )
+        try:
+            migrator.start()
+        except Exception:
+            self._despawn(node.shard_id)
+            raise
+        return migrator
 
-    def remove_shard(self, shard_id: str) -> MigrationReport:
-        """Drain a shard gracefully: hand its entries to their new owners
-        over attested channels, then take it off the ring and kill it."""
+    def begin_remove_shard(
+        self,
+        shard_id: str,
+        config: MigrationConfig | None = None,
+        engine=None,
+    ) -> RangeMigrator:
+        """Open a streaming drain of ``shard_id``.  The shard keeps
+        serving (it remains a read owner of its ranges until each
+        commits); :meth:`RangeMigrator.finish` detaches and kills it."""
         if shard_id not in self.shards:
             raise SpeedError(f"unknown shard {shard_id!r}")
         if len(self.shards) == 1:
             raise SpeedError("cannot remove the last shard")
-        report = migrate_for_leave(self, shard_id)
-        node = self.shards.pop(shard_id)
-        self.ring.remove_shard(shard_id)
+        migrator = RangeMigrator(
+            self, "leave", shard_id, config=config, engine=engine
+        )
+        migrator.start()
+        return migrator
+
+    def abort_add_shard(self, migrator: RangeMigrator) -> None:
+        """Back out of a streaming join (e.g. the target refused a batch
+        for capacity): restore the old ownership map, clean partially
+        migrated copies, and despawn the joiner."""
+        migrator.abort()
+        self._despawn(migrator.shard_id)
+
+    def _despawn(self, shard_id: str) -> None:
+        node = self.shards.pop(shard_id, None)
+        if node is None:
+            return
         for _name, _enclave, router in self._routers:
             router.detach_shard(shard_id)
         self.fault.kill(node.address)
-        return report
+
+    def _complete_leave(self, shard_id: str) -> None:
+        """Final hand-off step of a streaming drain (ring already
+        settled without the leaver): detach and go dark."""
+        self._despawn(shard_id)
 
     # -- failure injection -----------------------------------------------------
     def kill_shard(self, shard_id: str) -> None:
@@ -256,7 +336,10 @@ class StoreCluster:
                 shard_id: {
                     "alive": self.shard_alive(shard_id),
                     "entries": len(node.store),
-                    "load_share": self.ring.load_share(shard_id),
+                    "load_share": (
+                        self.ring.load_share(shard_id)
+                        if shard_id in self.ring else 0.0
+                    ),
                     **node.store.snapshot(),
                 }
                 for shard_id, node in sorted(self.shards.items())

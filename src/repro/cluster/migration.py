@@ -10,11 +10,27 @@ its own enclave.  Nothing decryptable ever exists outside an enclave —
 migration moves *protected* results, so a compromised wire or host
 learns exactly what it learns from normal PUT traffic.
 
-Join: every incumbent pushes the slices the newcomer now owns, then
-drops entries it no longer owns under the (wider) ownership set.  Leave:
-the departing shard pushes each of its entries to that tag's remaining
-owners before going dark.  Both directions are idempotent — ingestion
-dedupes on tag, exactly like the master-store sync.
+Two migration modes exist:
+
+* **Streaming** (:class:`RangeMigrator`) — the online path behind
+  ``Session.add_shard()``/``remove_shard()``.  The pending ring is
+  computed up front (:meth:`~repro.cluster.ring.ShardRing.begin_join` /
+  ``begin_leave``), and entries move range by range in bounded batches
+  while a *dual-ownership window* keeps every tag readable from its old
+  owners (with GET failover to the new ones) and writable to its new
+  owners.  Each shard logs sealed ``MIGRATE_BEGIN`` /
+  ``MIGRATE_RANGE_COMMIT`` / ``MIGRATE_END`` marks into its durable WAL,
+  and every batch is durably ingested (commit-before-ack) at the
+  destination *before* the source logs its commit mark and discards —
+  so a power failure on either side mid-range recovers to a consistent
+  ownership map with no loss and no resurrection, and re-running a range
+  is idempotent (ingestion dedupes on tag).  With a
+  :class:`~repro.engine.PipelineEngine` attached, each batch transfer is
+  accounted as a background lane overlapping foreground GET/PUT rounds.
+
+* **Stop-the-world** (:func:`migrate_for_join` / :func:`migrate_for_leave`)
+  — the legacy blocking copy, kept as the benchmark baseline the
+  streaming path is measured against (``repro.bench migrate``).
 """
 
 from __future__ import annotations
@@ -22,6 +38,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from .ring import MigrationRange, tag_point
+from ..durable.wal import (
+    MIGRATE_DEST,
+    MIGRATE_SOURCE,
+    REC_MIGRATE_BEGIN,
+    REC_MIGRATE_COMMIT,
+    REC_MIGRATE_END,
+)
+from ..errors import MigrationError, MigrationIngestError, MigrationStateError
+from ..report import ReportMixin
 from ..store.resultstore import ResultStore
 from ..store.sync import _decode_entries, _encode_entries, attested_store_channel
 
@@ -30,7 +56,16 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 @dataclass(frozen=True)
-class MigrationReport:
+class MigrationConfig:
+    """Streaming knobs for one resharding run."""
+
+    #: Entries shipped per attested batch payload.  Bounds the work (and
+    #: the foreground stall, when no engine overlaps it) of one step.
+    batch_entries: int = 32
+
+
+@dataclass(frozen=True)
+class MigrationReport(ReportMixin):
     """Outcome of one resharding round."""
 
     moved: int = 0       # entries newly ingested at their new owners
@@ -38,6 +73,8 @@ class MigrationReport:
     dropped: int = 0     # entries removed from sources that lost ownership
     transfers: int = 0   # attested channel payloads shipped
     bytes_moved: int = 0 # ciphertext bytes that crossed machines
+    ranges_moved: int = 0  # ring ranges whose owner set changed
+    batches: int = 0       # bounded streaming batches shipped
 
 
 def transfer_entries(
@@ -45,9 +82,16 @@ def transfer_entries(
     source: ResultStore,
     dest: ResultStore,
     entries: list[tuple[bytes, bytes, bytes, bytes]],
+    enforce_capacity: bool = False,
 ) -> tuple[int, int, int]:
     """Ship ``entries`` from ``source`` to ``dest`` as one attested
-    payload; returns (ingested, duplicates, payload bytes)."""
+    payload; returns (ingested, duplicates, payload bytes).
+
+    With ``enforce_capacity`` the destination refuses (raises
+    :class:`~repro.errors.MigrationIngestError`) rather than evicting
+    foreground entries to make room — a full target shard must fail the
+    migration, not silently shed other tenants' results.
+    """
     if not entries:
         return 0, 0, 0
     src_ep, dst_ep = attested_store_channel(cluster.attestation, source, dest)
@@ -57,6 +101,11 @@ def transfer_entries(
     moved = duplicates = 0
     with dest.enclave.ecall("migrate_ingest", in_bytes=len(payload)):
         for tag, challenge, wrapped_key, sealed in _decode_entries(dst_ep.unprotect(payload)):
+            if enforce_capacity and tag not in dest._dict and not dest.can_accept(len(sealed)):
+                raise MigrationIngestError(
+                    f"target shard at {dest.address!r} is full; "
+                    f"refusing migrated batch"
+                )
             if dest.ingest_entry(tag, challenge, wrapped_key, sealed):
                 moved += 1
             else:
@@ -64,8 +113,348 @@ def transfer_entries(
     return moved, duplicates, len(payload)
 
 
+class RangeMigrator:
+    """Streams one topology change (join or leave), range by range.
+
+    Lifecycle: :meth:`start` opens the dual-ownership window (and logs
+    ``MIGRATE_BEGIN`` on every participant), :meth:`step` hands off one
+    pending range (returns False when every pending range is blocked on
+    a dead shard — retry after healing), :meth:`finish` closes the
+    window once all ranges are committed.  :meth:`run` drives the whole
+    sequence.  :meth:`abort` restores the previous ownership map.
+    """
+
+    def __init__(
+        self,
+        cluster: "StoreCluster",
+        action: str,
+        shard_id: str,
+        config: MigrationConfig | None = None,
+        engine=None,
+    ):
+        if action not in ("join", "leave"):
+            raise MigrationError(f"unknown migration action {action!r}")
+        self.cluster = cluster
+        self.action = action
+        self.shard_id = shard_id
+        self.config = config or MigrationConfig()
+        self.engine = engine
+        self.migration_id = f"{action}/{shard_id}/{cluster.next_migration_seq()}"
+        self.ranges: tuple[MigrationRange, ...] = ()
+        self.started = False
+        self.finished = False
+        self._done: set[int] = set()
+        self._participants: tuple[str, ...] = ()
+        # Counters folded into the final MigrationReport.
+        self.moved = 0
+        self.duplicates = 0
+        self.dropped = 0
+        self.transfers = 0
+        self.bytes_moved = 0
+        self.batches = 0
+        #: Batches shipped without an engine background lane — each one
+        #: is a foreground stall (the caller blocked for the transfer).
+        self.stalled_batches = 0
+
+    # -- lifecycle ------------------------------------------------------------
+    @property
+    def factor(self) -> int:
+        return self.cluster.config.replication_factor
+
+    def start(self) -> tuple[MigrationRange, ...]:
+        """Open the dual-ownership window; returns the moved ranges."""
+        if self.started:
+            raise MigrationStateError("migration already started")
+        ring = self.cluster.ring
+        if self.action == "join":
+            self.ranges = ring.begin_join(self.shard_id, self.factor)
+        else:
+            self.ranges = ring.begin_leave(self.shard_id, self.factor)
+        self.started = True
+        self._participants = tuple(sorted(
+            {s for rng in self.ranges for s in (*rng.sources, *rng.dests)}
+        ))
+        gaining = {
+            d for rng in self.ranges for d in rng.dests if d not in rng.sources
+        }
+        for sid in self._participants:
+            role = MIGRATE_DEST if sid in gaining else MIGRATE_SOURCE
+            self._store(sid).note_migrate(
+                REC_MIGRATE_BEGIN, self.migration_id,
+                peer=self.shard_id, role=role,
+            )
+        return self.ranges
+
+    def pending_ranges(self) -> tuple[MigrationRange, ...]:
+        return tuple(r for r in self.ranges if r.index not in self._done)
+
+    def step(self) -> bool:
+        """Hand off the first movable pending range.
+
+        Returns True when a range was committed; False when every
+        pending range is blocked (a destination, or every source, of
+        each is unreachable) — the window stays open and the step can be
+        retried after the cluster heals.
+        """
+        if not self.started or self.finished:
+            raise MigrationStateError("migration is not streaming")
+        for rng in self.ranges:
+            if rng.index in self._done:
+                continue
+            if self.engine is not None:
+                # Overlap accounting: the whole hand-off (collect, ship,
+                # marks, discard) charges the shard clocks normally, and
+                # the engine folds the cost into the next foreground
+                # round's makespan as one extra (background) lane.
+                with self.engine.background():
+                    committed = self._try_range(rng)
+            else:
+                committed = self._try_range(rng)
+            if committed:
+                return True
+        return False
+
+    def run(self) -> MigrationReport:
+        """Stream every range and close the window."""
+        if not self.started:
+            self.start()
+        while self.pending_ranges():
+            if not self.step():
+                blocked = len(self.pending_ranges())
+                raise MigrationError(
+                    f"migration {self.migration_id} blocked: no live "
+                    f"source/destination for {blocked} pending range(s)"
+                )
+        return self.finish()
+
+    def finish(self) -> MigrationReport:
+        """Adopt the pending ring, sweep stale copies, log MIGRATE_END."""
+        if not self.started or self.finished:
+            raise MigrationStateError("migration is not streaming")
+        if self.pending_ranges():
+            raise MigrationStateError(
+                f"{len(self.pending_ranges())} range(s) still pending"
+            )
+        cluster = self.cluster
+        cluster.ring.finish()
+        # Stale sweep: any live shard that kept copies it no longer owns
+        # (deferred discards from dead-at-commit sources, pre-existing
+        # over-replication) drops them now, under the settled ring.
+        factor = self.factor
+        for sid, node in sorted(cluster.shards.items()):
+            if sid == self.shard_id and self.action == "leave":
+                continue  # the leaver goes dark with its state in place
+            if not cluster.shard_alive(sid):
+                continue
+            stale = node.store.tags_matching(
+                lambda tag, s=sid: s not in cluster.ring.owners(tag, factor)
+            )
+            self.dropped += node.store.discard_tags(stale)
+        for sid in self._participants:
+            if sid in cluster.shards and cluster.shard_alive(sid):
+                self._store(sid).note_migrate(
+                    REC_MIGRATE_END, self.migration_id, peer=self.shard_id
+                )
+        self.finished = True
+        if self.action == "leave":
+            cluster._complete_leave(self.shard_id)
+        return self.report()
+
+    def abort(self) -> None:
+        """Drop the pending ring and clean partially migrated copies.
+
+        Ranges that already committed have had their source copies
+        discarded, so their entries are first re-homed from the live
+        destinations back to the old owners — only then is the pending
+        ring dropped and every copy the restored ring disowns swept."""
+        if not self.started or self.finished:
+            raise MigrationStateError("migration is not streaming")
+        cluster = self.cluster
+        for rng in self.ranges:
+            if rng.index not in self._done:
+                continue
+            back_home = [s for s in rng.sources if s not in rng.dests]
+            if not back_home:
+                continue
+            collected: dict[bytes, tuple[str, tuple]] = {}
+            for sid in rng.dests:
+                if sid not in cluster.shards or not cluster.shard_alive(sid):
+                    continue
+                entries = self._store(sid).collect_entries(
+                    lambda tag, r=rng: r.contains(tag_point(tag))
+                )
+                for item in entries:
+                    collected.setdefault(item[0], (sid, item))
+            per_source: dict[str, list[tuple]] = {}
+            for src, item in collected.values():
+                per_source.setdefault(src, []).append(item)
+            for sid in back_home:
+                if not cluster.shard_alive(sid):
+                    continue
+                dest_store = self._store(sid)
+                for src in sorted(per_source):
+                    transfer_entries(
+                        cluster, self._store(src), dest_store,
+                        per_source[src],
+                    )
+        cluster.ring.abort_transition()
+        factor = self.factor
+        for sid in self._participants:
+            if sid not in cluster.shards or not cluster.shard_alive(sid):
+                continue
+            if sid not in cluster.ring:
+                continue  # an aborted joiner is despawned by the cluster
+            stale = cluster.shards[sid].store.tags_matching(
+                lambda tag, s=sid: s not in cluster.ring.owners(tag, factor)
+            )
+            self.dropped += cluster.shards[sid].store.discard_tags(stale)
+            self._store(sid).note_migrate(
+                REC_MIGRATE_END, self.migration_id, peer=self.shard_id
+            )
+        self.finished = True
+
+    def report(self) -> MigrationReport:
+        return MigrationReport(
+            moved=self.moved,
+            duplicates=self.duplicates,
+            dropped=self.dropped,
+            transfers=self.transfers,
+            bytes_moved=self.bytes_moved,
+            ranges_moved=len(self.ranges),
+            batches=self.batches,
+        )
+
+    # -- one range ------------------------------------------------------------
+    def _try_range(self, rng: MigrationRange) -> bool:
+        cluster = self.cluster
+        new_dests = [d for d in rng.dests if d not in rng.sources]
+        # A dead destination blocks the range: its commit mark (and the
+        # entries themselves) must be durable there before the sources
+        # may discard.
+        if any(not cluster.shard_alive(d) for d in new_dests):
+            return False
+        if new_dests:
+            live_sources = [s for s in rng.sources if cluster.shard_alive(s)]
+            if not live_sources:
+                return False
+            # Collect once per live source (replicas may hold different
+            # subsets after past faults); first copy of each tag wins.
+            collected: dict[bytes, tuple[str, tuple]] = {}
+            for sid in live_sources:
+                entries = self._store(sid).collect_entries(
+                    lambda tag: rng.contains(tag_point(tag))
+                )
+                for item in entries:
+                    collected.setdefault(item[0], (sid, item))
+            for dest in new_dests:
+                self._ship_all(rng, dest, collected)
+            for dest in new_dests:
+                self._store(dest).note_migrate(
+                    REC_MIGRATE_COMMIT, self.migration_id,
+                    rng.lo, rng.hi, peer=self.shard_id, role=MIGRATE_DEST,
+                )
+        # Sources that lose ownership of this range discard their copies
+        # — strictly after the destinations' durable commit marks, so a
+        # crash at any interleaving loses nothing.
+        for sid in rng.sources:
+            if sid in rng.dests:
+                continue
+            if not cluster.shard_alive(sid):
+                continue  # swept at finish() if it comes back
+            store = self._store(sid)
+            store.note_migrate(
+                REC_MIGRATE_COMMIT, self.migration_id,
+                rng.lo, rng.hi, peer=self.shard_id, role=MIGRATE_SOURCE,
+            )
+            stale = store.tags_matching(lambda tag: rng.contains(tag_point(tag)))
+            self.dropped += store.discard_tags(stale)
+        cluster.ring.commit_range(rng.index)
+        self._done.add(rng.index)
+        return True
+
+    def _ship_all(
+        self, rng: MigrationRange, dest: str, collected: dict
+    ) -> None:
+        """Send one range's entries to one destination in bounded
+        batches, grouped per source shard (each batch is one attested
+        source→dest payload)."""
+        dest_store = self._store(dest)
+        per_source: dict[str, list[tuple]] = {}
+        for sid, item in collected.values():
+            per_source.setdefault(sid, []).append(item)
+        size = self.config.batch_entries
+        for sid in sorted(per_source):
+            items = per_source[sid]
+            source_store = self._store(sid)
+            for start in range(0, len(items), size):
+                batch = items[start:start + size]
+                moved, duplicates, payload = self._ship(
+                    source_store, dest_store, batch
+                )
+                self.moved += moved
+                self.duplicates += duplicates
+                self.bytes_moved += payload
+                self.transfers += 1
+                self.batches += 1
+
+    def _ship(self, source_store, dest_store, batch) -> tuple[int, int, int]:
+        if self.engine is None:
+            # No engine to overlap against: the batch runs on the
+            # foreground's critical path.
+            self.stalled_batches += 1
+        return transfer_entries(
+            self.cluster, source_store, dest_store, batch,
+            enforce_capacity=True,
+        )
+
+    def _store(self, shard_id: str) -> ResultStore:
+        return self.cluster.shards[shard_id].store
+
+
+def rebalance(cluster: "StoreCluster") -> MigrationReport:
+    """Anti-entropy pass under the settled ring: push every entry to the
+    owners that miss it, then drop copies from shards that do not own
+    them.  Safe to run any time (idempotent); repairs placement drift
+    left by crashes, deferred discards, or replicas that were dead
+    during a migration."""
+    if cluster.ring.in_transition:
+        raise MigrationStateError("cannot rebalance mid-migration")
+    factor = cluster.config.replication_factor
+    moved = duplicates = dropped = transfers = bytes_moved = 0
+    for sid, node in sorted(cluster.shards.items()):
+        if not cluster.shard_alive(sid):
+            continue
+        for dest_id in cluster.ring.shards:
+            if dest_id == sid or not cluster.shard_alive(dest_id):
+                continue
+            dest = cluster.shards[dest_id]
+            outgoing = node.store.collect_entries(
+                lambda tag, d=dest_id: (
+                    d in cluster.ring.owners(tag, factor)
+                    and not dest.store.contains(tag)
+                )
+            )
+            if not outgoing:
+                continue
+            m, d, b = transfer_entries(cluster, node.store, dest.store, outgoing)
+            moved += m
+            duplicates += d
+            bytes_moved += b
+            transfers += 1
+        stale = node.store.tags_matching(
+            lambda tag, s=sid: s not in cluster.ring.owners(tag, factor)
+        )
+        dropped += node.store.discard_tags(stale)
+    return MigrationReport(
+        moved=moved, duplicates=duplicates, dropped=dropped,
+        transfers=transfers, bytes_moved=bytes_moved,
+    )
+
+
 def migrate_for_join(cluster: "StoreCluster", new_id: str) -> MigrationReport:
-    """Rebalance after ``new_id`` joined the ring (already a member).
+    """Stop-the-world rebalance after ``new_id`` joined the ring (already
+    a member).  Kept as the blocking baseline ``repro.bench migrate``
+    compares the streaming path against.
 
     Every incumbent sends the newcomer the entries whose owner set now
     includes it, then discards entries it no longer owns at all.  The
@@ -98,17 +487,16 @@ def migrate_for_join(cluster: "StoreCluster", new_id: str) -> MigrationReport:
 
 
 def migrate_for_leave(cluster: "StoreCluster", leaving_id: str) -> MigrationReport:
-    """Drain ``leaving_id`` before it is removed from the ring.
+    """Stop-the-world drain of ``leaving_id`` before removal (legacy
+    baseline; the streaming path is :class:`RangeMigrator`).
 
     Ownership is computed on a copy of the ring *without* the leaver, so
     every entry lands on the shards that will own it afterwards.  The
     leaver's state is left in place — it goes dark immediately after, so
     dropping is moot (and keeping it models a crash-after-drain safely).
     """
-    import copy
-
     leaving = cluster.shards[leaving_id]
-    future_ring = copy.deepcopy(cluster.ring)
+    future_ring = cluster.ring._clone()
     future_ring.remove_shard(leaving_id)
     factor = cluster.config.replication_factor
     moved = duplicates = transfers = bytes_moved = 0

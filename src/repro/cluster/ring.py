@@ -17,12 +17,39 @@ and always agree on ownership.
 from __future__ import annotations
 
 import bisect
+from dataclasses import dataclass
 
 from ..crypto.hashes import sha256
-from ..errors import SpeedError
+from ..errors import MigrationInProgressError, MigrationStateError, SpeedError
 
 RING_BITS = 64
 RING_SIZE = 1 << RING_BITS
+
+
+@dataclass(frozen=True)
+class MigrationRange:
+    """One contiguous slice of the ring whose owner set changes in an
+    in-flight topology transition.
+
+    The interval is ``(lo, hi]`` in ring-point space; ``lo > hi`` means
+    the range wraps through zero.  ``sources`` are the owners under the
+    current ring, ``dests`` the owners under the pending ring.
+    """
+
+    index: int
+    lo: int
+    hi: int
+    sources: tuple[str, ...]
+    dests: tuple[str, ...]
+
+    def contains(self, point: int) -> bool:
+        if self.lo < self.hi:
+            return self.lo < point <= self.hi
+        return point > self.lo or point <= self.hi
+
+    @property
+    def width(self) -> int:
+        return (self.hi - self.lo) % RING_SIZE
 
 
 def tag_point(tag: bytes) -> int:
@@ -47,6 +74,10 @@ class ShardRing:
         self._points: list[int] = []  # sorted vnode positions
         self._owners: list[str] = []  # shard id at the same index
         self._shards: set[str] = set()
+        # Dual-ownership transition overlay (None when the ring is settled).
+        self._next: ShardRing | None = None
+        self._ranges: tuple[MigrationRange, ...] = ()
+        self._committed: set[int] = set()
 
     # -- membership -----------------------------------------------------------
     @property
@@ -60,6 +91,10 @@ class ShardRing:
         return shard_id in self._shards
 
     def add_shard(self, shard_id: str) -> None:
+        if self._next is not None:
+            raise MigrationStateError(
+                "ring is mid-transition; finish or abort the open migration first"
+            )
         if shard_id in self._shards:
             raise SpeedError(f"shard {shard_id!r} already on the ring")
         for i in range(self.vnodes):
@@ -73,6 +108,10 @@ class ShardRing:
         self._shards.add(shard_id)
 
     def remove_shard(self, shard_id: str) -> None:
+        if self._next is not None:
+            raise MigrationStateError(
+                "ring is mid-transition; finish or abort the open migration first"
+            )
         if shard_id not in self._shards:
             raise SpeedError(f"shard {shard_id!r} not on the ring")
         keep = [(p, o) for p, o in zip(self._points, self._owners) if o != shard_id]
@@ -89,10 +128,13 @@ class ShardRing:
         ``n`` is clamped to the shard count, so asking for replication
         factor 3 on a 2-shard ring degrades gracefully to both shards.
         """
+        return self._owners_at(tag_point(tag), n)
+
+    def _owners_at(self, point: int, n: int) -> list[str]:
         if not self._shards:
             raise SpeedError("ring has no shards")
         n = max(1, min(n, len(self._shards)))
-        start = bisect.bisect_left(self._points, tag_point(tag))
+        start = bisect.bisect_left(self._points, point)
         out: list[str] = []
         for step in range(len(self._points)):
             owner = self._owners[(start + step) % len(self._points)]
@@ -104,6 +146,153 @@ class ShardRing:
 
     def primary(self, tag: bytes) -> str:
         return self.owners(tag, 1)[0]
+
+    # -- dual-ownership transitions -------------------------------------------
+    #
+    # A topology change opens a *transition*: the pending ring is computed
+    # up front, the slices whose owner set differs become MigrationRange
+    # entries, and until a range is committed its tags are readable from
+    # the old owners (with failover to the new ones) while writes already
+    # land on the pending owners.  finish() swaps the pending ring in once
+    # every range has been committed.
+    @property
+    def in_transition(self) -> bool:
+        return self._next is not None
+
+    @property
+    def pending_shards(self) -> tuple[str, ...]:
+        """Shard membership of the pending ring (settled ring when idle)."""
+        return self._next.shards if self._next is not None else self.shards
+
+    def begin_join(self, shard_id: str, replication: int = 1) -> tuple[MigrationRange, ...]:
+        """Open a transition that adds ``shard_id``; returns the moved ranges."""
+        self._require_idle()
+        if not self._shards:
+            raise MigrationStateError("cannot stream-join an empty ring")
+        nxt = self._clone()
+        nxt.add_shard(shard_id)
+        return self._begin(nxt, replication)
+
+    def begin_leave(self, shard_id: str, replication: int = 1) -> tuple[MigrationRange, ...]:
+        """Open a transition that removes ``shard_id``; returns the moved ranges."""
+        self._require_idle()
+        if shard_id not in self._shards:
+            raise SpeedError(f"shard {shard_id!r} not on the ring")
+        if len(self._shards) == 1:
+            raise MigrationStateError("cannot remove the last shard")
+        nxt = self._clone()
+        nxt.remove_shard(shard_id)
+        return self._begin(nxt, replication)
+
+    def commit_range(self, index: int) -> None:
+        """Mark one migrated range as handed off to its new owners."""
+        if self._next is None:
+            raise MigrationStateError("no transition is open")
+        if index < 0 or index >= len(self._ranges):
+            raise MigrationStateError(f"unknown migration range {index}")
+        self._committed.add(index)
+
+    def finish(self) -> None:
+        """Adopt the pending ring; every range must be committed first."""
+        if self._next is None:
+            raise MigrationStateError("no transition is open")
+        pending = [r.index for r in self._ranges if r.index not in self._committed]
+        if pending:
+            raise MigrationStateError(
+                f"{len(pending)} migration range(s) still uncommitted"
+            )
+        nxt = self._next
+        self._points = nxt._points
+        self._owners = nxt._owners
+        self._shards = nxt._shards
+        self._next = None
+        self._ranges = ()
+        self._committed = set()
+
+    def abort_transition(self) -> None:
+        """Drop the pending ring and keep the current ownership map."""
+        self._next = None
+        self._ranges = ()
+        self._committed = set()
+
+    def pending_ranges(self) -> tuple[MigrationRange, ...]:
+        return tuple(r for r in self._ranges if r.index not in self._committed)
+
+    def all_ranges(self) -> tuple[MigrationRange, ...]:
+        return self._ranges
+
+    def transition_range(self, tag: bytes) -> MigrationRange | None:
+        """The in-flight range covering ``tag`` (None when settled or the
+        tag's owner set does not change in this transition)."""
+        if self._next is None:
+            return None
+        point = tag_point(tag)
+        for rng in self._ranges:
+            if rng.contains(point):
+                return rng
+        return None
+
+    def read_owners(self, tag: bytes, n: int = 1) -> list[str]:
+        """Owners to consult for a GET: old owners first (they still hold
+        the data until the range commits), then the pending owners as
+        failover targets.  Committed ranges read from the new owners only."""
+        if self._next is None:
+            return self.owners(tag, n)
+        rng = self.transition_range(tag)
+        if rng is None:
+            return self.owners(tag, n)
+        point = tag_point(tag)
+        if rng.index in self._committed:
+            return self._next._owners_at(point, n)
+        old = self._owners_at(point, n)
+        new = self._next._owners_at(point, n)
+        return old + [s for s in new if s not in old]
+
+    def write_owners(self, tag: bytes, n: int = 1) -> list[str]:
+        """Owners a PUT must land on: always the pending topology, so no
+        update written during the window is lost when the range commits."""
+        if self._next is None:
+            return self.owners(tag, n)
+        rng = self.transition_range(tag)
+        if rng is None:
+            return self.owners(tag, n)
+        return self._next._owners_at(tag_point(tag), n)
+
+    def _require_idle(self) -> None:
+        if self._next is not None:
+            raise MigrationInProgressError(
+                "a topology transition is already in progress"
+            )
+
+    def _clone(self) -> ShardRing:
+        clone = ShardRing(self.vnodes)
+        clone._points = list(self._points)
+        clone._owners = list(self._owners)
+        clone._shards = set(self._shards)
+        return clone
+
+    def _begin(self, nxt: ShardRing, replication: int) -> tuple[MigrationRange, ...]:
+        # Ownership is constant between consecutive boundary points of the
+        # merged (old ∪ new) vnode sets, so probing each elementary
+        # interval's inclusive end classifies the whole ring exactly.
+        boundaries = sorted(set(self._points) | set(nxt._points))
+        raw: list[list] = []
+        for i, hi in enumerate(boundaries):
+            lo = boundaries[i - 1] if i else boundaries[-1]
+            old = tuple(self._owners_at(hi, replication))
+            new = tuple(nxt._owners_at(hi, replication))
+            if set(old) != set(new):
+                if raw and raw[-1][1] == lo and raw[-1][2] == old and raw[-1][3] == new:
+                    raw[-1][1] = hi  # merge contiguous slices with one movement
+                else:
+                    raw.append([lo, hi, old, new])
+        self._ranges = tuple(
+            MigrationRange(i, lo, hi, old, new)
+            for i, (lo, hi, old, new) in enumerate(raw)
+        )
+        self._next = nxt
+        self._committed = set()
+        return self._ranges
 
     # -- rebalancing support ---------------------------------------------------
     def load_share(self, shard_id: str) -> float:

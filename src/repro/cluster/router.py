@@ -303,6 +303,21 @@ class ClusterRouter:
         owners = self.ring.owners(tag, self.replication_factor)
         return [s for s in owners if s in self._clients]
 
+    def _read_owners(self, tag: bytes) -> list[str]:
+        """Reachable shards to consult for a GET.  During a topology
+        transition (dual-ownership window) this is the old owners first
+        with the pending owners as failover, so a tag stays readable
+        whether or not its range has been handed off yet."""
+        owners = self.ring.read_owners(tag, self.replication_factor)
+        return [s for s in owners if s in self._clients]
+
+    def _write_owners(self, tag: bytes) -> list[str]:
+        """Reachable shards a PUT must land on.  During a transition
+        writes go to the *pending* owners, so no update accepted inside
+        the window is lost when its range commits."""
+        owners = self.ring.write_owners(tag, self.replication_factor)
+        return [s for s in owners if s in self._clients]
+
     def _fresh_router_id(self) -> int:
         router_id = self._next_router_id
         self._next_router_id += 1
@@ -320,7 +335,7 @@ class ClusterRouter:
 
     def _route_get(self, request: GetRequest, skip: set[str] | None = None) -> GetResponse:
         self.stats.gets_routed += 1
-        owners = self._owners(request.tag)
+        owners = self._read_owners(request.tag)
         if skip:
             owners = [s for s in owners if s not in skip]
         with self.tracer.span("router.get", clock=self.clock, owners=len(owners)) as span:
@@ -390,7 +405,7 @@ class ClusterRouter:
 
     def _route_put(self, request: PutRequest) -> Message:
         self.stats.puts_routed += 1
-        owners = self._owners(request.tag)
+        owners = self._write_owners(request.tag)
         with self.tracer.span("router.put", clock=self.clock, owners=len(owners)) as span:
             authoritative: Message | None = None
             for index, shard in enumerate(owners):
@@ -447,7 +462,7 @@ class ClusterRouter:
     def _submit_get(self, request: GetRequest) -> _PendingCall:
         self.stats.gets_routed += 1
         pending = _PendingCall(request=request, kind="get")
-        owners = self._owners(request.tag)
+        owners = self._read_owners(request.tag)
         if owners:
             shard = owners[0]
             breaker = self._breaker(shard)
@@ -469,7 +484,7 @@ class ClusterRouter:
     def _submit_put(self, request: PutRequest) -> _PendingCall:
         self.stats.puts_routed += 1
         pending = _PendingCall(request=request, kind="put")
-        for index, shard in enumerate(self._owners(request.tag)):
+        for index, shard in enumerate(self._write_owners(request.tag)):
             if index:
                 self.stats.replica_puts += 1
             breaker = self._breaker(shard)
@@ -502,7 +517,7 @@ class ClusterRouter:
         groups: dict[str, list[int]] = {}
         orphans: list[int] = []
         for i, request in enumerate(requests):
-            owners = self._owners(request.tag)
+            owners = self._read_owners(request.tag)
             if owners:
                 groups.setdefault(owners[0], []).append(i)
             else:
@@ -517,7 +532,7 @@ class ClusterRouter:
         :meth:`wait_gets`."""
         requests = list(requests)
         pending = _PendingGetGroup(requests=requests)
-        owners = self._owners(requests[0].tag) if requests else []
+        owners = self._read_owners(requests[0].tag) if requests else []
         if owners:
             shard = owners[0]
             breaker = self._breaker(shard)
@@ -616,7 +631,7 @@ class ClusterRouter:
         groups: dict[str, list[int]] = {}
         orphans: list[int] = []
         for i, request in enumerate(requests):
-            owners = self._owners(request.tag)
+            owners = self._write_owners(request.tag)
             if owners:
                 groups.setdefault(owners[0], []).append(i)
             else:
@@ -631,7 +646,7 @@ class ClusterRouter:
         :meth:`wait_puts`."""
         requests = list(requests)
         self.stats.puts_routed += len(requests)
-        owners_per_item = [self._owners(r.tag) for r in requests]
+        owners_per_item = [self._write_owners(r.tag) for r in requests]
         pending = _PendingPutGroup(
             requests=requests,
             primaries=[owners[0] if owners else "" for owners in owners_per_item],
@@ -838,7 +853,7 @@ class ClusterRouter:
             results: list[Message | None] = [None] * n
             groups: dict[str, list[int]] = {}
             for i, request in enumerate(requests):
-                owners = self._owners(request.tag)
+                owners = self._read_owners(request.tag)
                 if not owners:
                     self.stats.gets_routed += 1
                     self.stats.unavailable += 1
@@ -898,7 +913,7 @@ class ClusterRouter:
         """Continue a GET past a live primary's miss: consult replicas,
         read-repair the primary if one of them hits."""
         self.stats.gets_routed += 1
-        owners = [s for s in self._owners(request.tag) if s != missed_primary]
+        owners = [s for s in self._read_owners(request.tag) if s != missed_primary]
         if not owners:
             return GetResponse(found=False)
         missed_live = [missed_primary]
@@ -935,7 +950,7 @@ class ClusterRouter:
         n = len(requests)
         self.stats.puts_routed += n
         with self.tracer.span("router.batch_put", clock=self.clock, items=n):
-            owners_per_item = [self._owners(r.tag) for r in requests]
+            owners_per_item = [self._write_owners(r.tag) for r in requests]
             verdicts: list[Message | None] = [None] * n
             primary_seen = [False] * n
             groups: dict[str, list[int]] = {}
@@ -984,7 +999,7 @@ class ClusterRouter:
         self.stats.puts_routed += 1
         router_id = self._fresh_router_id()
         keys: set[tuple[str, int]] = set()
-        for index, shard in enumerate(self._owners(request.tag)):
+        for index, shard in enumerate(self._write_owners(request.tag)):
             if index:
                 self.stats.replica_puts += 1
             if not self._oneway_allowed(shard):
@@ -1000,7 +1015,7 @@ class ClusterRouter:
         requests = list(requests)
         router_id = self._fresh_router_id()
         self.stats.puts_routed += len(requests)
-        owners_per_item = [self._owners(r.tag) for r in requests]
+        owners_per_item = [self._write_owners(r.tag) for r in requests]
         pending = _PendingBatch(
             router_id=router_id,
             n_items=len(requests),

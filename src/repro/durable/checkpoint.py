@@ -6,9 +6,16 @@ MRSIGNER policy together with the log position it folds in: the last
 covered WAL sequence number and the chain head at that point.  Binding
 ``(seq, chain)`` *inside* the sealed payload means the host cannot pair
 an old checkpoint with an unrelated log tail; recovery trusts only the
-embedded anchor.  (Rolling the *pair* back together — checkpoint plus
-its whole tail — is the classic enclave rollback attack and needs a
-hardware monotonic counter, which this simulation leaves out of scope.)
+embedded anchor.
+
+Rolling the *pair* back together — an old checkpoint plus its whole log
+tail, each individually authentic — is the classic enclave rollback
+attack.  Every checkpoint therefore bumps the platform's hardware
+monotonic counter and seals the new value inside the image; recovery
+compares the embedded value against the hardware counter and flags any
+shortfall as a whole-state rollback (``durable.rollback_detected``,
+hard :class:`~repro.errors.RollbackError` under
+``StoreConfig(strict_rollback=True)``).
 
 After sealing, the covered segments and their blob-area copies are
 dropped: checkpointing doubles as log compaction.
@@ -22,7 +29,12 @@ from ..errors import StoreError
 from ..net.framing import FieldReader, FieldWriter
 from ..sgx.sealing import SealedBlob, SealPolicy
 
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
+
+
+def checkpoint_counter_id(store) -> bytes:
+    """The hardware monotonic counter anchoring one store's checkpoints."""
+    return b"speed/wal/" + store.address.encode()
 
 
 @dataclass(frozen=True)
@@ -34,25 +46,29 @@ class CheckpointImage:
     sealed: SealedBlob
 
 
-def encode_checkpoint(seq: int, chain: bytes, snapshot_payload: bytes) -> bytes:
+def encode_checkpoint(
+    seq: int, chain: bytes, counter: int, snapshot_payload: bytes
+) -> bytes:
     writer = FieldWriter()
     writer.u32(CHECKPOINT_VERSION)
     writer.u64(seq)
     writer.blob(chain)
+    writer.u64(counter)
     writer.blob(snapshot_payload)
     return writer.getvalue()
 
 
-def decode_checkpoint(payload: bytes) -> tuple[int, bytes, bytes]:
+def decode_checkpoint(payload: bytes) -> tuple[int, bytes, int, bytes]:
     reader = FieldReader(payload)
     version = reader.u32()
     if version != CHECKPOINT_VERSION:
         raise StoreError(f"unsupported checkpoint version {version}")
     seq = reader.u64()
     chain = reader.blob()
+    counter = reader.u64()
     snapshot_payload = reader.blob()
     reader.expect_end()
-    return seq, chain, snapshot_payload
+    return seq, chain, counter, snapshot_payload
 
 
 def take_checkpoint(store) -> CheckpointImage:
@@ -71,7 +87,10 @@ def take_checkpoint(store) -> CheckpointImage:
     with store.tracer.span("durable.checkpoint", clock=clock) as span:
         seq = log.next_seq - 1
         chain = log.chain
-        payload = encode_checkpoint(seq, chain, serialize_store_payload(store))
+        # Anchor this image against rollback: the hardware counter is
+        # bumped first, so every older sealed image is now visibly stale.
+        counter = store.platform.monotonic_increment(checkpoint_counter_id(store))
+        payload = encode_checkpoint(seq, chain, counter, serialize_store_payload(store))
         sealed = store.enclave.seal(payload, SealPolicy.MRSIGNER)
         image = CheckpointImage(seq=seq, chain=chain, sealed=sealed)
         log.install_checkpoint(image)
@@ -81,8 +100,14 @@ def take_checkpoint(store) -> CheckpointImage:
 
 
 def maybe_checkpoint(store) -> CheckpointImage | None:
-    """Checkpoint iff the log has grown past its configured interval."""
+    """Checkpoint iff the log has grown past its configured interval.
+
+    Deferred while a migration hand-off is open on this shard: folding
+    the log would drop the MIGRATE_* marks a mid-migration recovery
+    needs, so compaction waits for MIGRATE_END (the window is bounded by
+    the migration itself).
+    """
     log = store.durable
-    if log is not None and log.needs_checkpoint():
+    if log is not None and log.needs_checkpoint() and not store.migration_open:
         return take_checkpoint(store)
     return None

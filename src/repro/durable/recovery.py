@@ -26,13 +26,24 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .checkpoint import decode_checkpoint
-from .wal import GENESIS_CHAIN, REC_PUT, chain_step, decode_segment
-from ..errors import SealingError, SerializationError, StoreError
+from .checkpoint import checkpoint_counter_id, decode_checkpoint
+from .wal import (
+    GENESIS_CHAIN,
+    REC_MIGRATE_BEGIN,
+    REC_MIGRATE_COMMIT,
+    REC_MIGRATE_END,
+    REC_PUT,
+    REC_REMOVE,
+    REC_TOUCH,
+    chain_step,
+    decode_segment,
+)
+from ..errors import RollbackError, SealingError, SerializationError, StoreError
+from ..report import ReportMixin
 
 
 @dataclass(frozen=True)
-class RecoveryReport:
+class RecoveryReport(ReportMixin):
     """What one recovery found and rebuilt."""
 
     entries_restored: int      # entries repopulated from the checkpoint
@@ -45,6 +56,9 @@ class RecoveryReport:
     chain_broken: bool
     blobs_missing: int         # PUT records whose ciphertext failed its digest
     checkpoint_seq: int
+    touches_replayed: int = 0  # GET-recency marks re-applied
+    migrate_marks_replayed: int = 0
+    rollback_detected: bool = False
 
 
 def recover_store(store) -> RecoveryReport:
@@ -68,15 +82,31 @@ def recover_store(store) -> RecoveryReport:
             expected_seq = 1
             running = GENESIS_CHAIN
             checkpoint_seq = 0
+            rollback_detected = False
             if log.checkpoint is not None:
                 payload = store.enclave.unseal(log.checkpoint.sealed)
-                seq, chain, snapshot_payload = decode_checkpoint(payload)
+                seq, chain, counter, snapshot_payload = decode_checkpoint(payload)
+                # Whole-state rollback check: each checkpoint seals the
+                # hardware monotonic-counter value it bumped to.  An
+                # embedded value behind the hardware counter means the
+                # host presented a stale (but individually authentic)
+                # image + log pair.
+                hardware = store.platform.monotonic_read(checkpoint_counter_id(store))
+                if counter < hardware:
+                    rollback_detected = True
+                    log.rollback_detected += 1
+                    span.mark("rollback_detected")
+                    if store.config.strict_rollback:
+                        raise RollbackError(
+                            f"checkpoint counter {counter} behind hardware "
+                            f"counter {hardware}: stale sealed state presented"
+                        )
                 entries_restored = apply_snapshot_payload(store, snapshot_payload)
                 expected_seq = seq + 1
                 running = chain
                 checkpoint_seq = seq
 
-            puts = removes = blobs_missing = segments_ok = 0
+            puts = removes = touches = migrates = blobs_missing = segments_ok = 0
             torn_tail = chain_broken = False
             stop_index = len(log.segments)
             for index, segment in enumerate(log.segments):
@@ -106,11 +136,19 @@ def recover_store(store) -> RecoveryReport:
                             blobs_missing += 1
                         elif store.replay_insert(record, blob):
                             puts += 1
-                    else:
+                    elif record.kind == REC_REMOVE:
                         entry = store.metadata_entry(record.tag)
                         if entry is not None:
                             store._evict_entry(entry)
                             removes += 1
+                    elif record.kind == REC_TOUCH:
+                        if store.replay_touch(record):
+                            touches += 1
+                    elif record.kind in (
+                        REC_MIGRATE_BEGIN, REC_MIGRATE_COMMIT, REC_MIGRATE_END
+                    ):
+                        store._note_migrate(record)
+                        migrates += 1
                 expected_seq += len(records)
                 segments_ok += 1
 
@@ -119,14 +157,15 @@ def recover_store(store) -> RecoveryReport:
             )
             log.resume_from(expected_seq, running)
             log.recoveries += 1
-            log.records_replayed += puts + removes + blobs_missing
+            replayed = puts + removes + touches + migrates + blobs_missing
+            log.records_replayed += replayed
             if torn_tail:
                 log.torn_segments += 1
             if chain_broken:
                 log.chain_breaks += 1
             report = RecoveryReport(
                 entries_restored=entries_restored,
-                records_replayed=puts + removes + blobs_missing,
+                records_replayed=replayed,
                 puts_replayed=puts,
                 removes_replayed=removes,
                 segments_replayed=segments_ok,
@@ -135,12 +174,19 @@ def recover_store(store) -> RecoveryReport:
                 chain_broken=chain_broken,
                 blobs_missing=blobs_missing,
                 checkpoint_seq=checkpoint_seq,
+                touches_replayed=touches,
+                migrate_marks_replayed=migrates,
+                rollback_detected=rollback_detected,
             )
             span.set("entries_restored", entries_restored)
             span.set("records_replayed", report.records_replayed)
             # Fold everything just rebuilt into a fresh anchor: the torn or
             # broken artifacts are discarded and logging resumes cleanly.
             take_checkpoint(store)
+            # The fold dropped any MIGRATE_* marks for a still-open
+            # hand-off; re-log them so a second crash before MIGRATE_END
+            # still recovers the migration's progress.
+            store._relog_open_migrations()
     finally:
         store._durable_suspended = suspended
     store.stats.recoveries += 1

@@ -35,16 +35,34 @@ from ..net.framing import FieldReader, FieldWriter
 from ..obs.tracer import NULL_TRACER
 from ..sgx.sealing import SealedBlob, SealPolicy
 
-WAL_FORMAT_VERSION = 1
+WAL_FORMAT_VERSION = 2
 GENESIS_CHAIN = b"\x00" * 32
 
 #: Record kinds.
 REC_PUT = 1
 REC_REMOVE = 2
+#: Tag-range migration hand-off marks (cluster resharding).  BEGIN/END
+#: bracket one shard's participation in a migration; one RANGE_COMMIT is
+#: logged per handed-off range — on the destination after the range's
+#: entries are durably ingested, on the source right before its stale
+#: copies are discarded.  Replay rebuilds the shard's view of which
+#: ranges were already handed off, so a power failure on either side
+#: mid-migration recovers to a consistent ownership map.
+REC_MIGRATE_BEGIN = 3
+REC_MIGRATE_COMMIT = 4
+REC_MIGRATE_END = 5
+#: Coalesced GET-recency mark: the entry's hit counter at log time, so
+#: restored LRU/LFU order also reflects reads served after the last
+#: checkpoint (logged every ``recency_log_interval`` hits).
+REC_TOUCH = 6
 
 #: Removal subkinds (reporting only; both replay identically).
 REMOVE_EVICT = 0
 REMOVE_DISCARD = 1
+
+#: Migration roles.
+MIGRATE_SOURCE = 0
+MIGRATE_DEST = 1
 
 
 @dataclass(frozen=True)
@@ -72,6 +90,14 @@ class WalRecord:
     size: int = 0
     app_id: str = ""
     subkind: int = 0
+    # REC_TOUCH: the entry's hit count when the mark was logged.
+    hits: int = 0
+    # REC_MIGRATE_*: migration identity and the handed-off ring range.
+    migration_id: str = ""
+    range_lo: int = 0
+    range_hi: int = 0
+    peer: str = ""
+    role: int = MIGRATE_SOURCE
 
 
 @dataclass(frozen=True)
@@ -97,6 +123,14 @@ def _encode_records(writer: FieldWriter, records) -> None:
             writer.text(record.app_id)
         elif record.kind == REC_REMOVE:
             writer.u8(record.subkind)
+        elif record.kind == REC_TOUCH:
+            writer.u64(record.hits)
+        elif record.kind in (REC_MIGRATE_BEGIN, REC_MIGRATE_COMMIT, REC_MIGRATE_END):
+            writer.text(record.migration_id)
+            writer.u64(record.range_lo)
+            writer.u64(record.range_hi)
+            writer.text(record.peer)
+            writer.u8(record.role)
         else:
             raise StoreError(f"unknown WAL record kind {record.kind}")
 
@@ -117,7 +151,9 @@ def decode_segment(payload: bytes) -> tuple[bytes, int, list[WalRecord]]:
     """Parse one unsealed segment payload back into records."""
     reader = FieldReader(payload)
     version = reader.u32()
-    if version != WAL_FORMAT_VERSION:
+    # v1 segments (PUT/REMOVE only) decode identically; v2 added the
+    # migration and touch record kinds.
+    if version not in (1, WAL_FORMAT_VERSION):
         raise StoreError(f"unsupported WAL segment version {version}")
     prev_chain = reader.blob()
     first_seq = reader.u64()
@@ -137,6 +173,18 @@ def decode_segment(payload: bytes) -> tuple[bytes, int, list[WalRecord]]:
             ))
         elif kind == REC_REMOVE:
             records.append(WalRecord(kind=kind, tag=tag, subkind=reader.u8()))
+        elif kind == REC_TOUCH:
+            records.append(WalRecord(kind=kind, tag=tag, hits=reader.u64()))
+        elif kind in (REC_MIGRATE_BEGIN, REC_MIGRATE_COMMIT, REC_MIGRATE_END):
+            records.append(WalRecord(
+                kind=kind,
+                tag=tag,
+                migration_id=reader.text(),
+                range_lo=reader.u64(),
+                range_hi=reader.u64(),
+                peer=reader.text(),
+                role=reader.u8(),
+            ))
         else:
             raise StoreError(f"unknown WAL record kind {kind}")
     reader.expect_end()
@@ -187,6 +235,7 @@ class DurableLog:
         self.torn_segments = 0
         self.chain_breaks = 0
         self.power_failures = 0
+        self.rollback_detected = 0
 
     # -- appending (inside the store enclave) -----------------------------
     def append_put(self, entry, sealed_result: bytes) -> None:
@@ -218,6 +267,38 @@ class DurableLog:
                 kind=REC_REMOVE,
                 tag=tag,
                 subkind=REMOVE_DISCARD if discard else REMOVE_EVICT,
+            ))
+
+    def append_touch(self, tag: bytes, hits: int) -> None:
+        """Log one coalesced GET-recency mark (every Nth hit on a tag)."""
+        with self.tracer.span(
+            "durable.wal_append", clock=self.enclave.platform.clock, kind="touch"
+        ):
+            self._append(WalRecord(kind=REC_TOUCH, tag=tag, hits=hits))
+
+    def append_migrate(
+        self,
+        kind: int,
+        migration_id: str,
+        range_lo: int = 0,
+        range_hi: int = 0,
+        peer: str = "",
+        role: int = MIGRATE_SOURCE,
+    ) -> None:
+        """Log one migration hand-off mark (BEGIN / RANGE_COMMIT / END)."""
+        if kind not in (REC_MIGRATE_BEGIN, REC_MIGRATE_COMMIT, REC_MIGRATE_END):
+            raise StoreError(f"not a migration record kind: {kind}")
+        with self.tracer.span(
+            "durable.wal_append", clock=self.enclave.platform.clock, kind="migrate"
+        ):
+            self._append(WalRecord(
+                kind=kind,
+                tag=b"",
+                migration_id=migration_id,
+                range_lo=range_lo,
+                range_hi=range_hi,
+                peer=peer,
+                role=role,
             ))
 
     def _append(self, record: WalRecord) -> None:
@@ -316,4 +397,5 @@ class DurableLog:
             "durable.torn_segments": self.torn_segments,
             "durable.chain_breaks": self.chain_breaks,
             "durable.power_failures": self.power_failures,
+            "durable.rollback_detected": self.rollback_detected,
         }

@@ -134,6 +134,52 @@ class QuotaExceededError(StoreError):
     code = "quota_exceeded"
 
 
+class RollbackError(StoreError):
+    """A whole-state rollback of a durable store was detected.
+
+    The recovered checkpoint carries an older monotonic-counter value
+    than the platform's hardware counter, meaning the host presented a
+    stale (but individually authentic) sealed state.  By default the
+    store counts the event (``durable.rollback_detected``) and accepts
+    the stale state; with ``StoreConfig(strict_rollback=True)`` recovery
+    raises this error instead.
+    """
+
+    code = "state_rollback"
+
+
+class MigrationError(SpeedError):
+    """A tag-range migration between shards could not proceed."""
+
+    code = "migration_error"
+
+
+class MigrationInProgressError(MigrationError):
+    """A topology change was requested while another is still streaming.
+
+    Only one resharding window may be open at a time: the dual-ownership
+    overlay in :class:`~repro.cluster.ring.ShardRing` tracks exactly one
+    pending ring.
+    """
+
+    code = "migration_in_progress"
+
+
+class MigrationStateError(MigrationError):
+    """A migration step was invoked out of order (no open window,
+    committing an unknown range, or finishing with ranges pending)."""
+
+    code = "migration_state"
+
+
+class MigrationIngestError(MigrationError):
+    """A destination shard refused part of a migrated batch (for
+    example: the target's quota filled mid-stream).  The migrator
+    aborts the transition and restores the previous ownership map."""
+
+    code = "migration_ingest"
+
+
 class DedupError(SpeedError):
     """The DedupRuntime could not complete a deduplicated call."""
 

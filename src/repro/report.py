@@ -1,0 +1,65 @@
+"""Shared conventions for structured operation reports.
+
+Several subsystems return a frozen dataclass summarising a completed
+operation — :class:`~repro.cluster.migration.MigrationReport`,
+:class:`~repro.durable.recovery.RecoveryReport`, and the topology-level
+:class:`~repro.session.TopologyReport`.  :class:`ReportMixin` gives them
+one rendering convention:
+
+- ``to_dict()``: a flat, JSON-serialisable dict of the report fields
+  (nested report fields are expanded recursively), and
+- ``table()``: a fixed-width two-column plain-text table for humans.
+
+Reports stay plain dataclasses; the mixin only adds presentation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+
+class ReportMixin:
+    """Uniform ``to_dict()`` / ``table()`` rendering for report dataclasses."""
+
+    def to_dict(self) -> dict[str, Any]:
+        """Flat JSON-serialisable view of the report fields."""
+        out: dict[str, Any] = {}
+        for field in dataclasses.fields(self):  # type: ignore[arg-type]
+            out[field.name] = _jsonable(getattr(self, field.name))
+        return out
+
+    def table(self) -> str:
+        """Two-column fixed-width rendering, one row per field."""
+        title = type(self).__name__
+        rows = [(name, _cell(value)) for name, value in self.to_dict().items()]
+        width = max(len(name) for name, _ in rows)
+        vwidth = max(len(v) for _, v in rows)
+        lines = [title, "=" * len(title)]
+        for name, value in rows:
+            lines.append(f"{name.ljust(width)} | {value.rjust(vwidth)}")
+        return "\n".join(lines)
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, ReportMixin):
+        return value.to_dict()
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _jsonable(getattr(value, f.name)) for f in dataclasses.fields(value)
+        }
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, bytes):
+        return value.hex()
+    return value
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}" if abs(value) < 100 else f"{value:.1f}"
+    if isinstance(value, (dict, list)):
+        return repr(value)
+    return str(value)

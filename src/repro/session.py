@@ -32,6 +32,7 @@ registered as live sources, unifying the historical per-component
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 from .cluster.router import ClusterRouter
@@ -45,8 +46,32 @@ from .errors import SpeedError
 from .obs.exporters import format_phase_breakdown, format_trace
 from .obs.metrics import MetricsRegistry, strip_aliases
 from .obs.tracer import NULL_TRACER, SlowCall, Span, SpanNode, Tracer
+from .report import ReportMixin
 from .sgx.cost_model import CostParams
 from .store.resultstore import StoreConfig
+
+
+@dataclass(frozen=True)
+class TopologyReport(ReportMixin):
+    """Outcome of one :class:`Session` topology change.
+
+    ``foreground_stalls`` counts migration batches that blocked the
+    caller (no pipeline engine attached to overlap them); ``duration_s``
+    is the simulated wall time of the change — the largest clock advance
+    any participating machine observed.
+    """
+
+    action: str            # "add_shard" | "remove_shard" | "rebalance"
+    shard_id: str          # the joining/leaving shard ("" for rebalance)
+    ranges_moved: int      # ring ranges whose owner set changed
+    entries_moved: int     # entries newly ingested at their new owners
+    bytes_moved: int       # ciphertext bytes that crossed machines
+    duplicates: int        # offered entries the destination already held
+    dropped: int           # entries discarded by shards losing ownership
+    transfers: int         # attested channel payloads shipped
+    batches: int           # bounded streaming batches shipped
+    foreground_stalls: int # batches shipped without background overlap
+    duration_s: float      # simulated wall time of the change
 
 
 def connect(
@@ -400,6 +425,127 @@ class Session:
     def stats(self):
         """This application's runtime counters (RuntimeStats)."""
         return self.runtime.stats
+
+    def add_shard(
+        self,
+        shard_id: str | None = None,
+        batch_entries: int = 32,
+    ) -> TopologyReport:
+        """Grow the cluster by one shard, online.
+
+        The new machine is spawned, attested, and connected to every
+        router; the ring opens a dual-ownership window and the tag
+        ranges the newcomer owns stream over in ``batch_entries``-sized
+        batches while foreground GET/PUT traffic keeps flowing (reads
+        fail over old→new owners per range, writes land on the new
+        owners).  With a pipeline engine attached
+        (:meth:`enable_pipeline`) each batch is accounted as a
+        background lane; without one, each batch is a foreground stall.
+        Crash-safe: both sides seal MIGRATE_* marks into their durable
+        WALs (durable stores), so a power failure mid-migration recovers
+        consistently.  Returns a structured :class:`TopologyReport`.
+        """
+        from .cluster.migration import MigrationConfig
+
+        cluster = self.cluster
+        migrator = cluster.begin_add_shard(
+            shard_id,
+            config=MigrationConfig(batch_entries=batch_entries),
+            engine=self.runtime.engine,
+        )
+        report = self._drive(migrator, "add_shard")
+        node = cluster.shards[migrator.shard_id]
+        self.metrics.register_source(
+            f"store.{migrator.shard_id}",
+            self._shard_source(migrator.shard_id, node.store),
+        )
+        return report
+
+    def remove_shard(
+        self, shard_id: str, batch_entries: int = 32
+    ) -> TopologyReport:
+        """Drain one shard online and take it off the ring.
+
+        The leaver keeps serving reads for each range until that range's
+        hand-off commits; once all ranges are handed to the surviving
+        owners the ring settles and the shard goes dark.  Same streaming
+        and crash-safety machinery as :meth:`add_shard`."""
+        from .cluster.migration import MigrationConfig
+
+        migrator = self.cluster.begin_remove_shard(
+            shard_id,
+            config=MigrationConfig(batch_entries=batch_entries),
+            engine=self.runtime.engine,
+        )
+        report = self._drive(migrator, "remove_shard")
+        self.metrics.unregister_source(f"store.{shard_id}")
+        return report
+
+    def rebalance(self) -> TopologyReport:
+        """Anti-entropy pass under the settled ring: push every entry to
+        owners missing it and drop copies from non-owners.  Repairs
+        placement drift left by crashes or replicas that were dead
+        during a migration.  Idempotent."""
+        from .cluster.migration import rebalance
+
+        cluster = self.cluster
+        before = self._machine_clock_marks()
+        report = rebalance(cluster)
+        return TopologyReport(
+            action="rebalance",
+            shard_id="",
+            ranges_moved=report.ranges_moved,
+            entries_moved=report.moved,
+            bytes_moved=report.bytes_moved,
+            duplicates=report.duplicates,
+            dropped=report.dropped,
+            transfers=report.transfers,
+            batches=report.batches,
+            foreground_stalls=report.transfers,
+            duration_s=self._machine_clock_delta(before),
+        )
+
+    def _drive(self, migrator, action: str) -> TopologyReport:
+        cluster = self.cluster
+        before = self._machine_clock_marks()
+        try:
+            report = migrator.run()
+        except Exception:
+            if not migrator.finished:
+                if action == "add_shard":
+                    cluster.abort_add_shard(migrator)
+                else:
+                    migrator.abort()
+            raise
+        return TopologyReport(
+            action=action,
+            shard_id=migrator.shard_id,
+            ranges_moved=report.ranges_moved,
+            entries_moved=report.moved,
+            bytes_moved=report.bytes_moved,
+            duplicates=report.duplicates,
+            dropped=report.dropped,
+            transfers=report.transfers,
+            batches=report.batches,
+            foreground_stalls=migrator.stalled_batches,
+            duration_s=self._machine_clock_delta(before),
+        )
+
+    def _machine_clock_marks(self) -> dict:
+        marks = {"app": self.clock.elapsed_seconds()}
+        for shard_id, node in self.cluster.shards.items():
+            marks[shard_id] = node.platform.clock.elapsed_seconds()
+        return marks
+
+    def _machine_clock_delta(self, before: dict) -> float:
+        """Largest clock advance any machine saw (machines run in
+        parallel, so the busiest one bounds the simulated wall time).  A
+        shard spawned after the marks (a joiner) starts from zero."""
+        delta = self.clock.elapsed_seconds() - before["app"]
+        for shard_id, node in self.cluster.shards.items():
+            prior = before.get(shard_id, 0.0)
+            delta = max(delta, node.platform.clock.elapsed_seconds() - prior)
+        return delta
 
     def kill_shard(self, shard_id: str) -> None:
         self.cluster.kill_shard(shard_id)

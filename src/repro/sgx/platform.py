@@ -44,6 +44,21 @@ class SgxPlatform:
             attestation_service.provision(self.platform_id, self._attestation_key)
         self._enclaves: dict[int, Enclave] = {}
         self._next_enclave_id = 1
+        # Hardware monotonic counters (SGX PSE): persist across enclave
+        # teardown and power failure, so sealed state can be anchored
+        # against whole-state rollback.
+        self._monotonic: dict[bytes, int] = {}
+
+    # -- monotonic counters --------------------------------------------------
+    def monotonic_read(self, counter_id: bytes = b"default") -> int:
+        """Current value of a hardware monotonic counter (0 if never bumped)."""
+        return self._monotonic.get(counter_id, 0)
+
+    def monotonic_increment(self, counter_id: bytes = b"default") -> int:
+        """Atomically bump a hardware monotonic counter; returns the new value."""
+        value = self._monotonic.get(counter_id, 0) + 1
+        self._monotonic[counter_id] = value
+        return value
 
     # -- enclave lifecycle -------------------------------------------------
     def create_enclave(

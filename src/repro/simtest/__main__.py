@@ -46,6 +46,12 @@ def main(argv=None) -> int:
                         help="run durable (WAL-backed) shards and inject "
                              "power failures with full state loss, "
                              "checking the recovery invariant")
+    parser.add_argument("--migrate", action="store_true",
+                        help="stream live topology changes (joins/drains) "
+                             "through the scenario, crash migration "
+                             "participants mid-range, and check the "
+                             "single-owner invariant (implies durable "
+                             "shards)")
     parser.add_argument("--trace", action="store_true",
                         help="print every trace event line")
     parser.add_argument("--shrink", action="store_true",
@@ -62,6 +68,7 @@ def main(argv=None) -> int:
         config = SimConfig(
             seed=seed, steps=args.steps, shards=args.shards,
             pipeline=args.pipeline, power_fail=args.power_fail,
+            migrate=args.migrate,
         )
         result = run_scenario(config)
         print(result.summary())

@@ -35,6 +35,17 @@ power-failure point:
    *present* — recovery restores the original bytes from the durable
    blob area, deliberately diverging from the tampered arena), and no
    tag absent before the crash is resurrected by replay.
+
+With ``--migrate`` enabled (streaming topology changes racing the
+workload, crashes landing on migration sources and destinations
+mid-range), a seventh applies after healing:
+
+7. **Single owner** — once the scenario heals, finishes any open
+   hand-off, and runs one anti-entropy pass, the ring is settled (no
+   dual-ownership window survives) and every acknowledged PUT is held by
+   exactly the owner set of its tag under the settled ring: no acked
+   entry is stranded on a shard that no longer owns it, none is lost
+   with its range, and no range is owned twice.
 """
 
 from __future__ import annotations
@@ -170,6 +181,35 @@ def check_recovery(
                 "recovery",
                 f"shard {shard_id}: tag {tag.hex()[:16]} resurrected by "
                 "recovery (absent before the power failure)",
+                repro,
+            ))
+    return violations
+
+
+def check_single_owner(
+    acked_tags, corrupted_tags, cluster, repro: str = ""
+) -> list:
+    """Every acked PUT lives with exactly its owner set under the settled
+    ring (invariant 7 above).  Run after healing, completing any open
+    migration, and one anti-entropy pass — those steps are what the
+    invariant holds the migration machinery to."""
+    violations = []
+    if cluster.ring.in_transition:
+        return [Violation(
+            "single_owner",
+            "ring still mid-transition after heal and settle",
+            repro,
+        )]
+    for tag in sorted(acked_tags):
+        if tag in corrupted_tags:
+            continue
+        holders = cluster.holders_of(tag)
+        owners = sorted(cluster.owners_of(tag))
+        if holders != owners:
+            violations.append(Violation(
+                "single_owner",
+                f"acked tag {tag.hex()[:16]} held by {holders} but owned "
+                f"by {owners} under the settled ring",
                 repro,
             ))
     return violations

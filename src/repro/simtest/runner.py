@@ -35,6 +35,7 @@ from .invariants import (
     check_conservation,
     check_durability,
     check_recovery,
+    check_single_owner,
     store_image,
 )
 from .schedule import FaultPlan
@@ -90,6 +91,12 @@ class SimConfig:
     # op (full state loss + WAL recovery) to the mix, checking the sixth
     # (recovery) invariant at every failure point.
     power_fail: bool = False
+    # Stream live topology changes (joins and drains) through the
+    # scenario: migrations open, advance range by range, and crash
+    # (power-fail on sources and destinations mid-range) while the
+    # workload keeps running; checks the seventh (single-owner)
+    # invariant after healing.  Implies durable shards.
+    migrate: bool = False
 
     def repro_string(self) -> str:
         """The one-liner that replays this exact scenario."""
@@ -102,6 +109,8 @@ class SimConfig:
             parts.append("--pipeline")
         if self.power_fail:
             parts.append("--power-fail")
+        if self.migrate:
+            parts.append("--migrate")
         return " ".join(parts)
 
 
@@ -195,7 +204,10 @@ def run_scenario(config: SimConfig) -> ScenarioResult:
         seed=b"simtest/" + str(config.seed).encode(),
         tracing=False,
         fault_injector=injector,
-        store_config=StoreConfig(durable=True) if config.power_fail else None,
+        store_config=(
+            StoreConfig(durable=True)
+            if (config.power_fail or config.migrate) else None
+        ),
         retry_policy=RetryPolicy(max_attempts=4, retry_protocol_errors=True),
         # Deterministic skip-count recovery: the simulated clock charges
         # measured host time for compute, so a time-based breaker would
@@ -233,11 +245,30 @@ def run_scenario(config: SimConfig) -> ScenarioResult:
     dead: set[str] = set()
     partitioned: set[str] = set()
     corrupted_tags: set[bytes] = set()
+    migrator = None  # the open streaming topology change, if any
+
+    def refresh_topology() -> None:
+        """Re-sync shard bookkeeping after a join/drain changed the map."""
+        nonlocal shard_ids
+        shard_ids = list(cluster.shard_ids)
+        for sid in shard_ids:
+            store_addr.setdefault(sid, cluster.shards[sid].address)
+            client_addr.setdefault(sid, f"app->{sid}")
+        for sid in list(dead):
+            if sid not in cluster.shards:
+                dead.discard(sid)
 
     rng = random.Random(config.seed)
     op_table = list(_OPS)
     if config.power_fail:
         op_table.append(("power_fail", 5))
+    if config.migrate:
+        op_table.extend([
+            ("mig_open", 4),       # start a streaming join or drain
+            ("mig_step", 10),      # hand one range across
+            ("mig_powerfail", 4),  # crash a migration participant mid-range
+            ("mig_finish", 4),     # settle the ring once all ranges moved
+        ])
     ops = [name for name, _ in op_table]
     weights = [weight for _, weight in op_table]
 
@@ -328,6 +359,82 @@ def run_scenario(config: SimConfig) -> ScenarioResult:
                     )
                 else:
                     trace.append(f"step={step} op=power_fail skipped")
+            elif op == "mig_open":
+                open_already = migrator is not None and not migrator.finished
+                want_leave = rng.random() < 0.5
+                if open_already:
+                    trace.append(f"step={step} op=mig_open skipped")
+                elif want_leave and len(cluster.shards) > 2:
+                    sid = rng.choice(sorted(cluster.shards))
+                    migrator = cluster.begin_remove_shard(sid)
+                    refresh_topology()
+                    trace.append(
+                        f"step={step} op=mig_open kind=leave shard={sid} "
+                        f"ranges={len(migrator.ranges)}"
+                    )
+                else:
+                    migrator = cluster.begin_add_shard()
+                    refresh_topology()
+                    trace.append(
+                        f"step={step} op=mig_open kind=join "
+                        f"shard={migrator.shard_id} ranges={len(migrator.ranges)}"
+                    )
+            elif op == "mig_step":
+                if migrator is None or migrator.finished:
+                    trace.append(f"step={step} op=mig_step skipped")
+                elif not migrator.pending_ranges():
+                    trace.append(f"step={step} op=mig_step drained")
+                elif migrator.step():
+                    done = len(migrator.ranges) - len(migrator.pending_ranges())
+                    trace.append(
+                        f"step={step} op=mig_step "
+                        f"committed={done}/{len(migrator.ranges)}"
+                    )
+                else:
+                    trace.append(f"step={step} op=mig_step blocked")
+            elif op == "mig_powerfail":
+                # Crash a *participant* of the open hand-off mid-range —
+                # the source that just discarded or the destination that
+                # just ingested — and hold recovery to invariant 6.
+                participants = [
+                    sid
+                    for sid in (
+                        migrator._participants
+                        if migrator is not None and not migrator.finished
+                        else ()
+                    )
+                    if sid in cluster.shards and sid not in dead
+                ]
+                if participants:
+                    sid = rng.choice(sorted(participants))
+                    store = cluster.shards[sid].store
+                    pre = store_image(store)
+                    report = cluster.power_fail_shard(sid)
+                    post = store_image(store)
+                    violations.extend(
+                        check_recovery(pre, post, corrupted_tags, sid, repro)
+                    )
+                    trace.append(
+                        f"step={step} op=mig_powerfail shard={sid} "
+                        f"replayed={report.records_replayed} "
+                        f"marks={report.migrate_marks_replayed}"
+                    )
+                else:
+                    trace.append(f"step={step} op=mig_powerfail skipped")
+            elif op == "mig_finish":
+                if migrator is None or migrator.finished:
+                    trace.append(f"step={step} op=mig_finish skipped")
+                elif migrator.pending_ranges():
+                    trace.append(f"step={step} op=mig_finish deferred")
+                else:
+                    fin_kind, fin_sid = migrator.action, migrator.shard_id
+                    migrator.finish()
+                    refresh_topology()
+                    trace.append(
+                        f"step={step} op=mig_finish kind={fin_kind} "
+                        f"shard={fin_sid} moved={migrator.moved} "
+                        f"dropped={migrator.dropped}"
+                    )
             elif op == "partition":
                 candidates = [s for s in shard_ids if s not in partitioned]
                 if len(candidates) > 1:  # never partition the whole cluster
@@ -393,12 +500,44 @@ def run_scenario(config: SimConfig) -> ScenarioResult:
         cluster.revive_shard(sid)
     dead.clear()
     session.network.flush_delayed()
+    if migrator is not None and not migrator.finished:
+        # Every shard is alive again, so no range can stay blocked.
+        while migrator.pending_ranges():
+            if not migrator.step():
+                break
+        if migrator.pending_ranges():
+            violations.append(Violation(
+                "single_owner",
+                "open migration could not drain after heal",
+                repro,
+            ))
+        else:
+            migrator.finish()
+            refresh_topology()
+            trace.append(
+                f"phase=settle migration={migrator.action} finished "
+                f"moved={migrator.moved}"
+            )
     for _ in range(3):
         session.flush_puts()
         session.network.flush_delayed()
     trace.append("phase=settle")
 
     # -- invariants ------------------------------------------------------------
+    if config.migrate and not cluster.ring.in_transition:
+        # One anti-entropy pass repairs placement drift from crashes and
+        # replicas that were dead mid-migration, then the single-owner
+        # invariant must hold exactly.
+        from ..cluster.migration import rebalance
+
+        repair = rebalance(cluster)
+        trace.append(
+            f"phase=rebalance moved={repair.moved} dropped={repair.dropped}"
+        )
+    if config.migrate:
+        violations.extend(check_single_owner(
+            session.runtime.acked_put_tags, corrupted_tags, cluster, repro,
+        ))
     violations.extend(check_durability(
         session.runtime.acked_put_tags, corrupted_tags, cluster, repro,
     ))

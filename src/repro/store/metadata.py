@@ -124,6 +124,20 @@ class MetadataDict:
             touch("store/metadata", entry.slot * ENTRY_SLOT_BYTES, ENTRY_SLOT_BYTES)
         self._entries[entry.tag] = entry
 
+    def touch_restore(self, tag: bytes, hits: int, touch=None) -> bool:
+        """Re-apply a logged GET-recency mark (WAL replay): the entry's
+        hit counter jumps to the logged value and its recency advances in
+        log order, so LRU/LFU victims match the pre-crash access pattern.
+        Returns False if the tag is unknown (evicted later in the log)."""
+        entry = self._entries.get(tag)
+        if entry is None:
+            return False
+        if touch is not None:
+            touch("store/metadata", entry.slot * ENTRY_SLOT_BYTES, ENTRY_SLOT_BYTES)
+        entry.hits = max(entry.hits, hits)
+        entry.last_access_seq = self._tick()
+        return True
+
     def remove(self, tag: bytes) -> MetadataEntry:
         entry = self._entries.pop(tag, None)
         if entry is None:

@@ -88,6 +88,15 @@ class StoreConfig:
     durable: bool = False
     wal_group_commit: int = 8
     checkpoint_interval: int = 256
+    # GET-recency WAL marks: when > 0, every Nth hit on an entry logs a
+    # coalesced REC_TOUCH record so restored LRU/LFU eviction order also
+    # reflects reads served after the last checkpoint.  0 disables the
+    # marks (recency then restores only up to the checkpoint).
+    recency_log_interval: int = 0
+    # Whole-state rollback handling: detection always counts into
+    # ``durable.rollback_detected``; with strict_rollback=True recovery
+    # refuses the stale state with a hard RollbackError instead.
+    strict_rollback: bool = False
 
 
 @dataclass
@@ -216,6 +225,10 @@ class ResultStore:
         self._channels: dict[str, ChannelEndpoint] = {}
         self._seed = seed
         self._conn_counter = 0
+        # Migration hand-off marks: id -> {"peer", "role", "committed"
+        # (set of (lo, hi) ring ranges), "ended"}.  Volatile — a power
+        # failure wipes them and WAL replay rebuilds them.
+        self._migrations: dict[str, dict] = {}
         # blobs_in_epc bookkeeping: blob_ref -> (enclave heap offset, size).
         self._epc_blob_extents: dict[int, tuple[int, int]] = {}
         self._epc_blob_cursor = 0
@@ -375,6 +388,15 @@ class ResultStore:
                         get_span.set("found", False)
                         return GetResponse(found=False)
             self.stats.hits += 1
+            if (
+                self.durable is not None
+                and not self._durable_suspended
+                and self.config.recency_log_interval > 0
+                and entry.hits % self.config.recency_log_interval == 0
+            ):
+                # Coalesced recency mark: one record per N hits keeps the
+                # log cheap while restored eviction order tracks reads.
+                self.durable.append_touch(entry.tag, entry.hits)
             get_span.set("found", True)
             return GetResponse(
                 found=True,
@@ -569,6 +591,118 @@ class ResultStore:
             self.durable.commit()  # hand-off log for the migration source
         return removed
 
+    def can_accept(self, size: int) -> bool:
+        """Whether one more ``size``-byte entry fits without evicting.
+        Migration uses this to refuse a batch instead of silently
+        evicting foreground entries on a full target shard."""
+        cfg = self.config
+        if cfg.capacity_entries is not None and len(self._dict) >= cfg.capacity_entries:
+            return False
+        if (
+            cfg.capacity_bytes is not None
+            and self._dict.total_bytes() + size > cfg.capacity_bytes
+        ):
+            return False
+        return True
+
+    # -- migration hand-off marks ----------------------------------------------
+    @property
+    def migration_open(self) -> bool:
+        """True while this shard participates in an unfinished hand-off."""
+        return any(not m["ended"] for m in self._migrations.values())
+
+    def migration_marks(self, migration_id: str) -> dict | None:
+        """This shard's durable view of one migration (tests/resume)."""
+        mark = self._migrations.get(migration_id)
+        if mark is None:
+            return None
+        return {
+            "peer": mark["peer"],
+            "role": mark["role"],
+            "committed": set(mark["committed"]),
+            "ended": mark["ended"],
+        }
+
+    def note_migrate(
+        self,
+        kind: int,
+        migration_id: str,
+        range_lo: int = 0,
+        range_hi: int = 0,
+        peer: str = "",
+        role: int = 0,
+    ) -> None:
+        """Record one migration hand-off mark: BEGIN/END bracket this
+        shard's participation, RANGE_COMMIT pins one handed-off range.
+        Durable stores seal the mark into the WAL before returning, so
+        the hand-off protocol survives a power failure on either side."""
+        if self.enclave is not None and not self.enclave.inside:
+            with self.enclave.ecall("migrate_mark"):
+                return self.note_migrate(
+                    kind, migration_id, range_lo, range_hi, peer, role
+                )
+        from ..durable.wal import WalRecord
+
+        self._note_migrate(WalRecord(
+            kind=kind,
+            tag=b"",
+            migration_id=migration_id,
+            range_lo=range_lo,
+            range_hi=range_hi,
+            peer=peer,
+            role=role,
+        ))
+        if self.durable is not None and not self._durable_suspended:
+            self.durable.append_migrate(
+                kind, migration_id, range_lo, range_hi, peer, role
+            )
+            self.durable.commit()
+
+    def _note_migrate(self, record) -> None:
+        """Apply one migration mark to the volatile view (live append and
+        WAL replay share this)."""
+        from ..durable.wal import REC_MIGRATE_COMMIT, REC_MIGRATE_END
+
+        mark = self._migrations.setdefault(record.migration_id, {
+            "peer": record.peer,
+            "role": record.role,
+            "committed": set(),
+            "ended": False,
+        })
+        if record.peer:
+            mark["peer"] = record.peer
+        if record.kind == REC_MIGRATE_COMMIT:
+            mark["committed"].add((record.range_lo, record.range_hi))
+        elif record.kind == REC_MIGRATE_END:
+            mark["ended"] = True
+
+    def _relog_open_migrations(self) -> None:
+        """Re-seal the marks of still-open migrations into the fresh log
+        (recovery folds the old log into a checkpoint, which would
+        otherwise drop them)."""
+        if self.durable is None or not self._migrations:
+            return
+        from ..durable.wal import (
+            REC_MIGRATE_BEGIN,
+            REC_MIGRATE_COMMIT,
+        )
+
+        logged = False
+        for migration_id, mark in self._migrations.items():
+            if mark["ended"]:
+                continue
+            self.durable.append_migrate(
+                REC_MIGRATE_BEGIN, migration_id, peer=mark["peer"], role=mark["role"]
+            )
+            for lo, hi in sorted(mark["committed"]):
+                self.durable.append_migrate(
+                    REC_MIGRATE_COMMIT, migration_id, lo, hi,
+                    peer=mark["peer"], role=mark["role"],
+                )
+            logged = True
+        if logged:
+            self.durable.commit()
+
     def clear(self) -> int:
         """Drop every entry and blob (a crashed store process loses its
         in-memory state); quota held by contributing apps is released.
@@ -607,6 +741,7 @@ class ResultStore:
             self._quota = QuotaManager(self.config.quota, self.platform.clock)
         self._epc_blob_extents.clear()
         self._epc_blob_cursor = 0
+        self._migrations = {}
         self.durable.power_fail()
         self.stats.power_fails += 1
         return wiped
@@ -642,6 +777,10 @@ class ResultStore:
         if self._quota is not None:
             self._quota.restore(record.app_id, record.size)
         return True
+
+    def replay_touch(self, record) -> bool:
+        """Re-apply one logged GET-recency mark during WAL replay."""
+        return self._dict.touch_restore(record.tag, record.hits, touch=self._touch)
 
     # -- introspection -----------------------------------------------------------
     def __len__(self) -> int:
