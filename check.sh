@@ -50,6 +50,13 @@ echo "== sim smoke, online resharding (seeds 3..5) =="
 PYTHONPATH=src python -m repro.simtest --runs 3 --start-seed 3 --steps 25 \
     --migrate || status=1
 
+# Adaptive-depth smoke: the same walk with the AIMD controller sizing
+# the engine window; invariant 8 replays each schedule at depth 1 and
+# requires byte-identical per-call results.
+echo "== sim smoke, adaptive depth (seeds 3..5) =="
+PYTHONPATH=src python -m repro.simtest --runs 3 --start-seed 3 --steps 25 \
+    --pipeline --adaptive || status=1
+
 # Pipelined-engine benchmark smoke: a reduced depth sweep that still
 # exercises grouped dispatch, coalescing, and the result-identity check.
 echo "== bench pipeline smoke =="
@@ -63,6 +70,11 @@ PYTHONPATH=src python -m repro.bench durable --quick || status=1
 # streaming join vs the no-migration baseline and the blocking copy.
 echo "== bench migrate smoke =="
 PYTHONPATH=src python -m repro.bench migrate --quick || status=1
+
+# Adaptive-depth benchmark smoke: static depths vs depth="auto", plus
+# the same auto engine under a concurrent streaming join.
+echo "== bench adaptive smoke =="
+PYTHONPATH=src python -m repro.bench adaptive --quick || status=1
 
 if [ "$status" -ne 0 ]; then
     echo "CHECK FAILED" >&2

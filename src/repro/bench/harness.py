@@ -2031,3 +2031,228 @@ def print_migrate(rows: list[MigrateRow]) -> str:
     return format_table(
         "Migrate: foreground throughput during an online join", headers, table,
     )
+
+
+# ---------------------------------------------------------------------------
+# Adaptive — AIMD depth control vs the static sweep (engine.py)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class AdaptiveDepthRow:
+    phase: str            # get-heavy | join
+    n_shards: int
+    depth: str            # "0" (serial) | static depth | "auto"
+    ops: int              # measured foreground ops
+    rounds: int           # measured foreground batches (join phase)
+    elapsed_sim_s: float  # critical-path sim time of the measured ops
+    baseline_sim_s: float # serial client (sweep) / no-join auto (join)
+    depth_final: int      # controller depth after the measured run
+    depth_changes: int
+    depth_shrinks: int
+    depth_caps: int       # rounds clamped by the migration cap
+    entries_moved: int
+    foreground_stalls: int
+    identical: bool       # results byte-identical to the baseline run
+
+    @property
+    def sim_ops_per_s(self) -> float:
+        if self.elapsed_sim_s <= 0:
+            return float("inf")
+        return self.ops / self.elapsed_sim_s
+
+    @property
+    def vs_baseline(self) -> float:
+        """Throughput relative to this phase's baseline run."""
+        if self.baseline_sim_s <= 0 or self.elapsed_sim_s <= 0:
+            return 0.0
+        return self.baseline_sim_s / self.elapsed_sim_s
+
+
+def _adaptive_controller_stats(engine) -> dict:
+    controller = getattr(engine, "controller", None)
+    if controller is None:
+        depth = engine.config.depth if engine is not None else 0
+        return dict(depth_final=depth, depth_changes=0, depth_shrinks=0,
+                    depth_caps=0)
+    return dict(
+        depth_final=controller.depth,
+        depth_changes=controller.changes,
+        depth_shrinks=controller.shrinks,
+        depth_caps=controller.migration_capped,
+    )
+
+
+def run_adaptive(
+    depths: list[int] | None = None,
+    ops: int = 48,
+    rounds: int = 12,
+    workers: int = 4,
+    batch_entries: int = 8,
+    seed: int = 83,
+) -> list[AdaptiveDepthRow]:
+    """Adaptive depth control sweep: static depths vs ``depth="auto"``.
+
+    **get-heavy** — on a warm 4-shard cluster, every reader first drives
+    one priming batch (the adaptive controller converges during it; the
+    static engines prime the same state for symmetry), then replays a
+    distinct measured batch.  The acceptance bound (checked by CI from
+    ``BENCH_adaptive.json``): the auto row lands within 10% of the best
+    static depth and strictly beats the depth-1 anti-sweet-spot.
+
+    **join** — the same auto engine drives ``rounds`` foreground GET
+    batches while a streaming shard join runs concurrently: the
+    controller caps its depth under the dual-ownership window and
+    yields the capped-off slots to the migrator
+    (:meth:`RangeMigrator.overlap_steps`).  Bound: foreground
+    throughput stays >= 0.70x of the no-join auto baseline (the PR 8
+    streaming-migration bound, now under adaptive depth).
+    """
+    from ..session import connect
+
+    depths = depths or [1, 4, 8, 16]
+    max_depth = max(16, max(depths))
+    rows: list[AdaptiveDepthRow] = []
+
+    # -- phase 1: static depths vs auto on a warm 4-shard cluster -----------
+    writer = connect(
+        shards=4, replication_factor=1,
+        seed=b"bench-adaptive" + bytes([seed % 251]), tracing=False,
+    )
+
+    @writer.mark(version="1.0")
+    def adaptive_kernel(data: bytes) -> bytes:
+        return bytes(b ^ 0x6B for b in data)
+
+    description = adaptive_kernel.description
+    warm_inputs = _pipeline_inputs(ops, seed)
+    measured = _pipeline_inputs(ops, seed + 1)
+    adaptive_kernel.map(warm_inputs + measured)
+    writer.flush_puts()
+
+    def measure(depth_spec):
+        reader = writer.sibling(f"adaptive-reader-{depth_spec}")
+        engine = None
+        if depth_spec != 0:
+            engine = reader.enable_pipeline(
+                depth=depth_spec, workers=workers,
+                min_depth=1, max_depth=max_depth,
+            )
+        reader.execute_many_results(description, warm_inputs)  # prime
+        elapsed, _wall, values, _counters = _pipeline_run(
+            reader, description, measured, engine
+        )
+        return elapsed, values, engine
+
+    serial_s, base_values, _ = measure(0)
+    rows.append(AdaptiveDepthRow(
+        phase="get-heavy", n_shards=4, depth="0", ops=ops, rounds=1,
+        elapsed_sim_s=serial_s, baseline_sim_s=serial_s,
+        depth_final=0, depth_changes=0, depth_shrinks=0, depth_caps=0,
+        entries_moved=0, foreground_stalls=0, identical=True,
+    ))
+    for depth_spec in sorted(depths) + ["auto"]:
+        elapsed, values, engine = measure(depth_spec)
+        rows.append(AdaptiveDepthRow(
+            phase="get-heavy", n_shards=4, depth=str(depth_spec), ops=ops,
+            rounds=1, elapsed_sim_s=elapsed, baseline_sim_s=serial_s,
+            entries_moved=0, foreground_stalls=0,
+            identical=values == base_values,
+            **_adaptive_controller_stats(engine),
+        ))
+
+    # -- phase 2: the same auto engine with a concurrent streaming join -----
+    batch = max(1, ops // 2)
+
+    def join_phase(join: bool):
+        session = connect(
+            shards=4, replication_factor=2, vnodes=2,
+            seed=b"bench-adaptive-join" + bytes([seed % 251]),
+            tracing=False,
+        )
+
+        @session.mark(version="1.0")
+        def join_kernel(data: bytes) -> bytes:
+            return bytes(b ^ 0x2D for b in data)
+
+        join_inputs = _pipeline_inputs(ops, seed + 2)
+        join_kernel.map(join_inputs)
+        session.flush_puts()
+        reader = session.sibling("adaptive-join-reader")
+        engine = reader.enable_pipeline(
+            depth="auto", workers=workers, min_depth=1, max_depth=max_depth,
+        )
+        reader.execute_many_results(join_kernel.description, join_inputs)
+        migrator = None
+        if join:
+            from ..cluster.migration import MigrationConfig
+
+            migrator = session.cluster.begin_add_shard(
+                config=MigrationConfig(batch_entries=batch_entries),
+                engine=engine,
+            )
+        values: list[bytes] = []
+        moved = stalls = 0
+        makespan0 = engine.makespan_cycles
+        for round_index in range(rounds):
+            offset = (round_index * batch) % len(join_inputs)
+            window = (join_inputs + join_inputs)[offset:offset + batch]
+            results = reader.execute_many_results(
+                join_kernel.description, window
+            )
+            values.extend(r.value for r in results)
+            if migrator is not None:
+                if migrator.pending_ranges():
+                    # The controller's yielded depth slots bound the
+                    # migrator's between-rounds intrusion budget.
+                    migrator.overlap_steps(max(1, rounds - 1 - round_index))
+                if not migrator.pending_ranges():
+                    # Close the dual-ownership window the moment the
+                    # hand-off drains: the migration depth cap lifts and
+                    # the controller's full depth returns mid-run.
+                    migrator.finish()
+                    moved, stalls = migrator.moved, migrator.stalled_batches
+                    migrator = None
+        if migrator is not None:
+            while migrator.pending_ranges():
+                migrator.step()
+            migrator.finish()
+            moved, stalls = migrator.moved, migrator.stalled_batches
+        engine.settle()
+        total = (engine.makespan_cycles - makespan0) / \
+            reader.clock.params.cpu_freq_hz
+        return total, values, moved, stalls, engine
+
+    base_total, base_values, _, _, engine = join_phase(join=False)
+    rows.append(AdaptiveDepthRow(
+        phase="join", n_shards=4, depth="auto", ops=rounds * batch,
+        rounds=rounds, elapsed_sim_s=base_total, baseline_sim_s=base_total,
+        entries_moved=0, foreground_stalls=0, identical=True,
+        **_adaptive_controller_stats(engine),
+    ))
+    total, values, moved, stalls, engine = join_phase(join=True)
+    rows.append(AdaptiveDepthRow(
+        phase="join", n_shards=5, depth="auto", ops=rounds * batch,
+        rounds=rounds, elapsed_sim_s=total, baseline_sim_s=base_total,
+        entries_moved=moved, foreground_stalls=stalls,
+        identical=values == base_values,
+        **_adaptive_controller_stats(engine),
+    ))
+    return rows
+
+
+def print_adaptive(rows: list[AdaptiveDepthRow]) -> str:
+    headers = ["phase", "shards", "depth", "ops", "elapsed sim(s)",
+               "sim ops/s", "vs baseline", "final depth", "changes",
+               "shrinks", "caps", "moved", "stalls", "identical"]
+    table = [
+        [
+            r.phase, r.n_shards, r.depth, r.ops, r.elapsed_sim_s,
+            f"{r.sim_ops_per_s:.1f}", f"{r.vs_baseline:.2f}x",
+            r.depth_final or "-", r.depth_changes, r.depth_shrinks,
+            r.depth_caps, r.entries_moved, r.foreground_stalls,
+            "yes" if r.identical else "NO",
+        ]
+        for r in rows
+    ]
+    return format_table(
+        "Adaptive: AIMD depth control vs static depths", headers, table,
+    )

@@ -214,6 +214,39 @@ class RangeMigrator:
                 return True
         return False
 
+    def overlap_steps(self, rounds_left: int = 1) -> int:
+        """Advance the hand-off between two foreground rounds.
+
+        Paces the pending ranges across the caller's ``rounds_left``
+        remaining foreground rounds so the window drains steadily
+        instead of piling up at the end (a pile-up cannot overlap the
+        foreground: background work is bounded below by itself, so a
+        front-loaded hand-off lands on the critical path in full).  The
+        per-gap intrusion is capped by the attached engine's background
+        budget (:meth:`PipelineEngine.background_budget`): one slot by
+        default, widened by every depth slot the adaptive controller
+        capped off and yielded to this hand-off — the foreground rounds
+        got smaller under the migration cap, and the freed slots belong
+        here.  Demand above the cap is deferred (``finish`` drains it
+        serially), keeping the foreground bound intact.  Returns the
+        number of ranges committed; stops early when every pending
+        range is blocked on a dead shard.
+        """
+        pending = len(self.pending_ranges())
+        if not pending:
+            return 0
+        budget = max(1, -(-pending // max(1, rounds_left)))
+        if self.engine is not None and hasattr(self.engine, "background_budget"):
+            budget = min(budget, max(1, self.engine.background_budget()))
+        committed = 0
+        for _ in range(budget):
+            if not self.pending_ranges():
+                break
+            if not self.step():
+                break
+            committed += 1
+        return committed
+
     def run(self) -> MigrationReport:
         """Stream every range and close the window."""
         if not self.started:

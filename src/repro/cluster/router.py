@@ -216,6 +216,15 @@ class ClusterRouter:
     def shard_ids(self) -> tuple[str, ...]:
         return tuple(sorted(self._clients))
 
+    @property
+    def in_transition(self) -> bool:
+        """True while the ring holds a dual-ownership migration window.
+
+        The pipelined engine's adaptive depth controller reads this to
+        cap its submit window and yield slots to the streaming migrator
+        while a join/drain is in flight."""
+        return self.ring.in_transition
+
     def attach_shard(self, shard_id: str, client: RpcClient) -> None:
         """Connect to a shard that joined the ring live."""
         if shard_id in self._clients:
@@ -1162,6 +1171,7 @@ class ClusterRouter:
         snap["router.pipeline_max_inflight"] = sum(
             c.max_inflight for c in self._clients.values()
         )
+        snap["router.in_transition"] = int(self.in_transition)
         snap["router.circuit_opens"] = sum(
             b.opens for b in self._breakers.values()
         )

@@ -21,6 +21,7 @@ description without the code cannot.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from types import CodeType
 from typing import Callable
 
 from ..crypto.hashes import tagged_hash
@@ -47,21 +48,43 @@ class FunctionDescription:
         return f'("{self.family}", "{self.version}", {self.signature})'
 
 
+def _const_fingerprint(const) -> bytes:
+    """One constant's contribution to a code fingerprint.
+
+    Nested code objects (genexprs, lambdas, inner defs) must recurse:
+    their ``repr`` embeds the object's memory address, which would make
+    the fingerprint — and therefore every tag derived from it — vary
+    per process under ASLR.
+    """
+    if isinstance(const, CodeType):
+        return _code_object_fingerprint(const)
+    return tagged_hash(b"speed/code-fp/const", repr(const).encode())
+
+
+def _code_object_fingerprint(code: CodeType) -> bytes:
+    return tagged_hash(
+        b"speed/code-fp/code",
+        code.co_code,
+        str(code.co_argcount).encode(),
+        *(_const_fingerprint(c) for c in code.co_consts),
+    )
+
+
 def code_fingerprint(func: Callable) -> bytes:
     """Fingerprint the actual code of a trusted-library function.
 
     Python's analogue of scanning the trusted library's text: the
-    bytecode and constants of the function object.  Identical source at
-    the same interpreter version fingerprints identically across
-    applications, which is what cross-application deduplication needs.
+    bytecode and constants of the function object, recursing into
+    nested code objects.  Identical source at the same interpreter
+    version fingerprints identically across applications — and across
+    processes — which is what cross-application deduplication needs.
     """
     code = getattr(func, "__code__", None)
     if code is None:
         # Builtins / callables without code objects: identity by qualified name.
         name = getattr(func, "__qualname__", repr(func))
         return tagged_hash(b"speed/code-fp/builtin", name.encode())
-    consts = repr(code.co_consts).encode()
-    return tagged_hash(b"speed/code-fp", code.co_code, consts, str(code.co_argcount).encode())
+    return tagged_hash(b"speed/code-fp", _code_object_fingerprint(code))
 
 
 @dataclass

@@ -37,12 +37,32 @@ The asynchronous PUT flusher uses :meth:`PipelineEngine.background` to
 account its drains as one extra lane that overlaps the next round of
 foreground work; :meth:`settle` folds any un-overlapped remainder back
 in serially.
+
+Adaptive depth
+--------------
+``EngineConfig(depth="auto")`` replaces the static submit window with an
+:class:`AdaptiveDepthController` — AIMD over the engine's virtual-clock
+rounds: depth grows (slow-start doubling, then additively) while each
+round's per-op critical-path latency keeps up with the best the window
+has seen, and shrinks multiplicatively on failure, circuit-breaker, or
+PUT back-pressure signals.  The controller only ever sees
+**replay-deterministic** observations: round makespans here are sums of
+modeled wire/crypto/store charges (``charge_compute``'s measured host
+time never lands inside an engine round), so the decision sequence is a
+pure function of the op stream — a property the simulation harness
+digests and replays.  While the shard ring holds a dual-ownership
+migration window the controller additionally caps depth and reports the
+capped-off slots via :meth:`PipelineEngine.background_budget`, which a
+:class:`~repro.cluster.migration.RangeMigrator` uses to widen its
+between-rounds hand-off pacing — foreground latency stays bounded and
+the freed slots go to the migration instead.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Sequence
+from typing import Callable, Mapping, Sequence, Union
 
 from .errors import ChannelError, ProtocolError, TransportError
 from .net.messages import GetRequest, Message
@@ -52,23 +72,230 @@ from .obs.tracer import NULL_TRACER
 # degrades (or surfaces) them per item, exactly like the serial path.
 _ENGINE_FAILURES = (TransportError, ChannelError, ProtocolError)
 
+#: ``EngineConfig.depth`` sentinel selecting the adaptive controller.
+AUTO_DEPTH = "auto"
+
 
 @dataclass(frozen=True)
 class EngineConfig:
     """Tuning knobs for the pipelined engine."""
 
-    #: Outstanding requests per round (submit window).
-    depth: int = 8
+    #: Outstanding requests per round (submit window), or ``"auto"`` to
+    #: let an :class:`AdaptiveDepthController` size each round between
+    #: ``min_depth`` and ``max_depth``.
+    depth: Union[int, str] = 8
     #: Client-side worker lanes the round's app cost is spread over.
+    #: Clamped to the depth bound: lanes beyond the submit window can
+    #: never hold an op (see :meth:`PipelineEngine._lanes`).
     workers: int = 4
     #: Single-flight: identical in-flight tags share one round trip.
     coalesce: bool = True
+    #: Adaptive-mode depth bounds (ignored for a static ``depth``).
+    min_depth: int = 1
+    max_depth: int = 32
 
     def __post_init__(self):
-        if self.depth < 1:
+        if isinstance(self.depth, str):
+            if self.depth != AUTO_DEPTH:
+                raise ProtocolError(
+                    f"engine depth must be an int >= 1 or {AUTO_DEPTH!r}"
+                )
+        elif self.depth < 1:
             raise ProtocolError("engine depth must be >= 1")
         if self.workers < 1:
             raise ProtocolError("engine workers must be >= 1")
+        if self.min_depth < 1:
+            raise ProtocolError("engine min_depth must be >= 1")
+        if self.max_depth < self.min_depth:
+            raise ProtocolError("engine max_depth must be >= min_depth")
+        bound = self.max_depth if self.adaptive else self.depth
+        if self.workers > bound:
+            object.__setattr__(self, "workers", bound)
+
+    @property
+    def adaptive(self) -> bool:
+        return self.depth == AUTO_DEPTH
+
+    @property
+    def initial_depth(self) -> int:
+        """Depth of the first round: the floor in auto mode (the
+        controller slow-starts upward), the static value otherwise."""
+        return self.min_depth if self.adaptive else self.depth
+
+
+@dataclass(frozen=True)
+class DepthObservation:
+    """One engine round reduced to the deterministic signals the
+    adaptive controller may consume.
+
+    ``makespan_cycles`` is the round's critical-path advance — a sum of
+    modeled wire/crypto/store charges, never measured host compute — so
+    every field replays byte-identically for a fixed op stream.
+    """
+
+    ops: int
+    makespan_cycles: float
+    failures: int = 0
+    backpressure: bool = False
+    migration_active: bool = False
+    #: False for a tail round that carried fewer ops than the submit
+    #: window allowed: its per-op latency cannot amortize the fixed
+    #: round costs, so it is no evidence for growing or shrinking.
+    full: bool = True
+
+    @property
+    def per_op_cycles(self) -> float:
+        return self.makespan_cycles / max(1, self.ops)
+
+
+class AdaptiveDepthController:
+    """AIMD governor for the engine's per-round submit window.
+
+    The state machine is deliberately pure: no randomness, no wall
+    clock — :meth:`observe` maps the previous state plus one
+    :class:`DepthObservation` to the next depth, so identical
+    observation streams always replay the identical decision sequence
+    (pinned by property tests and the simulation harness's trace
+    digest).
+
+    Decision rule, in precedence order:
+
+    1. **Shrink** multiplicatively (halve, floored at ``min_depth``)
+       when the round carried failures (circuit-breaker opens, failover
+       retries surface here) or PUT back-pressure — precedence over any
+       grow signal, and the learned latency floor resets because the
+       conditions it was learned under are gone.
+    2. **Shrink** the same way when the round's per-op latency exceeds
+       ``slow_factor`` × the best the current window has seen.
+    3. **Grow** while per-op latency keeps up with the window's best
+       (within ``grow_tolerance``): doubling below the slow-start
+       threshold left by the last shrink, additively above it.
+    4. Otherwise **hold**.
+
+    A **migration cap** rides on top: while the shard ring holds a
+    dual-ownership window, the returned depth is clamped to
+    ``migration_cap`` and the clamped-off slots are published as
+    :attr:`yielded_slots` — the engine's :meth:`background_budget`
+    hands them to the streaming migrator.
+    """
+
+    def __init__(
+        self,
+        min_depth: int = 1,
+        max_depth: int = 32,
+        migration_cap: int | None = None,
+        slow_factor: float = 1.25,
+        grow_tolerance: float = 1.05,
+        window: int = 8,
+    ):
+        if min_depth < 1:
+            raise ProtocolError("min_depth must be >= 1")
+        if max_depth < min_depth:
+            raise ProtocolError("max_depth must be >= min_depth")
+        if migration_cap is None:
+            migration_cap = max(min_depth, min(max_depth, 8))
+        if not (min_depth <= migration_cap <= max_depth):
+            raise ProtocolError("migration_cap must lie in [min, max]")
+        self.min_depth = min_depth
+        self.max_depth = max_depth
+        self.migration_cap = migration_cap
+        self.slow_factor = slow_factor
+        self.grow_tolerance = grow_tolerance
+        self.window = max(1, window)
+        # AIMD state.  ``_raw_depth`` evolves uncapped; the published
+        # ``depth`` is the raw value clamped under an active migration.
+        self._raw_depth = min_depth
+        self.depth = min_depth
+        self._ssthresh = max_depth  # slow-start until the first shrink
+        self._best_per_op = float("inf")
+        self._window_best = float("inf")
+        self._window_rounds = 0
+        #: Depth slots the migration cap clamped off this round (the
+        #: engine grants them to the migrator as background budget).
+        self.yielded_slots = 0
+        # Counters (all deterministic ints).
+        self.decisions = 0
+        self.changes = 0
+        self.grows = 0
+        self.shrinks = 0
+        self.migration_capped = 0
+        #: Decision log: ``(decision #, depth, reason)`` — digestible.
+        self.log: list[tuple[int, int, str]] = []
+
+    def round_depth(self, migration_active: bool = False) -> int:
+        """Depth the next round should use (cap applied statelessly, so
+        a window that opened mid-batch takes effect immediately)."""
+        if migration_active:
+            return min(self._raw_depth, self.migration_cap)
+        return self._raw_depth
+
+    def observe(self, obs: DepthObservation) -> int:
+        """Fold one round's observation in; returns the next depth."""
+        self.decisions += 1
+        previous = self.depth
+        per_op = obs.per_op_cycles
+        raw = self._raw_depth
+        if obs.failures > 0 or obs.backpressure:
+            reason = "failures" if obs.failures > 0 else "backpressure"
+            self._ssthresh = max(self.min_depth, raw // 2)
+            raw = self._ssthresh
+            # The latency floor was learned under conditions that no
+            # longer hold; relearn it instead of shrinking forever.
+            self._best_per_op = float("inf")
+            self._window_best = float("inf")
+            self._window_rounds = 0
+        elif not obs.full:
+            reason = "partial"
+        elif per_op > self.slow_factor * self._best_per_op:
+            reason = "slow-round"
+            self._ssthresh = max(self.min_depth, raw // 2)
+            raw = self._ssthresh
+            # Reset the floor with the depth: a floor learned at a
+            # deeper window is unreachable at the shrunk one, and
+            # keeping it would wedge the governor at min_depth (every
+            # post-shrink round looks "slow" forever).
+            self._best_per_op = float("inf")
+            self._window_best = float("inf")
+            self._window_rounds = 0
+        else:
+            self._best_per_op = min(self._best_per_op, per_op)
+            self._window_best = min(self._window_best, per_op)
+            self._window_rounds += 1
+            if self._window_rounds >= self.window:
+                # Window decay: the floor relaxes to the recent best so
+                # a stale unreachable optimum cannot wedge the governor.
+                self._best_per_op = self._window_best
+                self._window_best = float("inf")
+                self._window_rounds = 0
+            if per_op <= self.grow_tolerance * self._best_per_op:
+                reason = "grow"
+                raw = raw * 2 if raw < self._ssthresh else raw + 1
+            else:
+                reason = "hold"
+        raw = max(self.min_depth, min(self.max_depth, raw))
+        self._raw_depth = raw
+        if obs.migration_active and raw > self.migration_cap:
+            self.depth = self.migration_cap
+            self.yielded_slots = raw - self.migration_cap
+            self.migration_capped += 1
+            reason += "+migration-cap"
+        else:
+            self.depth = raw
+            self.yielded_slots = 0
+        if self.depth != previous:
+            self.changes += 1
+            if self.depth > previous:
+                self.grows += 1
+            else:
+                self.shrinks += 1
+        self.log.append((self.decisions, self.depth, reason))
+        return self.depth
+
+    def log_digest(self) -> str:
+        """SHA-256 over the decision log — byte-identical across
+        replays of the same observation stream."""
+        joined = "\n".join(f"{n}:{d}:{r}" for n, d, r in self.log)
+        return hashlib.sha256(joined.encode()).hexdigest()
 
 
 @dataclass
@@ -135,6 +362,67 @@ class PipelineEngine:
         # Background (flusher) work carried into the next round.
         self._bg_app = 0.0
         self._bg_shard: dict[str, float] = {}
+        #: The AIMD depth governor (``depth="auto"`` only).
+        self.controller: AdaptiveDepthController | None = None
+        if self.config.adaptive:
+            self.controller = AdaptiveDepthController(
+                min_depth=self.config.min_depth,
+                max_depth=self.config.max_depth,
+            )
+        # Set by the runtime when a bounded PUT queue forces a drain;
+        # consumed (and cleared) by the next round's depth observation.
+        self._backpressure_pending = False
+
+    # -- adaptive depth ------------------------------------------------------
+    @property
+    def depth_current(self) -> int:
+        """The submit window the next round will use."""
+        if self.controller is None:
+            return self.config.depth
+        return self.controller.round_depth(self._migration_active())
+
+    def _migration_active(self) -> bool:
+        """True while the client's shard ring holds a dual-ownership
+        migration window (single-store clients never do)."""
+        return bool(getattr(self.client, "in_transition", False))
+
+    def note_backpressure(self) -> None:
+        """Record that a bounded PUT queue forced a foreground drain —
+        the adaptive controller treats the next round as congested."""
+        self._backpressure_pending = True
+
+    def background_budget(self) -> int:
+        """Migration batches worth overlapping before the next
+        foreground round: one baseline background-lane slot, plus every
+        depth slot the adaptive controller yielded while capped under a
+        migration window."""
+        if self.controller is None:
+            return 1
+        return 1 + self.controller.yielded_slots
+
+    def _observe_round(
+        self, ops: int, makespan: float, failures: int, migration: bool
+    ) -> None:
+        if self.controller is None:
+            return
+        backpressure = self._backpressure_pending
+        self._backpressure_pending = False
+        previous = self.controller.depth
+        depth = self.controller.observe(DepthObservation(
+            ops=ops,
+            makespan_cycles=makespan,
+            failures=failures,
+            backpressure=backpressure,
+            migration_active=migration,
+            full=ops >= self.controller.round_depth(migration),
+        ))
+        _, _, reason = self.controller.log[-1]
+        self.tracer.event(
+            "engine.depth_decision", clock=self.clock,
+            prev=previous, depth=depth, reason=reason,
+            ops=ops, failures=failures,
+            backpressure=int(backpressure), migration=int(migration),
+        )
 
     # -- clock plumbing ------------------------------------------------------
     def _remote_clocks(self) -> dict[str, object]:
@@ -143,12 +431,14 @@ class PipelineEngine:
             sid: c for sid, c in self._shard_clocks().items() if c is not self.clock
         }
 
-    def _lanes(self, remote: Mapping[str, object]) -> int:
+    def _lanes(self, remote: Mapping[str, object], depth: int | None = None) -> int:
         # Without a remote machine there is nothing to overlap with:
         # every charge lands on the one clock, so the round is serial.
         if not remote:
             return 1
-        return max(1, min(self.config.workers, self.config.depth))
+        if depth is None:
+            depth = self.depth_current
+        return max(1, min(self.config.workers, depth))
 
     # -- fan-out -------------------------------------------------------------
     def run_gets(self, requests: Sequence[Message]) -> EngineBatch:
@@ -183,8 +473,11 @@ class PipelineEngine:
         grouped = hasattr(self.client, "plan_gets") and hasattr(
             self.client, "submit_gets"
         )
-        for start in range(0, len(wire), self.config.depth):
-            round_indices = wire[start:start + self.config.depth]
+        start = 0
+        while start < len(wire):
+            depth = self.depth_current  # re-read: adaptive depth moves
+            round_indices = wire[start:start + depth]
+            start += depth
             ops = [(i, requests[i]) for i in round_indices]
             if grouped:
                 self._run_get_round(ops, responses)
@@ -205,11 +498,14 @@ class PipelineEngine:
         grouped = hasattr(self.client, "plan_puts") and hasattr(
             self.client, "submit_puts"
         )
-        for start in range(0, len(requests), self.config.depth):
+        start = 0
+        while start < len(requests):
+            depth = self.depth_current  # re-read: adaptive depth moves
             ops = [
                 (i, requests[i])
-                for i in range(start, min(start + self.config.depth, len(requests)))
+                for i in range(start, min(start + depth, len(requests)))
             ]
+            start += depth
             if grouped:
                 self._run_put_round(ops, responses)
             else:
@@ -244,6 +540,8 @@ class PipelineEngine:
         self, ops: list, responses: list, plan, submit, wait
     ) -> None:
         remote = self._remote_clocks()
+        migration = self._migration_active()
+        failures0 = self.failures
         lanes = self._lanes(remote)
         round_start = {sid: c.snapshot() for sid, c in remote.items()}
         lane_busy = [0.0] * lanes
@@ -286,9 +584,10 @@ class PipelineEngine:
                 for position, reply in zip(positions, replies):
                     index, _ = ops[position]
                     responses[index] = reply
+            shard_fg = [c.since(round_start[sid]) for sid, c in remote.items()]
             shard_busy = [
-                c.since(round_start[sid]) + self._bg_shard.pop(sid, 0.0)
-                for sid, c in remote.items()
+                fg + self._bg_shard.pop(sid, 0.0)
+                for fg, sid in zip(shard_fg, remote)
             ]
             bg_app = self._bg_app
             self._bg_app = 0.0
@@ -298,6 +597,14 @@ class PipelineEngine:
                 max(chains, default=0.0),
                 bg_app,
             )
+            # The depth governor judges the *foreground* critical path:
+            # background (flusher/migration) work folded into this round
+            # is not evidence that the submit window is too deep.
+            fg_makespan = max(
+                max(lane_busy),
+                max(shard_fg, default=0.0),
+                max(chains, default=0.0),
+            )
             serial = sum(lane_busy) + sum(shard_busy) + bg_app
             span.set("makespan_cycles", makespan)
             span.set("serial_cycles", serial)
@@ -305,6 +612,9 @@ class PipelineEngine:
         self.serial_cycles += serial
         self.rounds += 1
         self.ops += len(ops)
+        self._observe_round(
+            len(ops), fg_makespan, self.failures - failures0, migration
+        )
 
     def _run_round(self, ops: list, responses: list) -> None:
         """Submit every op of the round, then settle them in order.
@@ -313,6 +623,8 @@ class PipelineEngine:
         makespan accounting interprets them as overlapped.
         """
         remote = self._remote_clocks()
+        migration = self._migration_active()
+        failures0 = self.failures
         lanes = self._lanes(remote)
         round_start = {sid: c.snapshot() for sid, c in remote.items()}
         lane_busy = [0.0] * lanes
@@ -349,9 +661,10 @@ class PipelineEngine:
                 lane_busy[slot % lanes] += app_d
                 chains.append(app_d + shard_d)
                 responses[index] = response
+            shard_fg = [c.since(round_start[sid]) for sid, c in remote.items()]
             shard_busy = [
-                c.since(round_start[sid]) + self._bg_shard.pop(sid, 0.0)
-                for sid, c in remote.items()
+                fg + self._bg_shard.pop(sid, 0.0)
+                for fg, sid in zip(shard_fg, remote)
             ]
             bg_app = self._bg_app
             self._bg_app = 0.0
@@ -361,6 +674,13 @@ class PipelineEngine:
                 max(chains, default=0.0),
                 bg_app,
             )
+            # Foreground-only critical path for the depth governor (see
+            # _run_grouped_round): background lanes are not depth evidence.
+            fg_makespan = max(
+                max(lane_busy),
+                max(shard_fg, default=0.0),
+                max(chains, default=0.0),
+            )
             serial = sum(lane_busy) + sum(shard_busy) + bg_app
             span.set("makespan_cycles", makespan)
             span.set("serial_cycles", serial)
@@ -368,6 +688,9 @@ class PipelineEngine:
         self.serial_cycles += serial
         self.rounds += 1
         self.ops += len(ops)
+        self._observe_round(
+            len(ops), fg_makespan, self.failures - failures0, migration
+        )
 
     # -- background (flusher) lane -------------------------------------------
     def background(self):
@@ -430,8 +753,9 @@ class PipelineEngine:
 
     def snapshot(self) -> dict:
         """Canonical ``engine.<metric>`` counters for the registry."""
-        return {
+        snap = {
             "engine.depth": self.config.depth,
+            "engine.depth_current": self.depth_current,
             "engine.workers": self.config.workers,
             "engine.rounds": self.rounds,
             "engine.ops": self.ops,
@@ -440,6 +764,19 @@ class PipelineEngine:
             "engine.sim_seconds_total": self.sim_seconds,
             "engine.serial_sim_seconds_total": self.serial_sim_seconds,
         }
+        if self.controller is not None:
+            snap["engine.depth_decisions"] = self.controller.decisions
+            snap["engine.depth_changes"] = self.controller.changes
+            snap["engine.depth_grows"] = self.controller.grows
+            snap["engine.depth_shrinks"] = self.controller.shrinks
+            snap["engine.depth_migration_caps"] = self.controller.migration_capped
+        else:
+            snap["engine.depth_decisions"] = 0
+            snap["engine.depth_changes"] = 0
+            snap["engine.depth_grows"] = 0
+            snap["engine.depth_shrinks"] = 0
+            snap["engine.depth_migration_caps"] = 0
+        return snap
 
 
 class _ParallelRegion:

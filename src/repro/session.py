@@ -330,7 +330,12 @@ class Session:
         return self.runtime.flush_puts()
 
     def enable_pipeline(
-        self, depth: int = 8, workers: int = 4, coalesce: bool = True
+        self,
+        depth: int | str = 8,
+        workers: int = 4,
+        coalesce: bool = True,
+        min_depth: int = 1,
+        max_depth: int = 32,
     ):
         """Attach a pipelined execution engine to this session's runtime.
 
@@ -340,7 +345,14 @@ class Session:
         accounted as its background lane.  Results and counters are
         byte-identical to the serial path; the engine additionally
         reports the overlapped schedule's critical-path simulated time.
-        Returns the attached :class:`~repro.engine.PipelineEngine`.
+
+        ``depth="auto"`` swaps the static submit window for the AIMD
+        :class:`~repro.engine.AdaptiveDepthController`: each round's
+        depth moves inside ``[min_depth, max_depth]`` with observed
+        round latency, failures, PUT back-pressure, and open migration
+        windows (``min_depth``/``max_depth`` are ignored for a static
+        ``depth``).  Returns the attached
+        :class:`~repro.engine.PipelineEngine`.
         """
         from .engine import EngineConfig, PipelineEngine
 
@@ -365,7 +377,10 @@ class Session:
             self.runtime.client,
             self.clock,
             shard_clocks=shard_clocks,
-            config=EngineConfig(depth=depth, workers=workers, coalesce=coalesce),
+            config=EngineConfig(
+                depth=depth, workers=workers, coalesce=coalesce,
+                min_depth=min_depth, max_depth=max_depth,
+            ),
             tracer=self.tracer,
         )
         self.runtime.attach_engine(engine)

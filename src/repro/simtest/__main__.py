@@ -42,6 +42,15 @@ def main(argv=None) -> int:
                         help="drive the workload through the pipelined "
                              "engine (depth 8, coalescing on) and check "
                              "the coalescing invariant")
+    parser.add_argument("--pipeline-depth", type=int, default=8,
+                        help="engine submit window for --pipeline runs "
+                             "(the --adaptive invariant replays at 1)")
+    parser.add_argument("--adaptive", action="store_true",
+                        help="size every engine round with the AIMD "
+                             "adaptive depth controller (implies "
+                             "--pipeline) and check the adaptive-"
+                             "identity invariant against a depth-1 "
+                             "replay")
     parser.add_argument("--power-fail", action="store_true",
                         help="run durable (WAL-backed) shards and inject "
                              "power failures with full state loss, "
@@ -67,7 +76,8 @@ def main(argv=None) -> int:
     for seed in seeds:
         config = SimConfig(
             seed=seed, steps=args.steps, shards=args.shards,
-            pipeline=args.pipeline, power_fail=args.power_fail,
+            pipeline=args.pipeline, pipeline_depth=args.pipeline_depth,
+            adaptive=args.adaptive, power_fail=args.power_fail,
             migrate=args.migrate,
         )
         result = run_scenario(config)

@@ -46,6 +46,16 @@ mid-range), a seventh applies after healing:
    exactly the owner set of its tag under the settled ring: no acked
    entry is stranded on a shard that no longer owns it, none is lost
    with its range, and no range is owned twice.
+
+With ``--adaptive`` enabled (the engine's AIMD depth controller sizing
+every round), an eighth applies:
+
+8. **Adaptive identity** — depth is a schedule knob, never a semantic
+   one: the adaptive run's per-call result bytes are identical to the
+   same scenario replayed with a fixed depth-1 engine, and the
+   controller's decision sequence is a pure function of seed + schedule
+   (its digest is part of the replayed trace, so ``replay_check`` pins
+   it byte-for-byte).
 """
 
 from __future__ import annotations
@@ -142,6 +152,37 @@ def check_coalesced(results, repro: str = "") -> list:
                 f"its leader: {result.value!r} != {leader.value!r}",
                 repro,
             ))
+    return violations
+
+
+def check_adaptive_identical(
+    adaptive_values, reference_values, repro: str = ""
+) -> list:
+    """Adaptive depth never changes results (invariant 8 above).
+
+    ``adaptive_values`` is the ordered per-call result-bytes list of
+    the ``--adaptive`` run; ``reference_values`` the same scenario
+    replayed with a fixed depth-1 engine.  The controller may reshape
+    every round, but the value each call returns must be
+    byte-identical.
+    """
+    if len(adaptive_values) != len(reference_values):
+        return [Violation(
+            "adaptive_identity",
+            f"adaptive run produced {len(adaptive_values)} results, "
+            f"depth-1 replay produced {len(reference_values)}",
+            repro,
+        )]
+    violations = []
+    for index, (got, want) in enumerate(zip(adaptive_values, reference_values)):
+        if got != want:
+            violations.append(Violation(
+                "adaptive_identity",
+                f"result[{index}] diverged between the adaptive run and "
+                f"the depth-1 replay",
+                repro,
+            ))
+            break  # one divergence pinpoints the bug; avoid spam
     return violations
 
 

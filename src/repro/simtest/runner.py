@@ -30,6 +30,7 @@ from dataclasses import dataclass, field, replace
 
 from .invariants import (
     Violation,
+    check_adaptive_identical,
     check_coalesced,
     check_confidentiality,
     check_conservation,
@@ -83,10 +84,19 @@ class SimConfig:
     crash_ops: bool = True
     partition_ops: bool = True
     corruption_ops: bool = True
-    # Drive the workload through the pipelined engine (depth 8, tag
-    # coalescing on) instead of the serial client path, and check the
-    # fifth (coalescing) invariant on every batch.
+    # Drive the workload through the pipelined engine (tag coalescing
+    # on) instead of the serial client path, and check the fifth
+    # (coalescing) invariant on every batch.
     pipeline: bool = False
+    # Engine submit window for --pipeline runs (the --adaptive
+    # reference replay pins it to 1).
+    pipeline_depth: int = 8
+    # Let the AIMD AdaptiveDepthController size every engine round
+    # (implies pipeline) and check the eighth (adaptive-identity)
+    # invariant: per-call result bytes must match a depth-1 replay of
+    # the same schedule, and the controller's decision digest joins the
+    # replayed trace.
+    adaptive: bool = False
     # Run the shards with durable write-ahead logs and add a power_fail
     # op (full state loss + WAL recovery) to the mix, checking the sixth
     # (recovery) invariant at every failure point.
@@ -107,6 +117,10 @@ class SimConfig:
             parts.append(f"--shards {self.shards}")
         if self.pipeline:
             parts.append("--pipeline")
+        if self.pipeline_depth != 8:
+            parts.append(f"--pipeline-depth {self.pipeline_depth}")
+        if self.adaptive:
+            parts.append("--adaptive")
         if self.power_fail:
             parts.append("--power-fail")
         if self.migrate:
@@ -122,6 +136,9 @@ class ScenarioResult:
     trace: list = field(default_factory=list)
     violations: list = field(default_factory=list)
     counters: dict = field(default_factory=dict)
+    #: Ordered per-call result bytes (calls and batch items alike) —
+    #: what the adaptive-identity invariant compares across depths.
+    values: list = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -174,6 +191,14 @@ _TRACE_COUNTERS = (
     "router.duplicate_responses_dropped",
     "router.circuit_opens",
     "router.circuit_skips",
+    # Adaptive engine decisions are deterministic ints: putting them in
+    # the digested trace makes replay_check pin the controller's whole
+    # decision sequence (invariant 8's pure-function clause).
+    "engine.depth_current",
+    "engine.depth_decisions",
+    "engine.depth_changes",
+    "engine.depth_shrinks",
+    "engine.depth_migration_caps",
 )
 
 
@@ -217,8 +242,12 @@ def run_scenario(config: SimConfig) -> ScenarioResult:
         ),
         runtime_config=RuntimeConfig(degrade_on_store_failure=True),
     )
-    if config.pipeline:
-        session.enable_pipeline(depth=8, workers=4, coalesce=True)
+    pipelined = config.pipeline or config.adaptive
+    if pipelined:
+        session.enable_pipeline(
+            depth="auto" if config.adaptive else config.pipeline_depth,
+            workers=4, coalesce=True, min_depth=1, max_depth=16,
+        )
 
     @session.mark(version="1.0")
     def sim_workload(data: bytes) -> bytes:
@@ -259,6 +288,14 @@ def run_scenario(config: SimConfig) -> ScenarioResult:
                 dead.discard(sid)
 
     rng = random.Random(config.seed)
+    # Corruption targets are picked from store contents, whose size at a
+    # given step depends on PUT-flush timing — i.e. on the engine depth.
+    # Those draws live on their own stream so the *op schedule* stays a
+    # pure function of the seed across engine configurations (the
+    # adaptive-identity invariant replays the same schedule at depth 1;
+    # random.Random's rejection sampling would otherwise consume a
+    # depth-dependent number of bits and fork the schedule).
+    target_rng = random.Random(config.seed ^ 0x7A11C0DE)
     op_table = list(_OPS)
     if config.power_fail:
         op_table.append(("power_fail", 5))
@@ -272,7 +309,10 @@ def run_scenario(config: SimConfig) -> ScenarioResult:
     ops = [name for name, _ in op_table]
     weights = [weight for _, weight in op_table]
 
+    values: list[bytes] = []  # ordered result bytes, for invariant 8
+
     def check_value(label: str, index: int, value: bytes) -> None:
+        values.append(value)
         if value != expected[index]:
             violations.append(Violation(
                 "correctness",
@@ -290,6 +330,8 @@ def run_scenario(config: SimConfig) -> ScenarioResult:
         if op in ("corrupt_blob", "corrupt_meta") and not config.corruption_ops:
             op = "call"
 
+        op_calls = 1  # value-stream slots this op owes on error (invariant 8)
+        values_before = len(values)
         try:
             if op == "call":
                 index = rng.randrange(len(pool))
@@ -301,10 +343,11 @@ def run_scenario(config: SimConfig) -> ScenarioResult:
                 )
             elif op == "batch":
                 indices = [rng.randrange(len(pool)) for _ in range(rng.randint(2, 5))]
+                op_calls = len(indices)
                 results = sim_workload.map_results([pool[i] for i in indices])
                 for i, result in zip(indices, results):
                     check_value("batch", i, result.value)
-                if config.pipeline:
+                if pipelined:
                     violations.extend(check_coalesced(results, repro))
                 outcomes = ",".join(r.source for r in results)
                 trace.append(
@@ -459,7 +502,7 @@ def run_scenario(config: SimConfig) -> ScenarioResult:
                 store = cluster.shards[sid].store
                 tags = store.stored_tags()
                 if tags:
-                    tag = tags[rng.randrange(len(tags))]
+                    tag = tags[target_rng.randrange(len(tags))]
                     store.blobstore.tamper(store.blob_ref_of(tag))
                     corrupted_tags.add(tag)
                     trace.append(
@@ -473,7 +516,7 @@ def run_scenario(config: SimConfig) -> ScenarioResult:
                 store = cluster.shards[sid].store
                 tags = store.stored_tags()
                 if tags:
-                    tag = tags[rng.randrange(len(tags))]
+                    tag = tags[target_rng.randrange(len(tags))]
                     entry = store.metadata_entry(tag)
                     entry.wrapped_key = corrupt_payload(entry.wrapped_key)
                     trace.append(
@@ -492,6 +535,13 @@ def run_scenario(config: SimConfig) -> ScenarioResult:
                 repro,
             ))
             trace.append(f"step={step} op={op} error={type(exc).__name__}")
+            if op in ("call", "batch"):
+                # Keep the value streams of the adaptive and depth-1
+                # runs aligned even when a call surfaced an error (a
+                # liveness violation is already recorded above): every
+                # planned call of this op gets a sentinel slot.
+                owed = op_calls - (len(values) - values_before)
+                values.extend([b"<error>"] * max(0, owed))
 
     # -- heal and settle -------------------------------------------------------
     injector.plan = None
@@ -522,6 +572,16 @@ def run_scenario(config: SimConfig) -> ScenarioResult:
         session.flush_puts()
         session.network.flush_delayed()
     trace.append("phase=settle")
+    if config.adaptive:
+        # The controller's decision log joins the digested trace, so a
+        # replay whose decisions diverge anywhere is a digest mismatch.
+        controller = session.runtime.engine.controller
+        trace.append(
+            f"phase=adaptive decisions={controller.decisions} "
+            f"changes={controller.changes} shrinks={controller.shrinks} "
+            f"caps={controller.migration_capped} "
+            f"log={controller.log_digest()[:16]}"
+        )
 
     # -- invariants ------------------------------------------------------------
     if config.migrate and not cluster.ring.in_transition:
@@ -543,6 +603,16 @@ def run_scenario(config: SimConfig) -> ScenarioResult:
     ))
     violations.extend(check_confidentiality(secrets, wire, repro))
     violations.extend(check_conservation(session.stats, repro))
+    if config.adaptive:
+        # Invariant 8: replay the identical schedule with a fixed
+        # depth-1 engine — per-call result bytes must match exactly
+        # (depth is a schedule knob, never a semantic one).
+        reference = run_scenario(replace(
+            config, adaptive=False, pipeline=True, pipeline_depth=1,
+        ))
+        violations.extend(
+            check_adaptive_identical(values, reference.values, repro)
+        )
 
     snap = session.snapshot()
     counters = {key: snap[key] for key in _TRACE_COUNTERS if key in snap}
@@ -553,6 +623,7 @@ def run_scenario(config: SimConfig) -> ScenarioResult:
 
     return ScenarioResult(
         config=config, trace=trace, violations=violations, counters=counters,
+        values=values,
     )
 
 

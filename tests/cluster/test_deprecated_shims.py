@@ -1,0 +1,118 @@
+"""Regression tests for the deprecated ``StoreCluster.add_shard`` /
+``remove_shard`` shims.
+
+The shims must stay behavior-compatible with the first-class Session
+topology API until they are dropped: same warning contract, same legacy
+return shapes, and — the regression that matters — the exact same end
+state (ring membership and per-shard entry placement) as
+``Session.add_shard()`` / ``Session.remove_shard()`` on an identically
+seeded deployment.
+"""
+
+import warnings
+
+import pytest
+
+from repro import connect
+from repro.cluster import MigrationReport
+
+
+def warm_session(seed: bytes, shards: int = 3, n_inputs: int = 24):
+    session = connect(shards=shards, replication_factor=2, seed=seed,
+                      tracing=False)
+
+    @session.mark(version="1.0")
+    def shim_kernel(data: bytes) -> bytes:
+        return bytes(b ^ 0x55 for b in data)
+
+    inputs = [i.to_bytes(4, "big") * 16 for i in range(n_inputs)]
+    shim_kernel.map(inputs)
+    session.flush_puts()
+    return session, shim_kernel, inputs
+
+
+def placement(cluster) -> dict:
+    """shard id -> sorted stored tags: the observable end state."""
+    return {
+        sid: sorted(node.store.stored_tags())
+        for sid, node in sorted(cluster.shards.items())
+    }
+
+
+class TestWarningContract:
+    def test_add_shard_warning_text_is_stable(self):
+        session, *_ = warm_session(b"shim-warn-add")
+        with pytest.warns(
+            DeprecationWarning,
+            match=r"StoreCluster\.add_shard is deprecated; "
+                  r"use Session\.add_shard\(\)",
+        ):
+            session.cluster.add_shard()
+
+    def test_remove_shard_warning_text_is_stable(self):
+        session, *_ = warm_session(b"shim-warn-rm", shards=4)
+        with pytest.warns(
+            DeprecationWarning,
+            match=r"StoreCluster\.remove_shard is deprecated; "
+                  r"use Session\.remove_shard\(\)",
+        ):
+            session.cluster.remove_shard("shard-0")
+
+
+class TestLegacyReturnShape:
+    def test_add_shard_returns_node_and_report(self):
+        session, *_ = warm_session(b"shim-shape-add")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            node, report = session.cluster.add_shard()
+        assert node is session.cluster.shards[node.shard_id]
+        assert isinstance(report, MigrationReport)
+        assert report.moved > 0
+
+    def test_remove_shard_returns_report(self):
+        session, *_ = warm_session(b"shim-shape-rm", shards=4)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            report = session.cluster.remove_shard("shard-1")
+        assert isinstance(report, MigrationReport)
+        assert report.moved > 0
+
+
+class TestBehaviorMatchesSessionApi:
+    def test_add_shard_end_state_matches(self):
+        via_session, *_ = warm_session(b"shim-equiv-add")
+        via_shim, *_ = warm_session(b"shim-equiv-add")
+
+        report = via_session.add_shard()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            node, legacy = via_shim.cluster.add_shard()
+
+        assert node.shard_id == report.shard_id
+        assert legacy.moved == report.entries_moved
+        assert sorted(via_shim.cluster.ring.shards) == \
+            sorted(via_session.cluster.ring.shards)
+        assert placement(via_shim.cluster) == placement(via_session.cluster)
+
+    def test_remove_shard_end_state_matches(self):
+        via_session, *_ = warm_session(b"shim-equiv-rm", shards=4)
+        via_shim, *_ = warm_session(b"shim-equiv-rm", shards=4)
+
+        report = via_session.remove_shard("shard-2")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = via_shim.cluster.remove_shard("shard-2")
+
+        assert legacy.moved == report.entries_moved
+        assert "shard-2" not in via_shim.cluster.shards
+        assert sorted(via_shim.cluster.ring.shards) == \
+            sorted(via_session.cluster.ring.shards)
+        assert placement(via_shim.cluster) == placement(via_session.cluster)
+
+    def test_shim_results_stay_readable(self):
+        session, kernel, inputs = warm_session(b"shim-readable")
+        expected = [bytes(b ^ 0x55 for b in data) for data in inputs]
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            session.cluster.add_shard()
+        assert kernel.map(inputs) == expected

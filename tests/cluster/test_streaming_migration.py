@@ -1,6 +1,7 @@
 """Streaming resharding: the dual-ownership window, crash-safe hand-off
 marks, and migration's interplay with replication, quotas, and faults."""
 
+import contextlib
 import dataclasses
 
 import pytest
@@ -261,3 +262,78 @@ class TestStreamingLeave:
         assert ownership_exact(d.cluster, puts)
         for put in puts:
             assert router.call(make_get(put)).found
+
+
+class FakeEngine:
+    """Minimal engine stand-in: a background budget plus the
+    ``background()`` charging context the step path enters."""
+
+    def __init__(self, budget):
+        self._budget = budget
+
+    def background_budget(self):
+        return self._budget
+
+    @contextlib.contextmanager
+    def background(self):
+        yield
+
+
+class TestOverlapPacing:
+    """``overlap_steps`` demand pacing: spread pending ranges evenly
+    across the remaining foreground gaps, never exceed the engine's
+    background budget, and defer the excess instead of front-loading it
+    onto the critical path."""
+
+    def migrator_with_pending(self, seed, vnodes=16):
+        d = make_cluster(n_shards=3, replication_factor=2, seed=seed,
+                         vnodes=vnodes)
+        router = raw_router(d)
+        fill(router, 24)
+        return d.cluster.begin_add_shard()
+
+    def test_paces_demand_across_remaining_rounds(self):
+        migrator = self.migrator_with_pending(b"pace-even")
+        pending = len(migrator.pending_ranges())
+        rounds_left = pending  # one range per gap suffices
+        committed = migrator.overlap_steps(rounds_left)
+        assert committed == 1  # ceil(pending / rounds_left)
+
+    def test_last_gap_takes_the_remainder_without_engine(self):
+        migrator = self.migrator_with_pending(b"pace-tail")
+        pending = len(migrator.pending_ranges())
+        assert pending > 1
+        # No engine attached: the budget is pure demand pacing, so the
+        # final gap drains everything that is left.
+        committed = migrator.overlap_steps(1)
+        assert committed == pending
+        assert not migrator.pending_ranges()
+
+    def test_background_budget_caps_the_intrusion(self):
+        migrator = self.migrator_with_pending(b"pace-cap")
+        migrator.engine = FakeEngine(budget=2)
+        pending = len(migrator.pending_ranges())
+        assert pending > 2
+        # Demand says "drain all now"; the engine budget says two slots.
+        committed = migrator.overlap_steps(1)
+        assert committed == 2
+        assert len(migrator.pending_ranges()) == pending - 2
+
+    def test_yielded_slots_widen_the_cap(self):
+        migrator = self.migrator_with_pending(b"pace-widen")
+        pending = len(migrator.pending_ranges())
+        migrator.engine = FakeEngine(budget=pending)
+        committed = migrator.overlap_steps(1)
+        assert committed == pending
+
+    def test_returns_zero_when_nothing_pending(self):
+        migrator = self.migrator_with_pending(b"pace-done")
+        while migrator.pending_ranges():
+            migrator.step()
+        assert migrator.overlap_steps(4) == 0
+
+    def test_stops_when_every_range_is_blocked(self):
+        migrator = self.migrator_with_pending(b"pace-blocked")
+        migrator.cluster.kill_shard(migrator.shard_id)
+        assert migrator.overlap_steps(1) == 0
+        assert migrator.pending_ranges()

@@ -313,3 +313,51 @@ class TestPipeline:
                                     ops=12, duplicates=4)
         text = harness.print_pipeline(rows)
         assert "speedup" in text and "coalesced" in text
+
+
+class TestAdaptive:
+    def test_adaptive_sweep_meets_acceptance_targets(self):
+        # The issue's acceptance bar: the auto row lands within 10% of
+        # the best static depth, strictly beats the depth-1
+        # anti-sweet-spot, and stays byte-identical to the depth-1
+        # replay throughout.
+        rows = harness.run_adaptive(depths=[1, 8], ops=24, rounds=12)
+        sweep = [r for r in rows if r.phase == "get-heavy"]
+        auto = next(r for r in sweep if r.depth == "auto")
+        static = {r.depth: r for r in sweep if r.depth not in ("0", "auto")}
+        best = min(r.elapsed_sim_s for r in static.values())
+        assert auto.elapsed_sim_s <= 1.10 * best
+        assert auto.elapsed_sim_s < static["1"].elapsed_sim_s
+        assert auto.depth_changes > 0
+        assert all(r.identical for r in rows)
+
+    def test_join_phase_holds_the_foreground_bound(self):
+        # The PR 8 streaming-migration bound, now under adaptive depth:
+        # foreground throughput >= 0.70x of the no-join auto run, with
+        # the migration window capping the depth and zero stalls.
+        rows = harness.run_adaptive(depths=[1], ops=24, rounds=12)
+        join = next(r for r in rows
+                    if r.phase == "join" and r.entries_moved > 0)
+        assert join.vs_baseline >= 0.70
+        assert join.foreground_stalls == 0
+        assert join.depth_caps > 0
+        assert join.identical
+
+    def test_adaptive_rows_export_to_json(self, tmp_path):
+        import json
+
+        from repro.bench.export import write_json
+
+        rows = harness.run_adaptive(depths=[1, 8], ops=16, rounds=8)
+        path = write_json(rows, tmp_path / "BENCH_adaptive.json")
+        records = json.loads(path.read_text())
+        assert len(records) == len(rows)
+        assert {"phase", "n_shards", "depth", "elapsed_sim_s",
+                "vs_baseline", "depth_final", "depth_changes",
+                "depth_caps", "entries_moved", "foreground_stalls",
+                "identical"} <= set(records[0])
+
+    def test_print_adaptive_renders(self):
+        rows = harness.run_adaptive(depths=[1], ops=16, rounds=8)
+        text = harness.print_adaptive(rows)
+        assert "vs baseline" in text and "caps" in text

@@ -101,6 +101,61 @@ class TestPipelined:
         assert "--pipeline" in config.repro_string()
 
 
+class TestAdaptive:
+    """The chaos walk with the AIMD depth controller sizing the engine
+    window — invariant 8 (adaptive runs are byte-identical to a depth-1
+    replay) plus replayability of the controller's decision log."""
+
+    @pytest.mark.parametrize("seed", [3, 9, 17])
+    def test_fixed_seeds_uphold_all_invariants(self, seed):
+        result = run_scenario(SimConfig(seed=seed, adaptive=True, **FAST))
+        assert result.ok, "\n".join(str(v) for v in result.violations)
+
+    def test_adaptive_runs_replay_byte_identical(self):
+        # The digested trace includes the controller's decision log, so
+        # a matching digest pins both results and depth decisions.
+        config = SimConfig(seed=11, adaptive=True, **FAST)
+        first = run_scenario(config)
+        second = run_scenario(config)
+        assert first.digest == second.digest
+        assert first.values == second.values
+
+    def test_controller_decisions_join_the_trace(self):
+        result = run_scenario(SimConfig(seed=9, adaptive=True, **FAST))
+        adaptive_lines = [l for l in result.trace if l.startswith("phase=adaptive")]
+        assert len(adaptive_lines) == 1
+        assert "decisions=" in adaptive_lines[0]
+        assert "log=" in adaptive_lines[0]
+        assert result.counters.get("engine.depth_decisions", 0) > 0
+
+    def test_adaptive_values_match_depth_one_replay(self):
+        # Invariant 8, checked from the outside: the runner already
+        # replays internally; here the depth-1 stream is rebuilt
+        # independently and compared call-for-call.
+        config = SimConfig(seed=17, adaptive=True, **FAST)
+        adaptive = run_scenario(config)
+        reference = run_scenario(SimConfig(
+            seed=17, pipeline=True, pipeline_depth=1, **FAST
+        ))
+        assert adaptive.values == reference.values
+
+    def test_adaptive_implies_pipeline_in_repro_string(self):
+        config = SimConfig(seed=5, adaptive=True)
+        assert "--adaptive" in config.repro_string()
+
+    def test_adaptive_composes_with_migration(self):
+        # Adaptive depth + an open dual-ownership window: invariant 8
+        # and the placement invariants must hold together.  (The walk's
+        # short rounds keep raw depth below the migration cap, so the
+        # cap counter itself is pinned by the engine unit tests.)
+        for seed in (3, 9, 17):
+            result = run_scenario(SimConfig(
+                seed=seed, adaptive=True, migrate=True, steps=30, shards=3,
+            ))
+            assert result.ok, "\n".join(str(v) for v in result.violations)
+            assert result.counters.get("engine.depth_decisions", 0) > 0
+
+
 @pytest.mark.slow_sim
 class TestSweep:
     def test_fifty_generated_schedules_pass(self):
@@ -119,6 +174,18 @@ class TestSweep:
         failures = []
         for seed in range(50):
             result = run_scenario(SimConfig(seed=seed, pipeline=True))
+            if not result.ok:
+                failures.append(result)
+        assert not failures, "\n".join(
+            violation_line
+            for result in failures
+            for violation_line in (result.repro, *map(str, result.violations))
+        )
+
+    def test_fifty_adaptive_schedules_pass(self):
+        failures = []
+        for seed in range(50):
+            result = run_scenario(SimConfig(seed=seed, adaptive=True))
             if not result.ok:
                 failures.append(result)
         assert not failures, "\n".join(
@@ -150,6 +217,13 @@ class TestCli:
     def test_pipeline_flag_exits_zero(self, capsys):
         code = main(["--seed", "3", "--steps", "12", "--shards", "2",
                      "--pipeline"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "digest=" in out and "OK" in out
+
+    def test_adaptive_flag_exits_zero(self, capsys):
+        code = main(["--seed", "3", "--steps", "12", "--shards", "2",
+                     "--adaptive"])
         out = capsys.readouterr().out
         assert code == 0
         assert "digest=" in out and "OK" in out

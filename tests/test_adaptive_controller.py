@@ -1,0 +1,229 @@
+"""AdaptiveDepthController state-machine tests (unit + property).
+
+The controller is a pure state machine: no randomness, no clock.  The
+property tests drive it with seeded random observation streams through
+the miniature runner in :mod:`tests.proptest` and pin the invariants the
+simulation harness relies on: the published depth never leaves
+``[min_depth, max_depth]``, shrink signals take precedence over grow
+evidence, and identical streams replay identical decision logs.
+"""
+
+import pytest
+
+from repro.engine import AdaptiveDepthController, DepthObservation
+from repro.errors import ProtocolError
+
+from tests.proptest import Gen, for_all, integers, lists_of
+
+
+# -- observation stream generator --------------------------------------------
+def observations(max_len: int = 24) -> Gen:
+    """Random ``DepthObservation`` field tuples; shrinks towards the
+    benign good-round observation."""
+
+    def sample(rng):
+        return (
+            rng.randint(0, 40),                   # ops
+            float(rng.randint(0, 50_000)),        # makespan_cycles
+            rng.randint(0, 2),                    # failures
+            rng.random() < 0.2,                   # backpressure
+            rng.random() < 0.3,                   # migration_active
+            rng.random() < 0.8,                   # full
+        )
+
+    def shrinker(value):
+        benign = (8, 800.0, 0, False, False, True)
+        if value != benign:
+            yield benign
+
+    return lists_of(Gen(sample, shrinker), max_len=max_len)
+
+
+def build(fields) -> DepthObservation:
+    ops, makespan, failures, backpressure, migration, full = fields
+    return DepthObservation(
+        ops=ops, makespan_cycles=makespan, failures=failures,
+        backpressure=backpressure, migration_active=migration, full=full,
+    )
+
+
+def good(per_op: float = 100.0, ops: int = 8) -> DepthObservation:
+    return DepthObservation(ops=ops, makespan_cycles=per_op * ops)
+
+
+# -- properties ----------------------------------------------------------------
+@for_all(observations(), integers(1, 4), integers(4, 32), runs=200)
+def test_depth_always_clamped(stream, min_depth, max_depth):
+    """Whatever the stream does, the published depth stays in
+    ``[min_depth, max_depth]`` — and under ``migration_cap`` while the
+    observation reports an open migration window."""
+    controller = AdaptiveDepthController(min_depth=min_depth, max_depth=max_depth)
+    for fields in stream:
+        obs = build(fields)
+        depth = controller.observe(obs)
+        assert min_depth <= depth <= max_depth
+        if obs.migration_active:
+            assert depth <= controller.migration_cap
+        assert controller.round_depth(True) <= controller.migration_cap
+
+
+@for_all(observations(), runs=200)
+def test_shrink_signal_has_precedence(stream):
+    """A round with failures or back-pressure never raises the depth,
+    even when its per-op latency alone would count as grow evidence.
+    (Migration-free streams: the cap lifting can legitimately re-raise
+    the published depth and is covered by its own unit test.)"""
+    controller = AdaptiveDepthController(min_depth=1, max_depth=32)
+    for fields in stream:
+        obs = build(fields[:4] + (False, fields[5]))
+        before = controller.depth
+        after = controller.observe(obs)
+        if obs.failures > 0 or obs.backpressure:
+            assert after <= max(controller.min_depth, before)
+            assert controller.log[-1][2] in ("failures", "backpressure")
+
+
+@for_all(observations(), runs=100)
+def test_identical_streams_replay_identically(stream):
+    """The controller is a pure function of its observation stream."""
+    a = AdaptiveDepthController(min_depth=1, max_depth=32)
+    b = AdaptiveDepthController(min_depth=1, max_depth=32)
+    for fields in stream:
+        a.observe(build(fields))
+        b.observe(build(fields))
+    assert a.log == b.log
+    assert a.log_digest() == b.log_digest()
+    assert (a.depth, a.changes, a.grows, a.shrinks, a.migration_capped) == \
+        (b.depth, b.changes, b.grows, b.shrinks, b.migration_capped)
+
+
+@for_all(observations(max_len=12), integers(2, 32), runs=100)
+def test_recovery_round_trips_to_max(stream, max_depth):
+    """AIMD recovery: after any prefix of chaos, a long run of
+    consistently good full rounds climbs back to ``max_depth``."""
+    controller = AdaptiveDepthController(min_depth=1, max_depth=max_depth)
+    for fields in stream:
+        controller.observe(build(fields))
+    # Doubling to ssthresh then +1 per round: 3x max rounds is plenty.
+    for _ in range(3 * max_depth):
+        controller.observe(good())
+    assert controller.depth == max_depth
+
+
+# -- unit tests ----------------------------------------------------------------
+class TestSlowStart:
+    def test_doubles_below_ssthresh_then_holds_at_max(self):
+        controller = AdaptiveDepthController(min_depth=1, max_depth=16)
+        seen = [controller.observe(good()) for _ in range(6)]
+        assert seen == [2, 4, 8, 16, 16, 16]
+
+    def test_additive_above_ssthresh(self):
+        controller = AdaptiveDepthController(min_depth=1, max_depth=32)
+        for _ in range(4):
+            controller.observe(good())          # depth 16
+        controller.observe(DepthObservation(ops=8, makespan_cycles=800, failures=1))
+        assert controller.depth == 8            # halved; ssthresh = 8
+        # At ssthresh the slow-start doubling is over: +1 per good round.
+        assert controller.observe(good()) == 9
+        assert controller.observe(good()) == 10
+
+
+class TestShrinkSignals:
+    def test_failures_halve_and_reset_floor(self):
+        controller = AdaptiveDepthController(min_depth=1, max_depth=32)
+        for _ in range(5):
+            controller.observe(good(per_op=100.0))
+        controller.observe(DepthObservation(ops=8, makespan_cycles=800, failures=2))
+        assert controller.log[-1][2] == "failures"
+        # The floor was reset: a much slower (but now steady) per-op
+        # rate counts as grow evidence again instead of "slow-round".
+        assert controller.observe(good(per_op=900.0)) > controller.min_depth
+        assert controller.log[-1][2] == "grow"
+
+    def test_backpressure_shrinks(self):
+        controller = AdaptiveDepthController(min_depth=1, max_depth=32)
+        for _ in range(4):
+            controller.observe(good())
+        before = controller.depth
+        after = controller.observe(
+            DepthObservation(ops=8, makespan_cycles=800, backpressure=True)
+        )
+        assert after == max(1, before // 2)
+        assert controller.shrinks == 1
+
+    def test_slow_round_shrinks(self):
+        controller = AdaptiveDepthController(min_depth=1, max_depth=32)
+        for _ in range(4):
+            controller.observe(good(per_op=100.0))  # depth 16, floor 100
+        after = controller.observe(good(per_op=200.0))  # > 1.25x floor
+        assert after == 8
+        assert controller.log[-1][2] == "slow-round"
+
+    def test_partial_round_holds(self):
+        controller = AdaptiveDepthController(min_depth=1, max_depth=32)
+        for _ in range(3):
+            controller.observe(good())  # depth 8
+        # A 1-op tail round cannot amortize fixed costs: per-op looks
+        # terrible, but partial rounds are not depth evidence.
+        after = controller.observe(DepthObservation(
+            ops=1, makespan_cycles=5000.0, full=False,
+        ))
+        assert after == 8
+        assert controller.log[-1][2] == "partial"
+
+
+class TestMigrationCap:
+    def test_cap_publishes_yielded_slots(self):
+        controller = AdaptiveDepthController(min_depth=1, max_depth=32)
+        for _ in range(5):
+            controller.observe(good())  # raw depth 32
+        depth = controller.observe(DepthObservation(
+            ops=8, makespan_cycles=800.0, migration_active=True,
+        ))
+        assert depth == controller.migration_cap == 8
+        assert controller.yielded_slots == 32 - 8
+        assert controller.migration_capped == 1
+        assert controller.log[-1][2].endswith("+migration-cap")
+
+    def test_cap_lifts_when_window_closes(self):
+        controller = AdaptiveDepthController(min_depth=1, max_depth=32)
+        for _ in range(5):
+            controller.observe(good())
+        controller.observe(DepthObservation(
+            ops=8, makespan_cycles=800.0, migration_active=True,
+        ))
+        assert controller.depth == 8
+        depth = controller.observe(good())  # window closed
+        assert depth > 8
+        assert controller.yielded_slots == 0
+
+    def test_round_depth_caps_statelessly(self):
+        controller = AdaptiveDepthController(min_depth=1, max_depth=32)
+        for _ in range(5):
+            controller.observe(good())
+        assert controller.round_depth(False) == 32
+        assert controller.round_depth(True) == controller.migration_cap
+
+
+class TestValidation:
+    def test_min_depth_positive(self):
+        with pytest.raises(ProtocolError):
+            AdaptiveDepthController(min_depth=0)
+
+    def test_max_at_least_min(self):
+        with pytest.raises(ProtocolError):
+            AdaptiveDepthController(min_depth=8, max_depth=4)
+
+    def test_migration_cap_in_range(self):
+        with pytest.raises(ProtocolError):
+            AdaptiveDepthController(min_depth=4, max_depth=16, migration_cap=2)
+
+
+class TestLogDigest:
+    def test_digest_pins_reasons_not_just_depths(self):
+        a = AdaptiveDepthController(min_depth=1, max_depth=4)
+        b = AdaptiveDepthController(min_depth=1, max_depth=4)
+        a.observe(DepthObservation(ops=1, makespan_cycles=100.0, full=False))
+        b.observe(DepthObservation(ops=1, makespan_cycles=100.0, failures=1))
+        assert a.depth == b.depth == 1  # same depth, different reason
+        assert a.log_digest() != b.log_digest()

@@ -403,3 +403,152 @@ class TestSnapshot:
         assert engine.makespan_cycles == 0.0
         assert engine.rounds == 0
         assert engine.ops == 0
+
+
+class TestWorkerClamp:
+    def test_workers_clamped_to_static_depth(self):
+        # Lanes beyond the submit window can never hold an op; the
+        # config normalizes workers down so accounting (engine.py
+        # _lanes) never divides over idle lanes.
+        config = EngineConfig(depth=2, workers=8)
+        assert config.workers == 2
+
+    def test_workers_clamped_to_max_depth_when_adaptive(self):
+        config = EngineConfig(depth="auto", workers=64, max_depth=16)
+        assert config.workers == 16
+
+    def test_workers_within_depth_untouched(self):
+        assert EngineConfig(depth=8, workers=3).workers == 3
+
+    def test_lane_count_pins_clamped_workers(self):
+        engine, _, _, shards = make_engine(n_shards=2, depth=2, workers=8)
+        remote = {sid: c for sid, c in shards.items()}
+        assert engine._lanes(remote) == 2
+        # An explicit narrower round narrows the lanes with it.
+        assert engine._lanes(remote, depth=1) == 1
+        # No remote machine: nothing to overlap with, one serial lane.
+        assert engine._lanes({}) == 1
+
+
+class TestAdaptiveEngine:
+    def test_auto_depth_starts_at_min_and_grows(self):
+        engine, client, _, _ = make_engine(
+            n_shards=2, depth="auto", min_depth=1, max_depth=8,
+            shard_of=lambda tag: f"shard-{tag[0] % 2}",
+        )
+        assert engine.depth_current == 1
+        tags = [get(bytes([i])) for i in range(16)]
+        engine.run_gets(tags)
+        # Slow-start over full rounds: 1 -> 2 -> 4 -> 8 within one batch.
+        assert engine.depth_current > 1
+        assert engine.controller.grows >= 2
+
+    def test_adaptive_rounds_reread_depth_mid_batch(self):
+        engine, client, _, _ = make_engine(
+            n_shards=2, depth="auto", min_depth=1, max_depth=4,
+            shard_of=lambda tag: f"shard-{tag[0] % 2}",
+        )
+        engine.run_gets([get(bytes([i])) for i in range(8)])
+        # Rounds were sized 1, 2, 4, 1(tail): more rounds than a static
+        # depth-4 engine (2), fewer than depth-1 (8).
+        assert 2 < engine.rounds < 8
+
+    def test_backpressure_shrinks_next_round(self):
+        engine, client, _, _ = make_engine(
+            n_shards=2, depth="auto", min_depth=1, max_depth=8,
+            shard_of=lambda tag: f"shard-{tag[0] % 2}",
+        )
+        engine.run_gets([get(bytes([i])) for i in range(15)])  # grow to 8
+        depth_before = engine.controller.depth
+        engine.note_backpressure()
+        engine.run_gets([get(bytes([i])) for i in range(depth_before)])
+        assert engine.controller.log[-1][2] == "backpressure"
+        assert engine.controller.depth == max(1, depth_before // 2)
+
+    def test_migration_caps_depth_and_yields_slots(self):
+        engine, client, _, _ = make_engine(
+            n_shards=2, depth="auto", min_depth=1, max_depth=32,
+            shard_of=lambda tag: f"shard-{tag[0] % 2}",
+        )
+        engine.run_gets([get(bytes([i])) for i in range(64)])  # grow past 8
+        assert engine.controller.round_depth(False) > 8
+        assert engine.background_budget() == 1
+        client.in_transition = True  # dual-ownership window opens
+        cap = engine.controller.migration_cap
+        assert engine.depth_current == cap
+        engine.run_gets([get(bytes([i])) for i in range(2 * cap)])
+        assert engine.controller.migration_capped > 0
+        assert engine.background_budget() == 1 + engine.controller.yielded_slots
+        assert engine.controller.yielded_slots > 0
+        client.in_transition = False  # window closes: full depth returns
+        assert engine.depth_current > cap
+
+    def test_failed_round_shrinks(self):
+        engine, client, _, _ = make_engine(
+            n_shards=2, depth="auto", min_depth=1, max_depth=8,
+            shard_of=lambda tag: f"shard-{tag[0] % 2}",
+        )
+        engine.run_gets([get(bytes([i])) for i in range(15)])
+        depth_before = engine.controller.depth
+        client.fail_wait = True
+        engine.run_gets([get(bytes([i])) for i in range(depth_before)])
+        client.fail_wait = False
+        assert engine.controller.log[-1][2] == "failures"
+        assert engine.controller.depth == max(1, depth_before // 2)
+
+    def test_snapshot_reports_adaptive_metrics(self):
+        engine, _, _, _ = make_engine(
+            n_shards=2, depth="auto", min_depth=1, max_depth=8,
+            shard_of=lambda tag: f"shard-{tag[0] % 2}",
+        )
+        engine.run_gets([get(bytes([i])) for i in range(8)])
+        snap = engine.snapshot()
+        assert snap["engine.depth"] == "auto"
+        assert snap["engine.depth_current"] == engine.controller.depth
+        assert snap["engine.depth_decisions"] == engine.controller.decisions
+        assert snap["engine.depth_changes"] == engine.controller.changes
+        assert snap["engine.depth_grows"] == engine.controller.grows
+        assert snap["engine.depth_shrinks"] == engine.controller.shrinks
+        assert snap["engine.depth_migration_caps"] == 0
+
+    def test_static_engine_snapshot_zeroes_adaptive_metrics(self):
+        engine, _, _, _ = make_engine(depth=4)
+        engine.run_gets([get(b"a")])
+        snap = engine.snapshot()
+        assert snap["engine.depth_decisions"] == 0
+        assert snap["engine.depth_changes"] == 0
+
+    def test_depth_decision_events_traced(self):
+        from repro.obs.tracer import Tracer, find_spans
+
+        app = FakeClock()
+        shards = {"shard-0": FakeClock(), "shard-1": FakeClock()}
+        client = FakeClient(app, shards, shard_of=lambda tag: f"shard-{tag[0] % 2}")
+        tracer = Tracer()
+        engine = PipelineEngine(
+            client, app, shard_clocks=shards, tracer=tracer,
+            config=EngineConfig(depth="auto", min_depth=1, max_depth=4),
+        )
+        engine.run_gets([get(bytes([i])) for i in range(6)])
+        events = find_spans(tracer.spans(), "engine.depth_decision")
+        assert len(events) == engine.controller.decisions
+        first = events[0].attrs
+        assert first["prev"] == 1 and first["depth"] == 2
+        assert first["reason"] == "grow"
+        assert {"ops", "failures", "backpressure", "migration"} <= set(first)
+
+    def test_adaptive_identity_run_gets(self):
+        # Depth is a schedule knob, never a semantic one: the adaptive
+        # engine returns exactly what a depth-1 engine returns.
+        requests = [get(bytes([i % 5])) for i in range(17)]
+        auto, _, _, _ = make_engine(
+            n_shards=2, depth="auto", min_depth=1, max_depth=8,
+            shard_of=lambda tag: f"shard-{tag[0] % 2}",
+        )
+        one, _, _, _ = make_engine(
+            n_shards=2, depth=1,
+            shard_of=lambda tag: f"shard-{tag[0] % 2}",
+        )
+        got = auto.run_gets(list(requests))
+        want = one.run_gets(list(requests))
+        assert got.responses == want.responses

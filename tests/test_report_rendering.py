@@ -1,0 +1,121 @@
+"""Rendering tests for ``ReportMixin.table()`` on the concrete reports.
+
+``RecoveryReport`` and ``TopologyReport`` are the two reports users see
+most — ``table()`` is their CLI face, so its layout conventions are
+pinned here: a title underlined with ``=``, one aligned ``name | value``
+row per dataclass field, floats in ``.4f``, and no crashes on the edge
+cases (all-zero reports, multi-range moves, non-ASCII shard ids).
+"""
+
+import dataclasses
+import json
+
+from repro.durable.recovery import RecoveryReport
+from repro.report import ReportMixin
+from repro.session import TopologyReport
+
+
+def make_recovery(**overrides) -> RecoveryReport:
+    base = dict(
+        entries_restored=0, records_replayed=0, puts_replayed=0,
+        removes_replayed=0, segments_replayed=0, records_dropped=0,
+        torn_tail=False, chain_broken=False, blobs_missing=0,
+        checkpoint_seq=0,
+    )
+    base.update(overrides)
+    return RecoveryReport(**base)
+
+
+def make_topology(**overrides) -> TopologyReport:
+    base = dict(
+        action="add_shard", shard_id="shard-3", ranges_moved=1,
+        entries_moved=12, bytes_moved=4096, duplicates=0, dropped=0,
+        transfers=3, batches=3, foreground_stalls=0, duration_s=0.25,
+    )
+    base.update(overrides)
+    return TopologyReport(**base)
+
+
+def parse_rows(table: str) -> dict:
+    """name -> rendered value, from the body rows of a table."""
+    lines = table.splitlines()
+    assert lines[1] == "=" * len(lines[0])
+    out = {}
+    for line in lines[2:]:
+        name, _, value = line.partition(" | ")
+        out[name.rstrip()] = value.strip()
+    return out
+
+
+class TestRecoveryReportTable:
+    def test_empty_report_renders_every_field(self):
+        report = make_recovery()
+        table = report.table()
+        rows = parse_rows(table)
+        assert table.splitlines()[0] == "RecoveryReport"
+        assert set(rows) == {f.name for f in dataclasses.fields(report)}
+        assert rows["entries_restored"] == "0"
+        assert rows["torn_tail"] == "False"
+        assert rows["rollback_detected"] == "False"
+
+    def test_populated_report_values(self):
+        report = make_recovery(
+            entries_restored=40, records_replayed=9, puts_replayed=7,
+            removes_replayed=2, records_dropped=1, torn_tail=True,
+            checkpoint_seq=3,
+        )
+        rows = parse_rows(report.table())
+        assert rows["entries_restored"] == "40"
+        assert rows["records_replayed"] == "9"
+        assert rows["torn_tail"] == "True"
+        assert rows["checkpoint_seq"] == "3"
+
+    def test_columns_align(self):
+        table = make_recovery(entries_restored=123456).table()
+        separators = {line.index(" | ") for line in table.splitlines()[2:]}
+        assert len(separators) == 1
+
+
+class TestTopologyReportTable:
+    def test_multi_range_report(self):
+        report = make_topology(ranges_moved=7, entries_moved=310,
+                               batches=14, foreground_stalls=2)
+        rows = parse_rows(report.table())
+        assert rows["ranges_moved"] == "7"
+        assert rows["entries_moved"] == "310"
+        assert rows["batches"] == "14"
+        assert rows["foreground_stalls"] == "2"
+
+    def test_duration_renders_with_four_decimals(self):
+        rows = parse_rows(make_topology(duration_s=0.5).table())
+        assert rows["duration_s"] == "0.5000"
+
+    def test_unicode_shard_id(self):
+        report = make_topology(shard_id="shard-栈-βeta")
+        table = report.table()
+        rows = parse_rows(table)
+        assert rows["shard_id"] == "shard-栈-βeta"
+        # Width math must use the unicode value, not crash or truncate.
+        assert "shard-栈-βeta" in table
+
+    def test_rebalance_empty_shard_id(self):
+        report = make_topology(action="rebalance", shard_id="",
+                               ranges_moved=0, entries_moved=0,
+                               bytes_moved=0, transfers=0, batches=0,
+                               duration_s=0.0)
+        rows = parse_rows(report.table())
+        assert rows["action"] == "rebalance"
+        assert rows["shard_id"] == ""
+        assert rows["duration_s"] == "0.0000"
+
+
+class TestToDictContract:
+    def test_both_reports_are_json_ready(self):
+        for report in (make_recovery(), make_topology()):
+            assert isinstance(report, ReportMixin)
+            round_tripped = json.loads(json.dumps(report.to_dict()))
+            assert round_tripped == report.to_dict()
+
+    def test_table_and_to_dict_agree_on_fields(self):
+        report = make_topology()
+        assert set(parse_rows(report.table())) == set(report.to_dict())
