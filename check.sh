@@ -11,6 +11,15 @@ cd "$(dirname "$0")"
 
 status=0
 
+# Build artifacts must never be committed: fail if any tracked file is
+# a compiled bytecode file (they once were, and they bloat every diff).
+echo "== tracked bytecode guard =="
+if git ls-files | grep -q '\.pyc$'; then
+    echo "tracked .pyc files found — 'git rm --cached' them:" >&2
+    git ls-files | grep '\.pyc$' >&2
+    status=1
+fi
+
 if [ "${1:-}" != "--no-lint" ]; then
     echo "== ruff =="
     if command -v ruff >/dev/null 2>&1; then
@@ -75,6 +84,11 @@ PYTHONPATH=src python -m repro.bench migrate --quick || status=1
 # the same auto engine under a concurrent streaming join.
 echo "== bench adaptive smoke =="
 PYTHONPATH=src python -m repro.bench adaptive --quick || status=1
+
+# Planned-reshard benchmark smoke: one planned multi-join window vs N
+# serialized windows, plus the weighted-ring placement check.
+echo "== bench reshard smoke =="
+PYTHONPATH=src python -m repro.bench reshard --quick || status=1
 
 if [ "$status" -ne 0 ]; then
     echo "CHECK FAILED" >&2

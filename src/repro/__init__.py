@@ -32,7 +32,13 @@ classes is deprecated in favour of :func:`connect`.
 """
 
 from . import obs
-from .cluster import ClusterConfig, ClusterRouter, ShardRing, StoreCluster
+from .cluster import (
+    ClusterConfig,
+    ClusterRouter,
+    ShardRing,
+    StoreCluster,
+    TopologyPlan,
+)
 from .core import (
     CrossAppScheme,
     Deduplicable,
@@ -110,6 +116,7 @@ __all__ = [
     "StoreCluster",
     "StoreConfig",
     "StoreError",
+    "TopologyPlan",
     "TopologyReport",
     "Tracer",
     "TransportError",

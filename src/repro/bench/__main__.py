@@ -1,7 +1,7 @@
 """CLI entry point: ``python -m repro.bench <experiment> [--quick] [--csv DIR]``.
 
 Experiments: fig5a fig5b fig5c fig5d table1 fig6 a1 a2 a3 a4 a5 a6 a7 e9 e10
-batch cluster pipeline durable migrate adaptive all
+batch cluster pipeline durable migrate adaptive reshard all
 """
 
 from __future__ import annotations
@@ -144,6 +144,12 @@ def _runners(quick: bool) -> dict[str, tuple]:
             ),
             harness.print_adaptive, None,
         ),
+        "reshard": (
+            lambda: harness.run_reshard(
+                **(dict(joins=2, ops=24, rounds=12) if quick else {})
+            ),
+            harness.print_reshard, None,
+        ),
     }
 
 
@@ -164,7 +170,8 @@ def run_experiment(
     if csv_dir is not None:
         write_csv(rows, pathlib.Path(csv_dir) / f"{name}.csv")
     if json_path is None and name in ("batch", "cluster", "pipeline",
-                                      "durable", "migrate", "adaptive"):
+                                      "durable", "migrate", "adaptive",
+                                      "reshard"):
         # These sweeps always leave a machine-readable artifact so their
         # acceptance numbers can be checked without re-running.
         json_path = f"BENCH_{name}.json"

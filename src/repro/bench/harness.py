@@ -2034,6 +2034,286 @@ def print_migrate(rows: list[MigrateRow]) -> str:
 
 
 # ---------------------------------------------------------------------------
+# Reshard — one planned multi-shard window vs N serialized windows
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ReshardRow:
+    phase: str             # baseline | serialized | planned | weighted-ring
+    n_shards: int          # shard count before the reshape
+    joins: int             # shards the reshape adds
+    ops: int               # foreground GET-path calls served
+    rounds: int            # foreground batches driven
+    elapsed_sim_s: float   # total sim seconds (critical-path makespan)
+    baseline_sim_s: float  # the no-reshape phase's elapsed_sim_s
+    p50_round_s: float
+    p99_round_s: float
+    windows: int           # dual-ownership windows opened
+    dual_rounds: int       # foreground rounds run inside an open window
+    entries_moved: int
+    bytes_moved: int
+    batches: int           # migration batches shipped
+    foreground_stalls: int # migration batches that blocked the foreground
+    identical: bool        # results byte-identical to the baseline phase
+    max_weight_err: float  # weighted-ring placement check (0.0 elsewhere)
+
+    @property
+    def fg_ops_per_s(self) -> float:
+        return self.ops / self.elapsed_sim_s if self.elapsed_sim_s > 0 else 0.0
+
+    @property
+    def fg_throughput_ratio(self) -> float:
+        """Foreground throughput relative to the no-reshape baseline.
+        The acceptance bound (CI, ``BENCH_reshard.json``) is planned >=
+        serialized: one batched window must not be slower than the N
+        serialized windows it replaces."""
+        if self.elapsed_sim_s <= 0:
+            return 0.0
+        return self.baseline_sim_s / self.elapsed_sim_s
+
+
+def _reshard_phase(
+    n_shards: int,
+    seed_tag: bytes,
+    inputs: list[bytes],
+    rounds: int,
+    batch: int,
+    mode: str,  # "none" | "serialized" | "planned"
+    joins: int,
+    batch_entries: int,
+):
+    """Warm a cluster, then drive ``rounds`` foreground GET batches while
+    the cluster grows by ``joins`` shards — either through ``joins``
+    serialized single-shard windows (each opened only after the previous
+    settles, the pre-plan reality of ``ShardRing._require_idle``) or
+    through **one** planned window batching every join
+    (:meth:`StoreCluster.begin_plan`).  Returns (per-round latencies,
+    total sim seconds, foreground values, counters).
+
+    Both modes drain greedily through
+    :meth:`RangeMigrator.overlap_steps` — the engine's background
+    budget is the pacing.  A serialized single-join window only ever
+    has one gaining shard, so it is bound to one background lane per
+    foreground gap; the planned window's budget widens to one lane per
+    gaining shard, so its transfers overlap each other as well as the
+    foreground and the single dual-ownership window closes sooner."""
+    from ..cluster.migration import MigrationConfig
+    from ..cluster.ring import TopologyPlan
+
+    session = _migrate_session(n_shards, seed_tag)
+
+    @session.mark(version="1.0")
+    def reshard_kernel(data: bytes) -> bytes:
+        return bytes(b ^ 0x5A for b in data)
+
+    reshard_kernel.map(inputs)
+    session.flush_puts()
+
+    reader = session.sibling("reshard-reader")
+    engine = reader.enable_pipeline(depth=8, workers=4)
+    cluster = session.cluster
+    config = MigrationConfig(batch_entries=batch_entries)
+    freq = reader.clock.params.cpu_freq_hz
+
+    migrator = None
+    opened = 0
+    windows = 0
+    if mode == "planned":
+        plan = TopologyPlan()
+        for _ in range(joins):
+            plan = plan.join()
+        migrator = cluster.begin_plan(plan, config=config, engine=engine)
+        opened = joins
+        windows = 1
+
+    description = reshard_kernel.description
+    round_latencies: list[float] = []
+    values: list[bytes] = []
+    makespan0 = engine.makespan_cycles
+    moved = bytes_moved = batches = stalls = dual_rounds = 0
+
+    for round_index in range(rounds):
+        if mode == "serialized" and migrator is None and opened < joins:
+            migrator = cluster.begin_add_shard(config=config, engine=engine)
+            opened += 1
+            windows += 1
+        if cluster.ring.in_transition:
+            dual_rounds += 1
+        offset = (round_index * batch) % len(inputs)
+        window = (inputs + inputs)[offset:offset + batch]
+        round_cycles = -engine.makespan_cycles
+        results = reader.execute_many_results(description, window)
+        values.extend(r.value for r in results)
+        round_cycles += engine.makespan_cycles
+        round_latencies.append(round_cycles / freq)
+        if migrator is not None:
+            # Greedy drain: demand says "everything now" and the
+            # engine's background budget is the cap — one lane for a
+            # serialized join, one lane per gaining shard for a plan.
+            migrator.overlap_steps(1)
+            if not migrator.pending_ranges():
+                migrator.finish()
+                moved += migrator.moved
+                bytes_moved += migrator.bytes_moved
+                batches += migrator.batches
+                stalls += migrator.stalled_batches
+                migrator = None
+
+    # Whatever did not drain inside the rounds finishes serially, and
+    # serialized windows that never got a round still have to run — the
+    # cost of paying N windows where one would do.
+    while True:
+        if migrator is not None:
+            while migrator.pending_ranges():
+                if not migrator.step():
+                    break
+            migrator.finish()
+            moved += migrator.moved
+            bytes_moved += migrator.bytes_moved
+            batches += migrator.batches
+            stalls += migrator.stalled_batches
+            migrator = None
+        if mode == "serialized" and opened < joins:
+            migrator = cluster.begin_add_shard(config=config, engine=engine)
+            opened += 1
+            windows += 1
+            continue
+        break
+    engine.settle()
+
+    total_cycles = engine.makespan_cycles - makespan0
+    counters = dict(
+        windows=windows, dual_rounds=dual_rounds, entries_moved=moved,
+        bytes_moved=bytes_moved, batches=batches, foreground_stalls=stalls,
+    )
+    return round_latencies, total_cycles / freq, values, counters
+
+
+#: Deterministic weighted membership for the placement-accuracy row:
+#: sha256 vnode placement is fixed, so these shards' ownership shares at
+#: ``vnodes=64`` are known to sit within the 10% CI bound of their
+#: weight fractions.
+_RESHARD_WEIGHTS = (
+    ("cap-0", 1.0), ("cap-1", 2.0), ("cap-2", 2.0), ("cap-3", 1.0),
+)
+
+
+def _weighted_placement_error(vnodes: int = 64) -> float:
+    """Worst relative deviation of ``load_share`` from the weight
+    fraction over the :data:`_RESHARD_WEIGHTS` membership."""
+    from ..cluster.ring import ShardRing
+
+    ring = ShardRing(vnodes=vnodes)
+    for sid, weight in _RESHARD_WEIGHTS:
+        ring.add_shard(sid, weight=weight)
+    total = sum(weight for _, weight in _RESHARD_WEIGHTS)
+    worst = 0.0
+    for sid, weight in _RESHARD_WEIGHTS:
+        fraction = weight / total
+        worst = max(worst, abs(ring.load_share(sid) - fraction) / fraction)
+    return worst
+
+
+def run_reshard(
+    n_shards: int = 4,
+    joins: int = 4,
+    ops: int = 48,
+    rounds: int = 16,
+    batch_entries: int = 8,
+    seed: int = 131,
+) -> list[ReshardRow]:
+    """Planned topology transitions: one batched window vs N serialized.
+
+    Three phases over the same warm GET-heavy workload:
+
+    * **baseline** — no topology change; sets the reference throughput.
+    * **serialized** — the cluster grows ``n_shards`` → ``n_shards +
+      joins`` through ``joins`` single-shard windows, each opened only
+      after the previous settles (the pre-plan restriction of
+      ``ShardRing._require_idle``): N dual-ownership windows, and
+      entries whose ownership shifts under several intermediate rings
+      move more than once.
+    * **planned** — the same growth as **one**
+      :class:`~repro.cluster.ring.TopologyPlan` window: a single range
+      diff from the old ring to the final ring, every moved range handed
+      off exactly once, and transfers to distinct gaining shards
+      overlapping each other via the engine's widened background budget.
+
+    A fourth **weighted-ring** row reports the placement-accuracy check:
+    the worst relative deviation of ``load_share`` from the weight
+    fraction over a deterministic weighted membership at ``vnodes=64``
+    (CI bound: within 10%).
+
+    CI asserts from ``BENCH_reshard.json``: planned
+    ``fg_throughput_ratio`` >= serialized, planned ``dual_rounds`` <=
+    serialized, zero ``foreground_stalls`` in both (the engine overlaps
+    every batch), and ``max_weight_err`` <= 0.10.
+    """
+    base_tag = b"bench-reshard" + bytes([seed % 251])
+    # 4 KiB payloads: hand-off cost is dominated by transfer bytes, so
+    # the phases compare how much data they move, not per-range fixed
+    # overheads.
+    inputs = [
+        (seed * 100_000 + i).to_bytes(4, "big") * 1024 for i in range(ops)
+    ]
+    batch = max(1, ops // 2)
+
+    rows: list[ReshardRow] = []
+    base_lat, base_total, base_values, _counters = _reshard_phase(
+        n_shards, base_tag + b"/base", inputs, rounds, batch, "none",
+        joins, batch_entries,
+    )
+    fg_ops = rounds * batch
+    rows.append(ReshardRow(
+        phase="baseline", n_shards=n_shards, joins=0, ops=fg_ops,
+        rounds=rounds, elapsed_sim_s=base_total, baseline_sim_s=base_total,
+        p50_round_s=_percentile(base_lat, 0.50),
+        p99_round_s=_percentile(base_lat, 0.99),
+        windows=0, dual_rounds=0, entries_moved=0, bytes_moved=0,
+        batches=0, foreground_stalls=0, identical=True, max_weight_err=0.0,
+    ))
+    for phase in ("serialized", "planned"):
+        lat, total, values, counters = _reshard_phase(
+            n_shards, base_tag + b"/" + phase.encode(), inputs, rounds,
+            batch, phase, joins, batch_entries,
+        )
+        rows.append(ReshardRow(
+            phase=phase, n_shards=n_shards, joins=joins, ops=fg_ops,
+            rounds=rounds, elapsed_sim_s=total, baseline_sim_s=base_total,
+            p50_round_s=_percentile(lat, 0.50),
+            p99_round_s=_percentile(lat, 0.99),
+            identical=values == base_values, max_weight_err=0.0,
+            **counters,
+        ))
+    rows.append(ReshardRow(
+        phase="weighted-ring", n_shards=len(_RESHARD_WEIGHTS), joins=0,
+        ops=0, rounds=0, elapsed_sim_s=0.0, baseline_sim_s=0.0,
+        p50_round_s=0.0, p99_round_s=0.0, windows=0, dual_rounds=0,
+        entries_moved=0, bytes_moved=0, batches=0, foreground_stalls=0,
+        identical=True, max_weight_err=_weighted_placement_error(),
+    ))
+    return rows
+
+
+def print_reshard(rows: list[ReshardRow]) -> str:
+    headers = ["phase", "shards", "joins", "fg ops", "elapsed sim(s)",
+               "vs baseline", "windows", "dual rounds", "moved", "bytes",
+               "batches", "stalls", "identical", "weight err"]
+    table = [
+        [
+            r.phase, r.n_shards, r.joins, r.ops, r.elapsed_sim_s,
+            f"{r.fg_throughput_ratio:.2f}x", r.windows, r.dual_rounds,
+            r.entries_moved, human_size(r.bytes_moved), r.batches,
+            r.foreground_stalls, "yes" if r.identical else "NO",
+            f"{r.max_weight_err:.3f}",
+        ]
+        for r in rows
+    ]
+    return format_table(
+        "Reshard: one planned window vs N serialized windows", headers, table,
+    )
+
+
+# ---------------------------------------------------------------------------
 # Adaptive — AIMD depth control vs the static sweep (engine.py)
 # ---------------------------------------------------------------------------
 @dataclass(frozen=True)

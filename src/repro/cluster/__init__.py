@@ -23,7 +23,7 @@ from .migration import (
     rebalance,
     transfer_entries,
 )
-from .ring import RING_SIZE, MigrationRange, ShardRing, tag_point
+from .ring import RING_SIZE, MigrationRange, ShardRing, TopologyPlan, tag_point
 from .router import NO_LIVE_OWNER, ClusterRouter, RouterStats
 
 __all__ = [
@@ -39,6 +39,7 @@ __all__ = [
     "ShardNode",
     "ShardRing",
     "StoreCluster",
+    "TopologyPlan",
     "migrate_for_join",
     "migrate_for_leave",
     "rebalance",

@@ -34,7 +34,7 @@ import warnings
 from dataclasses import dataclass, field
 
 from .migration import MigrationConfig, MigrationReport, RangeMigrator
-from .ring import ShardRing
+from .ring import ShardRing, TopologyPlan
 from .router import ClusterRouter
 from ..errors import SpeedError
 from ..net.transport import FaultInjector, Network
@@ -173,12 +173,82 @@ class StoreCluster:
         shard_id: str | None = None,
         config: MigrationConfig | None = None,
         engine=None,
+        weight: float = 1.0,
     ) -> RangeMigrator:
         """Spawn a shard and open a streaming join: the new machine is
         connected to every registered router *before* the dual-ownership
         window opens, so writes can land on it the moment it becomes a
-        pending owner.  Returns the started :class:`RangeMigrator`;
+        pending owner.  ``weight`` sets the joiner's relative capacity
+        (vnode share).  Returns the started :class:`RangeMigrator`;
         drive it with ``step()``/``finish()`` (or ``run()``)."""
+        node = self._attach_joiner(shard_id)
+        migrator = RangeMigrator(
+            self, "join", node.shard_id, config=config, engine=engine,
+            weight=weight,
+        )
+        try:
+            migrator.start()
+        except Exception:
+            self._despawn(node.shard_id)
+            raise
+        return migrator
+
+    def begin_plan(
+        self,
+        plan: TopologyPlan,
+        config: MigrationConfig | None = None,
+        engine=None,
+    ) -> RangeMigrator:
+        """Open **one** streaming window applying every change in
+        ``plan`` — N joins, leaves, and reweights pay a single
+        dual-ownership window instead of N serialized ones.
+
+        Joiner machines are spawned and attached to every registered
+        router up front (anonymous joins — ``join(None)`` — get
+        auto-assigned shard ids here); if the window fails to open, all
+        of them are despawned again.  Returns the started
+        :class:`RangeMigrator`; drive it with ``step()``/``finish()``
+        (or ``run()``), or back out with :meth:`abort_plan`."""
+        plan.validate()
+        resolved_joins = []
+        spawned: list[str] = []
+        try:
+            for sid, weight in plan.joins:
+                node = self._attach_joiner(sid)
+                spawned.append(node.shard_id)
+                resolved_joins.append((node.shard_id, weight))
+        except Exception:
+            for sid in spawned:
+                self._despawn(sid)
+            raise
+        resolved = TopologyPlan(
+            joins=tuple(resolved_joins),
+            leaves=plan.leaves,
+            reweights=plan.reweights,
+        )
+        migrator = RangeMigrator(
+            self, "plan", "", config=config, engine=engine, plan=resolved
+        )
+        try:
+            migrator.start()
+        except Exception:
+            for sid in spawned:
+                self._despawn(sid)
+            raise
+        return migrator
+
+    def abort_plan(self, migrator: RangeMigrator) -> None:
+        """Back out of a planned window: restore the old ownership map,
+        clean partially migrated copies, and despawn every joiner the
+        plan had spawned (leavers and reweighted shards stay)."""
+        migrator.abort()
+        for sid in sorted(migrator.joiners):
+            self._despawn(sid)
+
+    def _attach_joiner(self, shard_id: str | None) -> ShardNode:
+        """Spawn a joining shard off-ring and connect it to every
+        registered router, so writes can land on it the moment the
+        pending ring makes it an owner."""
         node = self._spawn_shard(shard_id, register=False)
         for app_name, enclave, router in self._routers:
             client = node.store.connect(
@@ -187,15 +257,7 @@ class StoreCluster:
                 attestation_service=self.attestation,
             )
             router.attach_shard(node.shard_id, client)
-        migrator = RangeMigrator(
-            self, "join", node.shard_id, config=config, engine=engine
-        )
-        try:
-            migrator.start()
-        except Exception:
-            self._despawn(node.shard_id)
-            raise
-        return migrator
+        return node
 
     def begin_remove_shard(
         self,

@@ -38,7 +38,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from .ring import MigrationRange, tag_point
+from .ring import MigrationRange, TopologyPlan, tag_point
 from ..durable.wal import (
     MIGRATE_DEST,
     MIGRATE_SOURCE,
@@ -114,7 +114,8 @@ def transfer_entries(
 
 
 class RangeMigrator:
-    """Streams one topology change (join or leave), range by range.
+    """Streams one topology transition (join, leave, or a whole
+    :class:`~repro.cluster.ring.TopologyPlan`), range by range.
 
     Lifecycle: :meth:`start` opens the dual-ownership window (and logs
     ``MIGRATE_BEGIN`` on every participant), :meth:`step` hands off one
@@ -122,6 +123,12 @@ class RangeMigrator:
     a dead shard — retry after healing), :meth:`finish` closes the
     window once all ranges are committed.  :meth:`run` drives the whole
     sequence.  :meth:`abort` restores the previous ownership map.
+
+    A join or leave is just a one-change plan internally; ``action ==
+    "plan"`` batches any mix of joins, leaves, and reweights into the
+    same single window, and every range hand-off (commit-before-discard,
+    per-participant ``REC_MIGRATE_*`` marks) is already generic over
+    ranges whose sources/dests span several changed shards.
     """
 
     def __init__(
@@ -131,12 +138,31 @@ class RangeMigrator:
         shard_id: str,
         config: MigrationConfig | None = None,
         engine=None,
+        weight: float = 1.0,
+        plan: TopologyPlan | None = None,
     ):
-        if action not in ("join", "leave"):
+        if action not in ("join", "leave", "plan"):
             raise MigrationError(f"unknown migration action {action!r}")
+        if action == "plan":
+            if plan is None:
+                raise MigrationError("plan migration needs a TopologyPlan")
+            plan.validate()
+            if any(sid is None for sid, _ in plan.joins):
+                raise MigrationError(
+                    "plan joins must have concrete shard ids by migration "
+                    "time (StoreCluster.begin_plan assigns them)"
+                )
+            shard_id = plan.label()
+        elif action == "join":
+            plan = TopologyPlan(joins=((shard_id, weight),))
+        else:
+            plan = TopologyPlan(leaves=(shard_id,))
         self.cluster = cluster
         self.action = action
         self.shard_id = shard_id
+        self.plan = plan
+        self.joiners = frozenset(sid for sid, _ in plan.joins)
+        self.leavers = frozenset(plan.leaves)
         self.config = config or MigrationConfig()
         self.engine = engine
         self.migration_id = f"{action}/{shard_id}/{cluster.next_migration_seq()}"
@@ -165,11 +191,7 @@ class RangeMigrator:
         """Open the dual-ownership window; returns the moved ranges."""
         if self.started:
             raise MigrationStateError("migration already started")
-        ring = self.cluster.ring
-        if self.action == "join":
-            self.ranges = ring.begin_join(self.shard_id, self.factor)
-        else:
-            self.ranges = ring.begin_leave(self.shard_id, self.factor)
+        self.ranges = self.cluster.ring.begin_plan(self.plan, self.factor)
         self.started = True
         self._participants = tuple(sorted(
             {s for rng in self.ranges for s in (*rng.sources, *rng.dests)}
@@ -201,18 +223,20 @@ class RangeMigrator:
         for rng in self.ranges:
             if rng.index in self._done:
                 continue
-            if self.engine is not None:
-                # Overlap accounting: the whole hand-off (collect, ship,
-                # marks, discard) charges the shard clocks normally, and
-                # the engine folds the cost into the next foreground
-                # round's makespan as one extra (background) lane.
-                with self.engine.background():
-                    committed = self._try_range(rng)
-            else:
-                committed = self._try_range(rng)
-            if committed:
+            if self._step_one(rng):
                 return True
         return False
+
+    def _step_one(self, rng: MigrationRange) -> bool:
+        """Hand off one specific pending range (False when blocked)."""
+        if self.engine is not None:
+            # Overlap accounting: the whole hand-off (collect, ship,
+            # marks, discard) charges the shard clocks normally, and
+            # the engine folds the cost into the next foreground
+            # round's makespan as one extra (background) lane.
+            with self.engine.background():
+                return self._try_range(rng)
+        return self._try_range(rng)
 
     def overlap_steps(self, rounds_left: int = 1) -> int:
         """Advance the hand-off between two foreground rounds.
@@ -227,23 +251,59 @@ class RangeMigrator:
         default, widened by every depth slot the adaptive controller
         capped off and yielded to this hand-off — the foreground rounds
         got smaller under the migration cap, and the freed slots belong
-        here.  Demand above the cap is deferred (``finish`` drains it
-        serially), keeping the foreground bound intact.  Returns the
-        number of ranges committed; stops early when every pending
-        range is blocked on a dead shard.
+        here.  A planned window spanning several gaining shards gets a
+        proportionally wider base budget (one slot per distinct live
+        destination among the pending ranges — transfers to distinct
+        machines overlap each other, not just the foreground).  Demand
+        above the cap is deferred (``finish`` drains it serially),
+        keeping the foreground bound intact.  Returns the number of
+        ranges committed; stops early when every pending range is
+        blocked on a dead shard.
         """
-        pending = len(self.pending_ranges())
+        pending_ranges = self.pending_ranges()
+        pending = len(pending_ranges)
         if not pending:
             return 0
         budget = max(1, -(-pending // max(1, rounds_left)))
         if self.engine is not None and hasattr(self.engine, "background_budget"):
-            budget = min(budget, max(1, self.engine.background_budget()))
+            gaining = {
+                d
+                for rng in pending_ranges
+                for d in rng.dests
+                if d not in rng.sources and self.cluster.shard_alive(d)
+            }
+            budget = min(
+                budget,
+                max(1, self.engine.background_budget(max(1, len(gaining)))),
+            )
+        # Spread this gap's picks across distinct gaining shards: the
+        # per-gap intrusion then lands on several (mostly idle) joiner
+        # clocks instead of piling onto one, so the engine can fold it
+        # under the foreground round's busiest shard.
         committed = 0
-        for _ in range(budget):
-            if not self.pending_ranges():
+        used_dests: set[str] = set()
+        while committed < budget:
+            pending_now = self.pending_ranges()
+            if not pending_now:
                 break
-            if not self.step():
+            ordered = sorted(
+                pending_now,
+                key=lambda rng: (
+                    len({d for d in rng.dests if d not in rng.sources}
+                        & used_dests),
+                    rng.index,
+                ),
+            )
+            picked = None
+            for rng in ordered:
+                if self._step_one(rng):
+                    picked = rng
+                    break
+            if picked is None:
                 break
+            used_dests.update(
+                d for d in picked.dests if d not in picked.sources
+            )
             committed += 1
         return committed
 
@@ -275,8 +335,8 @@ class RangeMigrator:
         # over-replication) drops them now, under the settled ring.
         factor = self.factor
         for sid, node in sorted(cluster.shards.items()):
-            if sid == self.shard_id and self.action == "leave":
-                continue  # the leaver goes dark with its state in place
+            if sid in self.leavers:
+                continue  # a leaver goes dark with its state in place
             if not cluster.shard_alive(sid):
                 continue
             stale = node.store.tags_matching(
@@ -289,8 +349,8 @@ class RangeMigrator:
                     REC_MIGRATE_END, self.migration_id, peer=self.shard_id
                 )
         self.finished = True
-        if self.action == "leave":
-            cluster._complete_leave(self.shard_id)
+        for sid in sorted(self.leavers):
+            cluster._complete_leave(sid)
         return self.report()
 
     def abort(self) -> None:
@@ -330,7 +390,12 @@ class RangeMigrator:
                         cluster, self._store(src), dest_store,
                         per_source[src],
                     )
-        cluster.ring.abort_transition()
+        # finish() may have settled the ring before raising (e.g. the
+        # stale sweep hit a fault after ring.finish()); abort() is then
+        # cleanup-only, and calling abort_transition() on the settled
+        # ring would raise and mask the original error.
+        if cluster.ring.in_transition:
+            cluster.ring.abort_transition()
         factor = self.factor
         for sid in self._participants:
             if sid not in cluster.shards or not cluster.shard_alive(sid):

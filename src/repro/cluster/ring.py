@@ -17,13 +17,76 @@ and always agree on ownership.
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ..crypto.hashes import sha256
 from ..errors import MigrationInProgressError, MigrationStateError, SpeedError
 
 RING_BITS = 64
 RING_SIZE = 1 << RING_BITS
+
+
+@dataclass(frozen=True)
+class TopologyPlan:
+    """A batch of membership and weight changes applied as **one**
+    pending ring and one dual-ownership window.
+
+    Historically every join or drain paid its own full migration window,
+    so scaling 4→8 shards cost four windows.  A plan folds any number of
+    joins, leaves, and reweights into a single pending ring; the range
+    diff (:meth:`ShardRing.begin_plan`) then prices the whole transition
+    as one set of moved ranges, handed off once.
+
+    Joins may name their shard (``join("s4")``) or leave it ``None`` for
+    the cluster to assign; weights express relative capacity (a shard of
+    weight 2.0 receives twice the vnode points, hence twice the tag
+    share — §IV-A tags are uniform, so ownership share is exactly vnode
+    share).  Builder methods return new plans, so plans compose::
+
+        plan = TopologyPlan().join("s4", weight=2.0).join("s5")
+        plan = plan.leave("s0").reweight("s1", 0.5)
+    """
+
+    joins: tuple[tuple[str | None, float], ...] = ()
+    leaves: tuple[str, ...] = ()
+    reweights: tuple[tuple[str, float], ...] = ()
+
+    def join(self, shard_id: str | None = None, weight: float = 1.0) -> "TopologyPlan":
+        return replace(self, joins=self.joins + ((shard_id, weight),))
+
+    def leave(self, shard_id: str) -> "TopologyPlan":
+        return replace(self, leaves=self.leaves + (shard_id,))
+
+    def reweight(self, shard_id: str, weight: float) -> "TopologyPlan":
+        return replace(self, reweights=self.reweights + ((shard_id, weight),))
+
+    @property
+    def empty(self) -> bool:
+        return not (self.joins or self.leaves or self.reweights)
+
+    def label(self) -> str:
+        """Compact human/WAL-readable summary, e.g. ``+s4+s5-s0~s1``."""
+        parts = [f"+{sid if sid is not None else '?'}" for sid, _ in self.joins]
+        parts += [f"-{sid}" for sid in self.leaves]
+        parts += [f"~{sid}" for sid, _ in self.reweights]
+        return "".join(parts) or "noop"
+
+    def validate(self) -> None:
+        """Internal consistency only (membership is the ring's check)."""
+        if self.empty:
+            raise SpeedError("topology plan is empty")
+        named: list[str] = [sid for sid, _ in self.joins if sid is not None]
+        named += list(self.leaves)
+        named += [sid for sid, _ in self.reweights]
+        if len(named) != len(set(named)):
+            raise SpeedError(
+                "a shard may appear in at most one change of a topology plan"
+            )
+        for sid, weight in (*self.joins, *self.reweights):
+            if not weight > 0:
+                raise SpeedError(
+                    f"shard {sid!r} weight must be > 0, got {weight!r}"
+                )
 
 
 @dataclass(frozen=True)
@@ -74,6 +137,7 @@ class ShardRing:
         self._points: list[int] = []  # sorted vnode positions
         self._owners: list[str] = []  # shard id at the same index
         self._shards: set[str] = set()
+        self._weights: dict[str, float] = {}
         # Dual-ownership transition overlay (None when the ring is settled).
         self._next: ShardRing | None = None
         self._ranges: tuple[MigrationRange, ...] = ()
@@ -90,14 +154,16 @@ class ShardRing:
     def __contains__(self, shard_id: str) -> bool:
         return shard_id in self._shards
 
-    def add_shard(self, shard_id: str) -> None:
+    def add_shard(self, shard_id: str, weight: float = 1.0) -> None:
         if self._next is not None:
             raise MigrationStateError(
                 "ring is mid-transition; finish or abort the open migration first"
             )
         if shard_id in self._shards:
             raise SpeedError(f"shard {shard_id!r} already on the ring")
-        for i in range(self.vnodes):
+        if not weight > 0:
+            raise SpeedError(f"shard {shard_id!r} weight must be > 0")
+        for i in range(self.vnode_count(weight)):
             point = _vnode_point(shard_id, i)
             idx = bisect.bisect_left(self._points, point)
             # sha256 collisions across distinct (shard, index) pairs are
@@ -106,6 +172,7 @@ class ShardRing:
             self._points.insert(idx, point)
             self._owners.insert(idx, shard_id)
         self._shards.add(shard_id)
+        self._weights[shard_id] = weight
 
     def remove_shard(self, shard_id: str) -> None:
         if self._next is not None:
@@ -118,6 +185,17 @@ class ShardRing:
         self._points = [p for p, _ in keep]
         self._owners = [o for _, o in keep]
         self._shards.remove(shard_id)
+        self._weights.pop(shard_id, None)
+
+    def vnode_count(self, weight: float) -> int:
+        """Vnode points a shard of ``weight`` places: ``round(vnodes *
+        weight)``, floored at one so every member owns something."""
+        return max(1, round(self.vnodes * weight))
+
+    def weight_of(self, shard_id: str) -> float:
+        if shard_id not in self._shards:
+            raise SpeedError(f"shard {shard_id!r} not on the ring")
+        return self._weights.get(shard_id, 1.0)
 
     # -- ownership ------------------------------------------------------------
     def owners(self, tag: bytes, n: int = 1) -> list[str]:
@@ -164,24 +242,56 @@ class ShardRing:
         """Shard membership of the pending ring (settled ring when idle)."""
         return self._next.shards if self._next is not None else self.shards
 
-    def begin_join(self, shard_id: str, replication: int = 1) -> tuple[MigrationRange, ...]:
+    def begin_join(
+        self, shard_id: str, replication: int = 1, weight: float = 1.0
+    ) -> tuple[MigrationRange, ...]:
         """Open a transition that adds ``shard_id``; returns the moved ranges."""
-        self._require_idle()
-        if not self._shards:
-            raise MigrationStateError("cannot stream-join an empty ring")
-        nxt = self._clone()
-        nxt.add_shard(shard_id)
-        return self._begin(nxt, replication)
+        return self.begin_plan(
+            TopologyPlan(joins=((shard_id, weight),)), replication
+        )
 
     def begin_leave(self, shard_id: str, replication: int = 1) -> tuple[MigrationRange, ...]:
         """Open a transition that removes ``shard_id``; returns the moved ranges."""
+        return self.begin_plan(TopologyPlan(leaves=(shard_id,)), replication)
+
+    def begin_plan(
+        self, plan: TopologyPlan, replication: int = 1
+    ) -> tuple[MigrationRange, ...]:
+        """Open one transition applying every change in ``plan`` at once.
+
+        N joins, leaves, and reweights fold into a single pending ring,
+        so the whole reshape pays **one** dual-ownership window and one
+        range diff — a 4→8 scale-out hands its ranges off in one
+        migration pass instead of four serialized windows.  Returns the
+        moved ranges (sources/dests may span several changed shards)."""
         self._require_idle()
-        if shard_id not in self._shards:
-            raise SpeedError(f"shard {shard_id!r} not on the ring")
-        if len(self._shards) == 1:
+        plan.validate()
+        for sid, _weight in plan.joins:
+            if sid is None:
+                raise SpeedError(
+                    "ring-level plans need concrete join shard ids "
+                    "(StoreCluster.begin_plan assigns them)"
+                )
+            if sid in self._shards:
+                raise SpeedError(f"shard {sid!r} already on the ring")
+        for sid in plan.leaves:
+            if sid not in self._shards:
+                raise SpeedError(f"shard {sid!r} not on the ring")
+        for sid, _weight in plan.reweights:
+            if sid not in self._shards:
+                raise SpeedError(f"shard {sid!r} not on the ring")
+        if plan.joins and not self._shards:
+            raise MigrationStateError("cannot stream-join an empty ring")
+        if len(self._shards) - len(plan.leaves) < 1:
             raise MigrationStateError("cannot remove the last shard")
         nxt = self._clone()
-        nxt.remove_shard(shard_id)
+        for sid in plan.leaves:
+            nxt.remove_shard(sid)
+        for sid, weight in plan.reweights:
+            nxt.remove_shard(sid)
+            nxt.add_shard(sid, weight=weight)
+        for sid, weight in plan.joins:
+            nxt.add_shard(sid, weight=weight)
         return self._begin(nxt, replication)
 
     def commit_range(self, index: int) -> None:
@@ -205,12 +315,20 @@ class ShardRing:
         self._points = nxt._points
         self._owners = nxt._owners
         self._shards = nxt._shards
+        self._weights = nxt._weights
         self._next = None
         self._ranges = ()
         self._committed = set()
 
     def abort_transition(self) -> None:
-        """Drop the pending ring and keep the current ownership map."""
+        """Drop the pending ring and keep the current ownership map.
+
+        Raises :class:`MigrationStateError` when no transition is open —
+        the same contract as :meth:`commit_range`/:meth:`finish`, so a
+        double abort (or an abort racing a completed finish) surfaces
+        instead of silently succeeding."""
+        if self._next is None:
+            raise MigrationStateError("no transition is open")
         self._next = None
         self._ranges = ()
         self._committed = set()
@@ -269,6 +387,7 @@ class ShardRing:
         clone._points = list(self._points)
         clone._owners = list(self._owners)
         clone._shards = set(self._shards)
+        clone._weights = dict(self._weights)
         return clone
 
     def _begin(self, nxt: ShardRing, replication: int) -> tuple[MigrationRange, ...]:
@@ -286,6 +405,18 @@ class ShardRing:
                     raw[-1][1] = hi  # merge contiguous slices with one movement
                 else:
                     raw.append([lo, hi, old, new])
+        if (
+            len(raw) >= 2
+            and raw[0][0] == raw[-1][1]  # first slice wraps; last ends there
+            and raw[0][2] == raw[-1][2]
+            and raw[0][3] == raw[-1][3]
+        ):
+            # The movement is contiguous *through zero*: the slice ending
+            # at the last boundary and the one starting there (the wrap
+            # interval) are one hand-off, not two — merging keeps the
+            # migration to one transfer and one WAL commit mark.
+            raw[-1][1] = raw[0][1]
+            raw.pop(0)
         self._ranges = tuple(
             MigrationRange(i, lo, hi, old, new)
             for i, (lo, hi, old, new) in enumerate(raw)
@@ -295,12 +426,16 @@ class ShardRing:
         return self._ranges
 
     # -- rebalancing support ---------------------------------------------------
-    def load_share(self, shard_id: str) -> float:
-        """Fraction of the ring owned (primary) by ``shard_id``."""
+    def owned_width(self, shard_id: str) -> int:
+        """Ring-point width owned (primary) by ``shard_id``, as an exact
+        integer: the widths of all shards sum to ``RING_SIZE`` with no
+        float rounding.  The slice at index 0 reaches back through zero
+        to the last vnode point (``prev`` goes negative), which is what
+        charges the wrap interval to the first point's owner."""
         if shard_id not in self._shards:
             raise SpeedError(f"shard {shard_id!r} not on the ring")
         if len(self._shards) == 1:
-            return 1.0
+            return RING_SIZE
         total = 0
         for idx, owner in enumerate(self._owners):
             if owner != shard_id:
@@ -308,4 +443,8 @@ class ShardRing:
             here = self._points[idx]
             prev = self._points[idx - 1] if idx else self._points[-1] - RING_SIZE
             total += here - prev
-        return total / RING_SIZE
+        return total
+
+    def load_share(self, shard_id: str) -> float:
+        """Fraction of the ring owned (primary) by ``shard_id``."""
+        return self.owned_width(shard_id) / RING_SIZE

@@ -218,11 +218,14 @@ class ClusterRouter:
 
     @property
     def in_transition(self) -> bool:
-        """True while the ring holds a dual-ownership migration window.
+        """True while the ring holds a dual-ownership migration window —
+        a single join/drain or a planned multi-shard window
+        (:class:`~repro.cluster.ring.TopologyPlan`); either way there is
+        exactly one window at a time.
 
         The pipelined engine's adaptive depth controller reads this to
         cap its submit window and yield slots to the streaming migrator
-        while a join/drain is in flight."""
+        while the window is in flight."""
         return self.ring.in_transition
 
     def attach_shard(self, shard_id: str, client: RpcClient) -> None:
@@ -316,14 +319,19 @@ class ClusterRouter:
         """Reachable shards to consult for a GET.  During a topology
         transition (dual-ownership window) this is the old owners first
         with the pending owners as failover, so a tag stays readable
-        whether or not its range has been handed off yet."""
+        whether or not its range has been handed off yet.  Under a
+        planned multi-shard window the union may span several changed
+        shards (two joiners plus a leaver, say) — the ring computes it
+        per range, the router just filters to connected clients."""
         owners = self.ring.read_owners(tag, self.replication_factor)
         return [s for s in owners if s in self._clients]
 
     def _write_owners(self, tag: bytes) -> list[str]:
         """Reachable shards a PUT must land on.  During a transition
-        writes go to the *pending* owners, so no update accepted inside
-        the window is lost when its range commits."""
+        writes go to the *pending* owners — the post-plan topology, even
+        when several membership/weight changes land in the same window —
+        so no update accepted inside the window is lost when its range
+        commits."""
         owners = self.ring.write_owners(tag, self.replication_factor)
         return [s for s in owners if s in self._clients]
 

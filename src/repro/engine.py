@@ -391,14 +391,22 @@ class PipelineEngine:
         the adaptive controller treats the next round as congested."""
         self._backpressure_pending = True
 
-    def background_budget(self) -> int:
+    def background_budget(self, parallelism: int = 1) -> int:
         """Migration batches worth overlapping before the next
-        foreground round: one baseline background-lane slot, plus every
-        depth slot the adaptive controller yielded while capped under a
-        migration window."""
+        foreground round: one baseline background-lane slot per unit of
+        ``parallelism``, plus every depth slot the adaptive controller
+        yielded while capped under a migration window.
+
+        ``parallelism`` is the caller's count of independent transfer
+        targets — a planned multi-shard window shipping ranges to N
+        distinct gaining shards overlaps N transfers against one
+        foreground round (distinct destination machines ingest
+        concurrently), where a single-shard window gets the classic one
+        baseline slot."""
+        base = max(1, parallelism)
         if self.controller is None:
-            return 1
-        return 1 + self.controller.yielded_slots
+            return base
+        return base + self.controller.yielded_slots
 
     def _observe_round(
         self, ops: int, makespan: float, failures: int, migration: bool

@@ -32,6 +32,7 @@ registered as live sources, unifying the historical per-component
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
@@ -61,8 +62,8 @@ class TopologyReport(ReportMixin):
     any participating machine observed.
     """
 
-    action: str            # "add_shard" | "remove_shard" | "rebalance"
-    shard_id: str          # the joining/leaving shard ("" for rebalance)
+    action: str            # "add_shard" | "remove_shard" | "apply_topology" | "rebalance"
+    shard_id: str          # the changed shard (plan label / "" for plans)
     ranges_moved: int      # ring ranges whose owner set changed
     entries_moved: int     # entries newly ingested at their new owners
     bytes_moved: int       # ciphertext bytes that crossed machines
@@ -445,6 +446,7 @@ class Session:
         self,
         shard_id: str | None = None,
         batch_entries: int = 32,
+        weight: float = 1.0,
     ) -> TopologyReport:
         """Grow the cluster by one shard, online.
 
@@ -453,8 +455,10 @@ class Session:
         ranges the newcomer owns stream over in ``batch_entries``-sized
         batches while foreground GET/PUT traffic keeps flowing (reads
         fail over old→new owners per range, writes land on the new
-        owners).  With a pipeline engine attached
-        (:meth:`enable_pipeline`) each batch is accounted as a
+        owners).  ``weight`` sets the shard's relative capacity — its
+        vnode count scales with it, so a weight-2.0 shard owns twice
+        the tag share of a weight-1.0 one.  With a pipeline engine
+        attached (:meth:`enable_pipeline`) each batch is accounted as a
         background lane; without one, each batch is a foreground stall.
         Crash-safe: both sides seal MIGRATE_* marks into their durable
         WALs (durable stores), so a power failure mid-migration recovers
@@ -467,6 +471,7 @@ class Session:
             shard_id,
             config=MigrationConfig(batch_entries=batch_entries),
             engine=self.runtime.engine,
+            weight=weight,
         )
         report = self._drive(migrator, "add_shard")
         node = cluster.shards[migrator.shard_id]
@@ -474,6 +479,51 @@ class Session:
             f"store.{migrator.shard_id}",
             self._shard_source(migrator.shard_id, node.store),
         )
+        return report
+
+    def apply_topology(
+        self, plan, batch_entries: int = 32
+    ) -> TopologyReport:
+        """Apply a whole :class:`~repro.cluster.ring.TopologyPlan` —
+        any mix of joins, leaves, and reweights — as **one** online
+        dual-ownership window.
+
+        Where N serialized ``add_shard()``/``remove_shard()`` calls pay
+        N migration windows (and may move the same entries repeatedly as
+        intermediate rings shift ownership back and forth), a plan
+        computes the single old→new range diff and hands every moved
+        range off once::
+
+            from repro.cluster.ring import TopologyPlan
+
+            plan = (TopologyPlan()
+                    .join(weight=2.0)       # auto-named big machine
+                    .join("cache-b")
+                    .leave("shard-0")
+                    .reweight("shard-1", 0.5))
+            report = session.apply_topology(plan)
+
+        Same streaming, overlap, and crash-safety machinery as
+        :meth:`add_shard`; with a pipeline engine attached the window's
+        transfers overlap foreground rounds one lane per gaining shard.
+        Returns a :class:`TopologyReport` whose ``shard_id`` is the
+        plan's compact label (e.g. ``"+s4+s5-s0~s1"``)."""
+        from .cluster.migration import MigrationConfig
+
+        cluster = self.cluster
+        migrator = cluster.begin_plan(
+            plan,
+            config=MigrationConfig(batch_entries=batch_entries),
+            engine=self.runtime.engine,
+        )
+        report = self._drive(migrator, "apply_topology")
+        for sid in sorted(migrator.joiners):
+            self.metrics.register_source(
+                f"store.{sid}",
+                self._shard_source(sid, cluster.shards[sid].store),
+            )
+        for sid in sorted(migrator.leavers):
+            self.metrics.unregister_source(f"store.{sid}")
         return report
 
     def remove_shard(
@@ -496,14 +546,38 @@ class Session:
         self.metrics.unregister_source(f"store.{shard_id}")
         return report
 
-    def rebalance(self) -> TopologyReport:
-        """Anti-entropy pass under the settled ring: push every entry to
-        owners missing it and drop copies from non-owners.  Repairs
-        placement drift left by crashes or replicas that were dead
-        during a migration.  Idempotent."""
+    def rebalance(self, weights: dict | None = None) -> TopologyReport:
+        """Repair or reshape placement under the current membership.
+
+        Without ``weights`` this is the classic anti-entropy pass under
+        the settled ring: push every entry to owners missing it and drop
+        copies from non-owners — repairs placement drift left by crashes
+        or replicas that were dead during a migration.  Idempotent.
+
+        With ``weights`` (a ``{shard_id: weight}`` mapping over existing
+        members) the shards are *reweighted* instead: one streaming
+        dual-ownership window (a reweight-only
+        :class:`~repro.cluster.ring.TopologyPlan`) migrates entries so
+        each shard's ownership share tracks its new weight fraction.
+        Shards already at the requested weight are left alone."""
         from .cluster.migration import rebalance
+        from .cluster.ring import TopologyPlan
 
         cluster = self.cluster
+        if weights:
+            plan = TopologyPlan()
+            for sid in sorted(weights):
+                if cluster.ring.weight_of(sid) != weights[sid]:
+                    plan = plan.reweight(sid, weights[sid])
+            if plan.empty:
+                return TopologyReport(
+                    action="rebalance", shard_id="", ranges_moved=0,
+                    entries_moved=0, bytes_moved=0, duplicates=0,
+                    dropped=0, transfers=0, batches=0,
+                    foreground_stalls=0, duration_s=0.0,
+                )
+            report = self.apply_topology(plan)
+            return dataclasses.replace(report, action="rebalance")
         before = self._machine_clock_marks()
         report = rebalance(cluster)
         return TopologyReport(
@@ -527,8 +601,13 @@ class Session:
             report = migrator.run()
         except Exception:
             if not migrator.finished:
-                if action == "add_shard":
+                # Joiner machines are the cluster's to reclaim — plain
+                # migrator.abort() would restore the ring but leave the
+                # spawned shards attached to every router.
+                if migrator.action == "join":
                     cluster.abort_add_shard(migrator)
+                elif migrator.action == "plan":
+                    cluster.abort_plan(migrator)
                 else:
                     migrator.abort()
             raise

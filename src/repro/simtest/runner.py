@@ -40,6 +40,7 @@ from .invariants import (
     store_image,
 )
 from .schedule import FaultPlan
+from ..cluster.ring import TopologyPlan
 from ..crypto.hashes import tagged_hash
 from ..core.runtime import RuntimeConfig
 from ..errors import SpeedError
@@ -404,10 +405,33 @@ def run_scenario(config: SimConfig) -> ScenarioResult:
                     trace.append(f"step={step} op=power_fail skipped")
             elif op == "mig_open":
                 open_already = migrator is not None and not migrator.finished
-                want_leave = rng.random() < 0.5
+                kind_draw = rng.random()
                 if open_already:
                     trace.append(f"step={step} op=mig_open skipped")
-                elif want_leave and len(cluster.shards) > 2:
+                elif kind_draw < 0.25 and len(cluster.shards) > 2:
+                    # Planned multi-change window: two joins (one
+                    # weighted), one drain, one reweight — all in a
+                    # single dual-ownership window.  Every draw comes
+                    # from the schedule rng, so the plan is a pure
+                    # function of the seed.
+                    members = sorted(cluster.shards)
+                    leaver = rng.choice(members)
+                    reweighted = rng.choice([s for s in members if s != leaver])
+                    topo = (
+                        TopologyPlan()
+                        .join(weight=rng.choice((0.5, 1.0, 2.0)))
+                        .join()
+                        .leave(leaver)
+                        .reweight(reweighted, rng.choice((0.5, 1.5, 2.0)))
+                    )
+                    migrator = cluster.begin_plan(topo)
+                    refresh_topology()
+                    trace.append(
+                        f"step={step} op=mig_open kind=plan "
+                        f"label={migrator.shard_id} "
+                        f"ranges={len(migrator.ranges)}"
+                    )
+                elif kind_draw < 0.625 and len(cluster.shards) > 2:
                     sid = rng.choice(sorted(cluster.shards))
                     migrator = cluster.begin_remove_shard(sid)
                     refresh_topology()

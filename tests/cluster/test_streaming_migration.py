@@ -271,7 +271,7 @@ class FakeEngine:
     def __init__(self, budget):
         self._budget = budget
 
-    def background_budget(self):
+    def background_budget(self, parallelism=1):
         return self._budget
 
     @contextlib.contextmanager

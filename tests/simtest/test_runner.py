@@ -156,6 +156,41 @@ class TestAdaptive:
             assert result.counters.get("engine.depth_decisions", 0) > 0
 
 
+class TestPlannedMigration:
+    """The ``--migrate`` walk's planned-transition branch: one window
+    batching 2 joins + 1 leave + 1 reweight, opened mid-chaos."""
+
+    def test_plan_branch_fires_and_holds_invariants(self):
+        # Seeds whose chaos walk opens a planned multi-change window;
+        # the settle phase drains it with every invariant green.
+        for seed in (7, 8, 9):
+            result = run_scenario(SimConfig(
+                seed=seed, migrate=True, steps=30, shards=3,
+            ))
+            assert result.ok, "\n".join(str(v) for v in result.violations)
+            plan_lines = [
+                line for line in result.trace
+                if "op=mig_open kind=plan" in line
+            ]
+            assert plan_lines, f"seed {seed} no longer opens a plan"
+            assert "label=+" in plan_lines[0]
+            assert "-shard-" in plan_lines[0]  # a leave rode along
+            assert "~shard-" in plan_lines[0]  # and a reweight
+
+    def test_plan_survives_participant_power_fail(self):
+        # Seed 8 power-fails a joiner mid-plan, seed 9 the leaver; the
+        # window still drains and the single-owner invariant holds.
+        for seed in (8, 9):
+            result = run_scenario(SimConfig(
+                seed=seed, migrate=True, steps=30, shards=3,
+            ))
+            assert result.ok, "\n".join(str(v) for v in result.violations)
+            assert any("op=mig_powerfail" in line for line in result.trace)
+            assert any(
+                "migration=plan finished" in line for line in result.trace
+            )
+
+
 @pytest.mark.slow_sim
 class TestSweep:
     def test_fifty_generated_schedules_pass(self):

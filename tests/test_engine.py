@@ -483,6 +483,23 @@ class TestAdaptiveEngine:
         client.in_transition = False  # window closes: full depth returns
         assert engine.depth_current > cap
 
+    def test_background_budget_widens_with_destination_parallelism(self):
+        # A planned window streaming to N distinct gaining shards gets N
+        # background lanes — transfers to distinct machines overlap each
+        # other, not just the foreground.
+        engine, client, _, _ = make_engine(
+            n_shards=2, depth="auto", min_depth=1, max_depth=32,
+            shard_of=lambda tag: f"shard-{tag[0] % 2}",
+        )
+        assert engine.background_budget() == 1
+        assert engine.background_budget(parallelism=4) == 4
+        assert engine.background_budget(parallelism=0) == 1  # floored
+        client.in_transition = True
+        cap = engine.controller.migration_cap
+        engine.run_gets([get(bytes([i])) for i in range(2 * cap)])
+        yielded = engine.controller.yielded_slots
+        assert engine.background_budget(parallelism=4) == 4 + yielded
+
     def test_failed_round_shrinks(self):
         engine, client, _, _ = make_engine(
             n_shards=2, depth="auto", min_depth=1, max_depth=8,
